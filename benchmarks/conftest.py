@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table/figure gets one benchmark that regenerates it through
+the shared disk-cached :class:`~repro.harness.runner.Runner`.  The first
+full run simulates every (network, platform, L1, scheduler) combination
+(tens of minutes on one core); subsequent runs load from
+``.tango_cache`` and complete in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import Runner
+
+
+@pytest.fixture(scope="session")
+def runner() -> Runner:
+    """Disk-cached simulation runner shared by all benchmarks."""
+    return Runner(cache_dir=".tango_cache", verbose=True)
+
+
+@pytest.fixture
+def regenerate(runner):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+
+    def _regenerate(benchmark, experiment):
+        result = benchmark.pedantic(experiment, args=(runner,), rounds=1, iterations=1)
+        failed = [str(check) for check in result.checks if not check.passed]
+        assert not failed, f"{result.exp_id}: {failed}"
+        return result
+
+    return _regenerate

@@ -1,0 +1,44 @@
+"""Ablation: access coalescing quality per layer family.
+
+The paper's cache observations rest on how differently layer types use
+the coalescer: convolution warps touch contiguous pixels (near-perfect
+coalescing), FC warps with one weight row per lane degenerate to one
+transaction per lane.  This bench measures transactions-per-load for a
+conv and an FC kernel and checks the separation that drives Figures 7,
+13 and 14.
+"""
+
+from __future__ import annotations
+
+from repro.gpu import SimOptions, simulate_kernel
+from repro.kernels.compile import compiled_network
+from repro.platforms import GP102
+
+
+def _transactions_per_load(network: str, kernel_name: str) -> float:
+    kernel = {k.name: k for k in compiled_network(network)}[kernel_name]
+    result = simulate_kernel(kernel, GP102, SimOptions())
+    stats = result.stats
+    loads = stats.issued_by_pipe
+    from repro.isa.opcodes import Pipe
+
+    ldst_issues = loads.get(Pipe.LDST, 0.0)
+    if not ldst_issues:
+        return 0.0
+    return stats.load_transactions / ldst_issues
+
+
+def _run():
+    return {
+        "conv (cifarnet conv2)": _transactions_per_load("cifarnet", "conv2"),
+        "fc (cifarnet fc1)": _transactions_per_load("cifarnet", "fc1"),
+    }
+
+
+def test_fc_coalesces_far_worse_than_conv(benchmark):
+    """FC's strided weight rows produce many-fold more transactions."""
+    ratios = benchmark.pedantic(_run, rounds=1, iterations=1)
+    conv = ratios["conv (cifarnet conv2)"]
+    fc = ratios["fc (cifarnet fc1)"]
+    assert 0 < conv <= 4.0, ratios  # conv loads coalesce to a few lines
+    assert fc >= 3 * conv, ratios  # FC degenerates toward 1 tx per lane

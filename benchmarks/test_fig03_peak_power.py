@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 3: peak power consumption per network."""
+
+from __future__ import annotations
+
+from repro.harness import fig03_peak_power
+
+
+def test_fig03_peak_power(benchmark, regenerate):
+    """Figure 3: peak power consumption per network."""
+    regenerate(benchmark, fig03_peak_power.run)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 4: average power per layer type."""
+
+from __future__ import annotations
+
+from repro.harness import fig04_layer_power
+
+
+def test_fig04_layer_power(benchmark, regenerate):
+    """Figure 4: average power per layer type."""
+    regenerate(benchmark, fig04_layer_power.run)

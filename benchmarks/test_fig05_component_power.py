@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 5: power breakdown by hardware component."""
+
+from __future__ import annotations
+
+from repro.harness import fig05_component_power
+
+
+def test_fig05_component_power(benchmark, regenerate):
+    """Figure 5: power breakdown by hardware component."""
+    regenerate(benchmark, fig05_component_power.run)

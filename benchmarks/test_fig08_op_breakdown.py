@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 8: operation-type breakdown per network."""
+
+from __future__ import annotations
+
+from repro.harness import fig08_op_breakdown
+
+
+def test_fig08_op_breakdown(benchmark, regenerate):
+    """Figure 8: operation-type breakdown per network."""
+    regenerate(benchmark, fig08_op_breakdown.run)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 9: top-10 operations across the suite."""
+
+from __future__ import annotations
+
+from repro.harness import fig09_top_ops
+
+
+def test_fig09_top_ops(benchmark, regenerate):
+    """Figure 9: top-10 operations across the suite."""
+    regenerate(benchmark, fig09_top_ops.run)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 11: device-memory footprint."""
+
+from __future__ import annotations
+
+from repro.harness import fig11_memfootprint
+
+
+def test_fig11_memfootprint(benchmark, regenerate):
+    """Figure 11: device-memory footprint."""
+    regenerate(benchmark, fig11_memfootprint.run)

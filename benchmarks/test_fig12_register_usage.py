@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 12: register-file usage per SM."""
+
+from __future__ import annotations
+
+from repro.harness import fig12_register_usage
+
+
+def test_fig12_register_usage(benchmark, regenerate):
+    """Figure 12: register-file usage per SM."""
+    regenerate(benchmark, fig12_register_usage.run)

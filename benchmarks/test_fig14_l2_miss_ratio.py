@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 14: L2 miss ratio per layer type (no L1D)."""
+
+from __future__ import annotations
+
+from repro.harness import fig14_l2_miss_ratio
+
+
+def test_fig14_l2_miss_ratio(benchmark, regenerate):
+    """Figure 14: L2 miss ratio per layer type (no L1D)."""
+    regenerate(benchmark, fig14_l2_miss_ratio.run)

@@ -1,0 +1,50 @@
+"""Cache design study: how much L1D does a DNN accelerator need?
+
+The motivating scenario of the paper's Figure 2: an architect sizing the
+L1 data cache of a new accelerator runs the suite across candidate
+configurations — something only possible with framework-free benchmarks
+that run on an architecture simulator.  This example sweeps the L1D from
+bypassed to 4x the Pascal default for a CNN and an RNN and reports the
+normalized execution times plus cache statistics.
+
+Run:  python examples/cache_design_study.py [network ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.gpu import SimOptions, simulate_network
+from repro.platforms import GP102
+
+KB = 1024
+SWEEP = (("No L1", 0), ("64KB", 64 * KB), ("128KB", 128 * KB), ("256KB", 256 * KB))
+
+
+def study(network: str) -> None:
+    print(f"== {network}: L1D sensitivity on the GP102 model ==")
+    options = SimOptions().light()
+    baseline = None
+    for label, l1_size in SWEEP:
+        result = simulate_network(network, GP102.with_l1(l1_size), options)
+        total = result.aggregate()
+        if baseline is None:
+            baseline = result.total_cycles
+        print(
+            f"  {label:6s} normalized time {result.total_cycles / baseline:5.2f}  "
+            f"L1 miss ratio {total.l1_miss_ratio:6.1%}  "
+            f"L2 accesses {total.l2_accesses:12,.0f}"
+        )
+    print()
+
+
+def main() -> None:
+    networks = sys.argv[1:] or ["cifarnet", "gru"]
+    for network in networks:
+        study(network)
+    print("Expected shape (paper Observation 2): the CNN speeds up")
+    print("substantially with an L1D; the RNN barely moves.")
+
+
+if __name__ == "__main__":
+    main()

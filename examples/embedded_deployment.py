@@ -1,0 +1,39 @@
+"""Embedded deployment: GPU board or FPGA board?
+
+The paper's Figure 6 scenario: you must deploy CifarNet (a traffic-sign
+detector) and SqueezeNet on an embedded platform and care about energy.
+This example runs both networks on the Jetson TX1 model and the PynQ-Z1
+FPGA model, meters them the way the paper does (Wattsup peak power x
+execution time), and prints the trade-off.
+
+Run:  python examples/embedded_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.core.suite import get_network
+from repro.gpu import SimOptions, simulate_network
+from repro.platforms import TX1, PynqZ1Model
+from repro.power import WattsupMeter
+
+
+def main() -> None:
+    meter = WattsupMeter(TX1)
+    fpga = PynqZ1Model()
+    print(f"{'network':12s} {'platform':8s} {'time':>9s} {'peak':>7s} {'energy':>9s}")
+    for name in ("cifarnet", "squeezenet"):
+        gpu_run = simulate_network(name, TX1, SimOptions().light())
+        tx1 = meter.measure(gpu_run)
+        pynq = fpga.run_network(get_network(name))
+        print(f"{name:12s} {'TX1':8s} {tx1.time_s * 1e3:7.1f}ms "
+              f"{tx1.peak_watts:6.2f}W {tx1.energy_j * 1e3:7.1f}mJ")
+        print(f"{'':12s} {'PynQ-Z1':8s} {pynq.time_s * 1e3:7.1f}ms "
+              f"{pynq.peak_watts:6.2f}W {pynq.energy_j * 1e3:7.1f}mJ")
+        winner = "PynQ-Z1" if pynq.energy_j < tx1.energy_j else "TX1"
+        print(f"{'':12s} -> {winner} is the more energy-efficient choice "
+              f"(TX1 is {pynq.time_s / tx1.time_s:.1f}x faster but draws "
+              f"{tx1.peak_watts / pynq.peak_watts:.1f}x the peak power)\n")
+
+
+if __name__ == "__main__":
+    main()

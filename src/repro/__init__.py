@@ -1,0 +1,28 @@
+"""Tango reproduction: a DNN benchmark suite for various accelerators.
+
+A full-system Python reproduction of *Tango: A Deep Neural Network
+Benchmark Suite for Various Accelerators* (Karki et al., ISPASS 2019):
+
+* :mod:`repro.core` -- the benchmark suite itself: five CNNs (CifarNet,
+  AlexNet, SqueezeNet, ResNet-50, VGGNet-16) and two RNNs (GRU, LSTM)
+  decomposed into framework-free layer kernels;
+* :mod:`repro.kernels` / :mod:`repro.isa` / :mod:`repro.codegen` -- the
+  CUDA-like kernel representation (Table III launch geometries, PTX-like
+  thread programs, CUDA C / OpenCL source emission);
+* :mod:`repro.gpu` / :mod:`repro.memory` / :mod:`repro.power` /
+  :mod:`repro.platforms` -- the evaluation substrate: a GPGPU-Sim-style
+  timing simulator, cache/MSHR/DRAM models, GPUWattch-style power, the
+  GK210 / TX1 / GP102 GPUs and the PynQ-Z1 FPGA;
+* :mod:`repro.profiling` / :mod:`repro.harness` -- nvprof-like profiling
+  and one experiment module per paper table and figure.
+
+Entry points::
+
+    from repro.core import TangoSuite          # run the benchmarks
+    from repro.gpu import simulate_network     # characterize them
+    python -m repro.harness.suite              # reproduce the paper
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,19 @@
+"""CUDA C and OpenCL source emission.
+
+The released Tango artifact *is* CUDA C / OpenCL source; this package
+regenerates equivalent source text from the layer graphs so the suite
+remains usable on real hardware downstream.  CUDA is emitted for all
+seven networks; OpenCL for CifarNet and AlexNet, matching the paper's
+coverage (Section III).
+"""
+
+from repro.codegen.cuda import cuda_network_source
+from repro.codegen.exporter import export_suite
+from repro.codegen.opencl import OPENCL_NETWORKS, opencl_network_source
+
+__all__ = [
+    "OPENCL_NETWORKS",
+    "cuda_network_source",
+    "export_suite",
+    "opencl_network_source",
+]

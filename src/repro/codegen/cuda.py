@@ -1,0 +1,397 @@
+"""CUDA C kernel emission.
+
+Generates one ``__global__`` kernel per planned launch, with the same
+one-thread-per-neuron decomposition, loop structure and launch geometry
+the kernel IR models.  The emitted file for a network contains every
+kernel plus a host-side launch trace comment reproducing Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import NetworkGraph
+from repro.core.layers.defs import (
+    FC,
+    DepthwiseConv2D,
+    LRN,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Eltwise,
+    GRUCell,
+    LSTMCell,
+    Pool2D,
+    ReLU,
+    Scale,
+    Softmax,
+)
+from repro.core.suite import get_network
+from repro.kernels.mapping import KernelPlan, plan_network
+
+
+def _ident(name: str) -> str:
+    """A C identifier from a layer/kernel name."""
+    out = "".join(ch if ch.isalnum() else "_" for ch in name)
+    return out.strip("_") or "kernel"
+
+
+def _conv_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer: Conv2D = node.layer  # type: ignore[assignment]
+    c_in, h, w = graph.in_shapes(node)[0]
+    c_out, oh, ow = graph.out_shape(node.name)
+    k, s, p = layer.kernel, layer.stride, layer.pad
+    name = _ident(plan.kernel_name)
+    relu = "v = fmaxf(v, 0.0f);" if layer.relu else ""
+    bias_decl = ", const float* __restrict__ bias" if layer.bias else ""
+    bias_add = "v += bias[oc];" if layer.bias else ""
+    return f"""
+// {node.name}: conv {c_in}x{h}x{w} -> {c_out}x{oh}x{ow}, k={k} s={s} p={p}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(
+    const float* __restrict__ in, const float* __restrict__ weight{bias_decl},
+    float* __restrict__ out, int oc_offset, int x_offset, int y_offset)
+{{
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    for (int slot = tid; slot < {oh * ow}; slot += blockDim.x * blockDim.y) {{
+        int x = slot % {ow} + x_offset;
+        int y = slot / {ow} + y_offset;
+        if (x >= {ow} || y >= {oh}) continue;
+        int oc = blockIdx.x + oc_offset;
+        float v = 0.0f;
+        for (int c = 0; c < {c_in}; ++c) {{
+            for (int kh = 0; kh < {k}; ++kh) {{
+                int iy = y * {s} + kh - {p};
+                if (iy < 0 || iy >= {h}) continue;
+                for (int kw = 0; kw < {k}; ++kw) {{
+                    int ix = x * {s} + kw - {p};
+                    if (ix < 0 || ix >= {w}) continue;
+                    v += weight[((oc * {c_in} + c) * {k} + kh) * {k} + kw]
+                       * in[(c * {h} + iy) * {w} + ix];
+                }}
+            }}
+        }}
+        {bias_add}
+        {relu}
+        out[(oc * {oh} + y) * {ow} + x] = v;
+    }}
+}}
+"""
+
+
+def _pool_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer: Pool2D = node.layer  # type: ignore[assignment]
+    c, h, w = graph.in_shapes(node)[0]
+    name = _ident(plan.kernel_name)
+    if layer.global_pool:
+        return f"""
+// {node.name}: global average pool {c}x{h}x{w} -> {c}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(const float* __restrict__ in, float* __restrict__ out)
+{{
+    int ch = blockIdx.x * blockDim.x + threadIdx.x;
+    if (ch >= {c}) return;
+    float acc = 0.0f;
+    for (int i = 0; i < {h * w}; ++i) acc += in[ch * {h * w} + i];
+    out[ch] = acc / {float(h * w)}f;
+}}
+"""
+    k, s, p = layer.kernel, layer.stride, layer.pad
+    _, oh, ow = graph.out_shape(node.name)
+    init = "-3.402823e38f" if layer.kind == "max" else "0.0f"
+    update = "acc = fmaxf(acc, v);" if layer.kind == "max" else "acc += v; ++n;"
+    finish = "" if layer.kind == "max" else "acc /= (float)n;"
+    return f"""
+// {node.name}: {layer.kind} pool {c}x{h}x{w} -> {c}x{oh}x{ow}, k={k} s={s} p={p}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(const float* __restrict__ in, float* __restrict__ out)
+{{
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    for (int slot = tid; slot < {oh * ow}; slot += blockDim.x * blockDim.y) {{
+        int x = slot % {ow};
+        int y = slot / {ow};
+        for (int ch = blockIdx.x; ch < {c}; ch += gridDim.x) {{
+            float acc = {init};
+            int n = 0;
+            for (int kh = 0; kh < {k}; ++kh) {{
+                int iy = y * {s} + kh - {p};
+                if (iy < 0 || iy >= {h}) continue;
+                for (int kw = 0; kw < {k}; ++kw) {{
+                    int ix = x * {s} + kw - {p};
+                    if (ix < 0 || ix >= {w}) continue;
+                    float v = in[(ch * {h} + iy) * {w} + ix];
+                    {update}
+                }}
+            }}
+            (void)n;
+            {finish}
+            out[(ch * {oh} + y) * {ow} + x] = acc;
+        }}
+    }}
+}}
+"""
+
+
+def _fc_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer: FC = node.layer  # type: ignore[assignment]
+    in_features = int(np.prod(graph.in_shapes(node)[0]))
+    name = _ident(plan.kernel_name)
+    relu = "v = fmaxf(v, 0.0f);" if layer.relu else ""
+    return f"""
+// {node.name}: fully connected {in_features} -> {layer.out_features}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(
+    const float* __restrict__ in, const float* __restrict__ weight,
+    const float* __restrict__ bias, float* __restrict__ out)
+{{
+    int blocklin = (blockIdx.z * gridDim.y + blockIdx.y) * gridDim.x + blockIdx.x;
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    int neuron = blocklin * (blockDim.x * blockDim.y) + tid;
+    if (neuron >= {layer.out_features}) return;
+    float v = bias[neuron];
+    for (int i = 0; i < {in_features}; ++i)
+        v += weight[neuron * {in_features} + i] * in[i];
+    {relu}
+    out[neuron] = v;
+}}
+"""
+
+
+def _lrn_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer: LRN = node.layer  # type: ignore[assignment]
+    c, h, w = graph.in_shapes(node)[0]
+    half = layer.local_size // 2
+    name = _ident(plan.kernel_name)
+    return f"""
+// {node.name}: LRN across channels, n={layer.local_size} alpha={layer.alpha} beta={layer.beta}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(const float* __restrict__ in, float* __restrict__ out)
+{{
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    for (int slot = tid; slot < {h * w}; slot += blockDim.x * blockDim.y) {{
+        for (int ch = blockIdx.x; ch < {c}; ch += gridDim.x) {{
+            float ssq = 0.0f;
+            for (int j = ch - {half}; j <= ch + {half}; ++j) {{
+                if (j < 0 || j >= {c}) continue;
+                float v = in[j * {h * w} + slot];
+                ssq += v * v;
+            }}
+            float denom = powf(1.0f + {layer.alpha}f / {layer.local_size} * ssq, {layer.beta}f);
+            out[ch * {h * w} + slot] = in[ch * {h * w} + slot] / denom;
+        }}
+    }}
+}}
+"""
+
+
+def _elementwise_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer = node.layer
+    c, h, w = graph.in_shapes(node)[0]
+    total = c * h * w
+    name = _ident(plan.kernel_name)
+    if isinstance(layer, ReLU):
+        sig = "const float* __restrict__ in, float* __restrict__ out"
+        body = "out[i] = fmaxf(in[i], 0.0f);"
+    elif isinstance(layer, BatchNorm):
+        sig = ("const float* __restrict__ in, const float* __restrict__ mean, "
+               "const float* __restrict__ var, float* __restrict__ out")
+        body = (f"int ch = i / {h * w}; "
+                f"out[i] = (in[i] - mean[ch]) * rsqrtf(var[ch] + {layer.eps}f);")
+    elif isinstance(layer, Scale):
+        sig = ("const float* __restrict__ in, const float* __restrict__ gamma, "
+               "const float* __restrict__ beta, float* __restrict__ out")
+        body = f"int ch = i / {h * w}; out[i] = in[i] * gamma[ch] + beta[ch];"
+    elif isinstance(layer, Eltwise):
+        sig = ("const float* __restrict__ a, const float* __restrict__ b, "
+               "float* __restrict__ out")
+        body = "out[i] = a[i] + b[i];"
+    else:  # Concat copy slice
+        sig = "const float* __restrict__ in, float* __restrict__ out, int ch_offset"
+        body = f"out[ch_offset * {h * w} + i] = in[i];"
+    return f"""
+// {node.name}: {type(layer).__name__} over {c}x{h}x{w}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}({sig})
+{{
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    int stride = gridDim.x * blockDim.x * blockDim.y;
+    for (int i = blockIdx.x * blockDim.x * blockDim.y + tid; i < {total}; i += stride)
+    {{
+        {body}
+    }}
+}}
+"""
+
+
+def _softmax_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    classes = graph.out_shape(node.name)[0]
+    name = _ident(plan.kernel_name)
+    return f"""
+// {node.name}: softmax over {classes} classes
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(const float* __restrict__ in, float* __restrict__ out)
+{{
+    int blocklin = (blockIdx.z * gridDim.y + blockIdx.y) * gridDim.x + blockIdx.x;
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    int n = blocklin * (blockDim.x * blockDim.y) + tid;
+    if (n >= {classes}) return;
+    float m = -3.402823e38f;
+    for (int j = 0; j < {classes}; ++j) m = fmaxf(m, in[j]);
+    float total = 0.0f;
+    for (int j = 0; j < {classes}; ++j) total += expf(in[j] - m);
+    out[n] = expf(in[n] - m) / total;
+}}
+"""
+
+
+def _rnn_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer = node.layer
+    hidden = layer.hidden_size
+    name = _ident(plan.kernel_name)
+    if isinstance(layer, GRUCell):
+        gates = "z, r and candidate h"
+        body = f"""
+    float az = b_z[n], ar = b_r[n], ah = b_h[n];
+    for (int j = 0; j < {hidden}; ++j) {{
+        az += u_z[n * {hidden} + j] * h_prev[j];
+        ar += u_r[n * {hidden} + j] * h_prev[j];
+    }}
+    az += w_z[n] * x[0]; ar += w_r[n] * x[0];
+    float z = 1.0f / (1.0f + expf(-az));
+    float r = 1.0f / (1.0f + expf(-ar));
+    for (int j = 0; j < {hidden}; ++j)
+        ah += u_h[n * {hidden} + j] * (r * h_prev[j]);
+    ah += w_h[n] * x[0];
+    float hc = tanhf(ah);
+    h_next[n] = (1.0f - z) * h_prev[n] + z * hc;"""
+        params = ("const float* x, const float* h_prev, "
+                  "const float* w_z, const float* u_z, const float* b_z, "
+                  "const float* w_r, const float* u_r, const float* b_r, "
+                  "const float* w_h, const float* u_h, const float* b_h, "
+                  "float* h_next")
+    else:
+        gates = "input, forget, output and candidate g"
+        body = f"""
+    float ai = b_i[n], af = b_f[n], ao = b_o[n], ag = b_g[n];
+    for (int j = 0; j < {hidden}; ++j) {{
+        float hv = h_prev[j];
+        ai += u_i[n * {hidden} + j] * hv;
+        af += u_f[n * {hidden} + j] * hv;
+        ao += u_o[n * {hidden} + j] * hv;
+        ag += u_g[n * {hidden} + j] * hv;
+    }}
+    ai += w_i[n] * x[0]; af += w_f[n] * x[0];
+    ao += w_o[n] * x[0]; ag += w_g[n] * x[0];
+    float gi = 1.0f / (1.0f + expf(-ai));
+    float gf = 1.0f / (1.0f + expf(-af));
+    float go = 1.0f / (1.0f + expf(-ao));
+    float gg = tanhf(ag);
+    float cn = gf * c_prev[n] + gi * gg;
+    c_next[n] = cn;
+    h_next[n] = go * tanhf(cn);"""
+        params = ("const float* x, const float* h_prev, const float* c_prev, "
+                  "const float* w_i, const float* u_i, const float* b_i, "
+                  "const float* w_f, const float* u_f, const float* b_f, "
+                  "const float* w_o, const float* u_o, const float* b_o, "
+                  "const float* w_g, const float* u_g, const float* b_g, "
+                  "float* h_next, float* c_next")
+    return f"""
+// {node.name}: one {type(layer).__name__} timestep, gates: {gates}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}({params})
+{{
+    int n = threadIdx.y * blockDim.x + threadIdx.x;
+    if (n >= {hidden}) return;
+{body}
+}}
+"""
+
+
+def _depthwise_kernel(plan: KernelPlan, graph: NetworkGraph) -> str:
+    node = plan.node
+    layer: DepthwiseConv2D = node.layer  # type: ignore[assignment]
+    c, h, w = graph.in_shapes(node)[0]
+    _, oh, ow = graph.out_shape(node.name)
+    k, s, p = layer.kernel, layer.stride, layer.pad
+    name = _ident(plan.kernel_name)
+    relu = "v = fmaxf(v, 0.0f);" if layer.relu else ""
+    bias_decl = ", const float* __restrict__ bias" if layer.bias else ""
+    bias_add = "v += bias[ch];" if layer.bias else ""
+    return f"""
+// {node.name}: depthwise conv {c}x{h}x{w} -> {c}x{oh}x{ow}, k={k} s={s} p={p}
+// launch: grid{plan.grid} block{plan.block}
+extern "C" __global__ void {name}(
+    const float* __restrict__ in, const float* __restrict__ weight{bias_decl},
+    float* __restrict__ out)
+{{
+    int ch = blockIdx.x;
+    int tid = threadIdx.y * blockDim.x + threadIdx.x;
+    for (int slot = tid; slot < {oh * ow}; slot += blockDim.x * blockDim.y) {{
+        int x = slot % {ow};
+        int y = slot / {ow};
+        float v = 0.0f;
+        for (int kh = 0; kh < {k}; ++kh) {{
+            int iy = y * {s} + kh - {p};
+            if (iy < 0 || iy >= {h}) continue;
+            for (int kw = 0; kw < {k}; ++kw) {{
+                int ix = x * {s} + kw - {p};
+                if (ix < 0 || ix >= {w}) continue;
+                v += weight[(ch * {k} + kh) * {k} + kw]
+                   * in[(ch * {h} + iy) * {w} + ix];
+            }}
+        }}
+        {bias_add}
+        {relu}
+        out[(ch * {oh} + y) * {ow} + x] = v;
+    }}
+}}
+"""
+
+
+def cuda_kernel_source(plan: KernelPlan, graph: NetworkGraph) -> str:
+    """CUDA C source of one planned kernel."""
+    layer = plan.node.layer
+    if isinstance(layer, DepthwiseConv2D):
+        return _depthwise_kernel(plan, graph)
+    if isinstance(layer, Conv2D):
+        return _conv_kernel(plan, graph)
+    if isinstance(layer, Pool2D):
+        return _pool_kernel(plan, graph)
+    if isinstance(layer, FC):
+        return _fc_kernel(plan, graph)
+    if isinstance(layer, LRN):
+        return _lrn_kernel(plan, graph)
+    if isinstance(layer, (BatchNorm, Scale, ReLU, Eltwise, Concat)):
+        return _elementwise_kernel(plan, graph)
+    if isinstance(layer, Softmax):
+        return _softmax_kernel(plan, graph)
+    if isinstance(layer, (GRUCell, LSTMCell)):
+        return _rnn_kernel(plan, graph)
+    raise TypeError(f"no CUDA emitter for {type(layer).__name__}")
+
+
+def cuda_network_source(name: str) -> str:
+    """Full CUDA C source file for the named network."""
+    graph = get_network(name)
+    plans = plan_network(graph)
+    seen: set[str] = set()
+    parts = [
+        f"// {graph.display_name} inference kernels — generated by the Tango",
+        "// reproduction suite.  One thread per neuron; no cuDNN, no framework.",
+        "#include <cuda_runtime.h>",
+        "#include <math.h>",
+    ]
+    for plan in plans:
+        ident = _ident(plan.kernel_name)
+        if ident in seen:
+            continue
+        seen.add(ident)
+        parts.append(cuda_kernel_source(plan, graph))
+    return "\n".join(parts)

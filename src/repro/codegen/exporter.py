@@ -1,0 +1,47 @@
+"""Suite source-tree exporter.
+
+Writes the generated CUDA/OpenCL sources to disk in the layout of the
+released Tango repository: one directory per network containing the
+kernel source and a manifest of per-layer weight files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.codegen.cuda import cuda_network_source
+from repro.codegen.opencl import OPENCL_NETWORKS, opencl_network_source
+from repro.core.suite import NETWORK_ORDER, get_network
+from repro.core.weights import per_layer_weight_bytes
+
+
+def export_suite(root: str | Path, names: tuple[str, ...] = NETWORK_ORDER) -> list[Path]:
+    """Write the generated suite under *root*; returns written paths.
+
+    Layout::
+
+        <root>/<network>/<network>.cu
+        <root>/<network>/<network>.cl          (CifarNet, AlexNet)
+        <root>/<network>/weights.manifest      (per-layer weight files)
+    """
+    root = Path(root)
+    written: list[Path] = []
+    for name in names:
+        net_dir = root / name
+        net_dir.mkdir(parents=True, exist_ok=True)
+        cu_path = net_dir / f"{name}.cu"
+        cu_path.write_text(cuda_network_source(name))
+        written.append(cu_path)
+        if name in OPENCL_NETWORKS:
+            cl_path = net_dir / f"{name}.cl"
+            cl_path.write_text(opencl_network_source(name))
+            written.append(cl_path)
+        graph = get_network(name)
+        manifest_lines = [
+            f"{node_name}.bin {size}"
+            for node_name, size in per_layer_weight_bytes(graph).items()
+        ]
+        manifest = net_dir / "weights.manifest"
+        manifest.write_text("\n".join(manifest_lines) + "\n")
+        written.append(manifest)
+    return written

@@ -1,0 +1,60 @@
+"""OpenCL C kernel emission.
+
+The paper ships OpenCL versions of CifarNet and AlexNet (Section III),
+which are the ones deployed to the PynQ FPGA through Vivado HLS.  The
+OpenCL kernels use the same configurations as the CUDA kernels, so this
+emitter mechanically translates the CUDA text: qualifiers, builtin index
+functions and math intrinsics.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.codegen.cuda import cuda_network_source
+
+#: Networks with OpenCL implementations in the released suite.
+OPENCL_NETWORKS = ("cifarnet", "alexnet")
+
+_REWRITES = (
+    (r'extern "C" __global__ void', "__kernel void"),
+    (r"const float\* __restrict__", "__global const float*"),
+    (r"float\* __restrict__", "__global float*"),
+    (r"\bthreadIdx\.x\b", "get_local_id(0)"),
+    (r"\bthreadIdx\.y\b", "get_local_id(1)"),
+    (r"\bblockIdx\.x\b", "get_group_id(0)"),
+    (r"\bblockIdx\.y\b", "get_group_id(1)"),
+    (r"\bblockIdx\.z\b", "get_group_id(2)"),
+    (r"\bblockDim\.x\b", "get_local_size(0)"),
+    (r"\bblockDim\.y\b", "get_local_size(1)"),
+    (r"\bgridDim\.x\b", "get_num_groups(0)"),
+    (r"\bgridDim\.y\b", "get_num_groups(1)"),
+    (r"\bfmaxf\b", "fmax"),
+    (r"\bexpf\b", "exp"),
+    (r"\btanhf\b", "tanh"),
+    (r"\brsqrtf\b", "rsqrt"),
+    (r"\bpowf\b", "pow"),
+    (r'#include <cuda_runtime.h>', ""),
+    (r"#include <math.h>", ""),
+)
+
+
+def opencl_network_source(name: str) -> str:
+    """Full OpenCL C source file for the named network.
+
+    Raises ``ValueError`` for networks the released suite does not
+    provide in OpenCL.
+    """
+    if name not in OPENCL_NETWORKS:
+        raise ValueError(
+            f"the suite provides OpenCL only for {', '.join(OPENCL_NETWORKS)}; "
+            f"got {name!r}"
+        )
+    source = cuda_network_source(name)
+    for pattern, replacement in _REWRITES:
+        source = re.sub(pattern, replacement, source)
+    header = (
+        "// OpenCL translation of the CUDA kernels; same launch\n"
+        "// configurations (Table III).  Deployable through Vivado HLS.\n"
+    )
+    return header + source

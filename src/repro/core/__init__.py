@@ -1,0 +1,22 @@
+"""The Tango benchmark suite: networks, layers, inputs and weights.
+
+This package is the paper's primary contribution — the benchmark suite
+itself.  It contains:
+
+* :mod:`repro.core.layers` -- framework-free implementations of every
+  layer primitive the seven networks use, decomposed into fundamental
+  mathematical computations exactly as the paper's CUDA kernels are.
+* :mod:`repro.core.graph` -- the small layer-graph representation shared
+  by functional execution, kernel compilation and code generation.
+* :mod:`repro.core.networks` -- the five CNNs (CifarNet, AlexNet,
+  SqueezeNet, ResNet-50, VGGNet-16) and two RNNs (GRU, LSTM).
+* :mod:`repro.core.weights` / :mod:`repro.core.inputs` -- deterministic
+  synthetic pre-trained models and inputs standing in for the paper's
+  Table I artifacts (see DESIGN.md for the substitution rationale).
+* :mod:`repro.core.suite` -- the benchmark registry, the public entry
+  point mirroring the released Tango repository layout.
+"""
+
+from repro.core.suite import TangoSuite, get_network, list_networks
+
+__all__ = ["TangoSuite", "get_network", "list_networks"]

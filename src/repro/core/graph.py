@@ -1,0 +1,183 @@
+"""Layer graphs: the single source of truth for every network.
+
+A :class:`NetworkGraph` is a small DAG of named :class:`Node` objects,
+each wrapping a :class:`~repro.core.layers.defs.Layer`.  The same graph
+feeds three consumers:
+
+* functional inference (:meth:`NetworkGraph.run`),
+* the kernel compiler (which walks :attr:`NetworkGraph.nodes` in
+  invocation order, mirroring the paper's Table III kernel sequence),
+* the CUDA/OpenCL code generators.
+
+Shape inference runs eagerly at construction so that a malformed network
+fails fast with the offending node named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.layers.defs import Layer, Shape
+
+#: Reserved name of the graph's input tensor.
+INPUT = "input"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One layer instance in a network graph.
+
+    Attributes:
+        name: Unique layer name (e.g. ``"conv1"``, ``"fire2/squeeze1x1"``).
+        layer: The layer specification.
+        inputs: Names of the producer nodes (or :data:`INPUT`).
+    """
+
+    name: str
+    layer: Layer
+    inputs: tuple[str, ...]
+
+
+class NetworkGraph:
+    """A named DNN as a topologically-ordered layer DAG."""
+
+    def __init__(self, name: str, input_shape: Shape, display_name: str | None = None):
+        self.name = name
+        self.display_name = display_name or name
+        self.input_shape = input_shape
+        self.nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        self._shapes: dict[str, Shape] = {INPUT: input_shape}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, name: str, layer: Layer, inputs: str | Sequence[str] = INPUT) -> str:
+        """Append a node; returns its name so chains read naturally."""
+        if name in self._by_name or name == INPUT:
+            raise ValueError(f"duplicate node name {name!r} in {self.name}")
+        if isinstance(inputs, str):
+            inputs = (inputs,)
+        inputs = tuple(inputs)
+        for src in inputs:
+            if src != INPUT and src not in self._by_name:
+                raise ValueError(f"node {name!r} consumes unknown node {src!r}")
+        if len(inputs) != layer.n_inputs:
+            raise ValueError(
+                f"node {name!r}: layer expects {layer.n_inputs} inputs, got {len(inputs)}"
+            )
+        node = Node(name, layer, inputs)
+        # Eager shape inference: fail at construction time.
+        in_shapes = [self._shapes[src] for src in inputs]
+        self._shapes[name] = layer.out_shape(in_shapes)
+        self.nodes.append(node)
+        self._by_name[name] = node
+        return name
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        return self._by_name[name]
+
+    def in_shapes(self, node: Node) -> list[Shape]:
+        """Input shapes of *node*."""
+        return [self._shapes[src] for src in node.inputs]
+
+    def out_shape(self, name: str) -> Shape:
+        """Output shape of node *name* (or of :data:`INPUT`)."""
+        return self._shapes[name]
+
+    @property
+    def output_name(self) -> str:
+        """Name of the final node (the network output)."""
+        if not self.nodes:
+            raise ValueError(f"network {self.name} has no nodes")
+        return self.nodes[-1].name
+
+    def weight_shapes(self) -> dict[str, dict[str, Shape]]:
+        """All weight tensors: node name -> tensor name -> shape."""
+        return {
+            node.name: node.layer.weight_shapes(self.in_shapes(node))
+            for node in self.nodes
+            if node.layer.weight_shapes(self.in_shapes(node))
+        }
+
+    def total_weight_bytes(self) -> int:
+        """Model size in bytes (f32), the paper's "pre-trained model size"."""
+        return sum(
+            node.layer.weight_bytes(self.in_shapes(node)) for node in self.nodes
+        )
+
+    def categories(self) -> list[str]:
+        """Distinct layer categories present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for node in self.nodes:
+            seen.setdefault(node.layer.category, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # functional execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x: np.ndarray,
+        weights: Mapping[str, Mapping[str, np.ndarray]],
+        record: dict[str, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Run inference on input *x* with the given weight store.
+
+        Args:
+            x: Input tensor matching :attr:`input_shape`.
+            weights: node name -> tensor name -> array.
+            record: Optional dict that, if given, receives every
+                intermediate activation keyed by node name.
+
+        Returns:
+            The output of the final node.
+        """
+        if tuple(x.shape) != tuple(self.input_shape):
+            raise ValueError(
+                f"{self.name}: input shape {x.shape} != expected {self.input_shape}"
+            )
+        values: dict[str, np.ndarray] = {INPUT: x}
+        for node in self.nodes:
+            ins = [values[src] for src in node.inputs]
+            out = node.layer.forward(ins, weights.get(node.name, {}))
+            expected = self._shapes[node.name]
+            if tuple(out.shape) != tuple(expected):
+                raise AssertionError(
+                    f"{self.name}/{node.name}: produced {out.shape}, inferred {expected}"
+                )
+            values[node.name] = out
+            if record is not None:
+                record[node.name] = out
+        return values[self.output_name]
+
+
+class SequentialBuilder:
+    """Convenience builder for mostly-linear networks.
+
+    Tracks the "current" node so plain chains don't have to thread names
+    by hand, while still allowing explicit fan-in (ResNet shortcuts,
+    SqueezeNet concats) via the ``inputs`` argument.
+    """
+
+    def __init__(self, graph: NetworkGraph):
+        self.graph = graph
+        self.head = INPUT
+
+    def add(self, name: str, layer: Layer, inputs: str | Sequence[str] | None = None) -> str:
+        """Append a layer; defaults to consuming the current head."""
+        self.head = self.graph.add(name, layer, self.head if inputs is None else inputs)
+        return self.head

@@ -1,0 +1,60 @@
+"""Synthetic benchmark inputs, mirroring the paper's Table I.
+
+Table I assigns each network a concrete input: a speed-limit-35 sign for
+CifarNet, cat images for AlexNet/SqueezeNet/ResNet, a killer-whale image
+for VGGNet, and the past two days' scaled bitcoin prices for GRU/LSTM.
+Those exact images/prices are not redistributable, so this module
+synthesizes deterministic stand-ins with the correct shapes and value
+ranges; the architectural characterization depends only on shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import NetworkGraph
+
+
+def synthetic_image(shape: tuple[int, int, int], seed: int) -> np.ndarray:
+    """A deterministic CHW float image with smooth spatial structure.
+
+    Smoothness (a sum of low-frequency sinusoids plus mild noise) makes
+    the pixel statistics image-like rather than white noise, which keeps
+    ReLU zero-fractions and value ranges realistic.
+    """
+    c, h, w = shape
+    rng = np.random.default_rng(seed)
+    ys = np.linspace(0.0, 2.0 * np.pi, h)[None, :, None]
+    xs = np.linspace(0.0, 2.0 * np.pi, w)[None, None, :]
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=(c, 1, 1))
+    freq_y = rng.uniform(0.5, 3.0, size=(c, 1, 1))
+    freq_x = rng.uniform(0.5, 3.0, size=(c, 1, 1))
+    image = 0.5 + 0.4 * np.sin(freq_y * ys + phases) * np.cos(freq_x * xs)
+    image += rng.normal(0.0, 0.05, size=(c, h, w))
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def bitcoin_prices(seq_len: int = 2, seed: int = 7) -> np.ndarray:
+    """Scaled bitcoin closing prices for the past *seq_len* days.
+
+    A deterministic geometric random walk scaled to [0, 1], standing in
+    for the Kaggle bitcoin price dataset of Table I.  Shape is
+    ``(seq_len, 1)`` — one scalar price per day.
+    """
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, 0.02, size=seq_len + 30)
+    walk = 6000.0 * np.exp(np.cumsum(steps))
+    window = walk[-seq_len:]
+    lo, hi = walk.min(), walk.max()
+    scaled = (window - lo) / (hi - lo)
+    return scaled.reshape(seq_len, 1).astype(np.float32)
+
+
+def input_for(graph: NetworkGraph, seed: int = 2019) -> np.ndarray:
+    """Produce the standard benchmark input for *graph*."""
+    shape = graph.input_shape
+    if len(shape) == 3:
+        return synthetic_image(shape, seed=seed)
+    if len(shape) == 2:
+        return bitcoin_prices(seq_len=shape[0], seed=seed)
+    raise ValueError(f"no input synthesizer for shape {shape}")

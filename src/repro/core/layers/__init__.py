@@ -1,0 +1,41 @@
+"""Layer primitives used by the Tango networks.
+
+:mod:`repro.core.layers.functional` holds the pure NumPy math;
+:mod:`repro.core.layers.defs` holds the layer specification classes that
+carry hyper-parameters, infer shapes, declare weight tensors, and invoke
+the functional implementations.
+"""
+
+from repro.core.layers.defs import (
+    DepthwiseConv2D,
+    FC,
+    LRN,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Eltwise,
+    GRUCell,
+    Layer,
+    LSTMCell,
+    Pool2D,
+    ReLU,
+    Scale,
+    Softmax,
+)
+
+__all__ = [
+    "DepthwiseConv2D",
+    "BatchNorm",
+    "Concat",
+    "Conv2D",
+    "Eltwise",
+    "FC",
+    "GRUCell",
+    "LRN",
+    "LSTMCell",
+    "Layer",
+    "Pool2D",
+    "ReLU",
+    "Scale",
+    "Softmax",
+]

@@ -1,0 +1,195 @@
+"""Backward (training-phase) passes for the layer primitives.
+
+The paper ships inference only but states: "we plan to extend the suite
+to also provide back-propagation code for training phase" (Section
+II-C).  This module provides that extension at the functional level:
+the gradient of every primitive the seven networks use, validated
+against numerical differentiation in the test suite.
+
+Conventions match :mod:`repro.core.layers.functional`: CHW tensors, no
+batch dimension.  Each ``*_backward`` takes the upstream gradient plus
+whatever forward context it needs and returns gradients in the order
+``(d_input, d_weight..., d_bias...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layers import functional as F
+
+
+def conv2d_backward(
+    d_out: np.ndarray,
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of :func:`~repro.core.layers.functional.conv2d`.
+
+    Returns ``(d_x, d_weight, d_bias)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    _, out_h, out_w = d_out.shape
+    cols = F.im2col(x, kh, kw, stride, pad)  # (C*kh*kw, OH*OW)
+    d_flat = d_out.reshape(c_out, -1)  # (C_out, OH*OW)
+
+    d_weight = (d_flat @ cols.T).reshape(weight.shape)
+    d_bias = d_flat.sum(axis=1)
+
+    # d_cols = W^T @ d_out, then fold the columns back (col2im).
+    d_cols = weight.reshape(c_out, -1).T @ d_flat  # (C*kh*kw, OH*OW)
+    c, h, w = x.shape
+    d_padded = np.zeros((c, h + 2 * pad, w + 2 * pad))
+    d_cols = d_cols.reshape(c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            d_padded[:, i : i + out_h * stride : stride, j : j + out_w * stride : stride] += (
+                d_cols[:, i, j]
+            )
+    if pad:
+        d_x = d_padded[:, pad:-pad, pad:-pad]
+    else:
+        d_x = d_padded
+    return d_x, d_weight, d_bias
+
+
+def fc_backward(
+    d_out: np.ndarray, x: np.ndarray, weight: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the fully-connected layer: ``(d_x, d_w, d_b)``."""
+    flat = x.reshape(-1)
+    d_w = np.outer(d_out, flat)
+    d_b = d_out.copy()
+    d_x = (weight.T @ d_out).reshape(x.shape)
+    return d_x, d_w, d_b
+
+
+def relu_backward(d_out: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Gradient of ReLU: passes where the input was positive."""
+    return d_out * (x > 0)
+
+
+def max_pool2d_backward(
+    d_out: np.ndarray, x: np.ndarray, kernel: int, stride: int, pad: int = 0
+) -> np.ndarray:
+    """Gradient of max pooling: routes to each window's argmax."""
+    c, h, w = x.shape
+    _, out_h, out_w = d_out.shape
+    xp = F.pad_chw(x, pad)
+    d_padded = np.zeros_like(xp)
+    for ch in range(c):
+        for oy in range(out_h):
+            for ox in range(out_w):
+                window = xp[ch, oy * stride : oy * stride + kernel,
+                            ox * stride : ox * stride + kernel]
+                iy, ix = np.unravel_index(np.argmax(window), window.shape)
+                d_padded[ch, oy * stride + iy, ox * stride + ix] += d_out[ch, oy, ox]
+    if pad:
+        return d_padded[:, pad:-pad, pad:-pad]
+    return d_padded
+
+
+def avg_pool2d_backward(
+    d_out: np.ndarray, x_shape: tuple[int, int, int], kernel: int, stride: int, pad: int = 0
+) -> np.ndarray:
+    """Gradient of average pooling: spreads evenly over each window."""
+    c, h, w = x_shape
+    _, out_h, out_w = d_out.shape
+    d_padded = np.zeros((c, h + 2 * pad, w + 2 * pad))
+    share = 1.0 / (kernel * kernel)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            d_padded[:, oy * stride : oy * stride + kernel,
+                     ox * stride : ox * stride + kernel] += (
+                d_out[:, oy : oy + 1, ox : ox + 1] * share
+            )
+    if pad:
+        return d_padded[:, pad:-pad, pad:-pad]
+    return d_padded
+
+
+def softmax_cross_entropy_backward(probs: np.ndarray, label: int) -> np.ndarray:
+    """Gradient of softmax + cross-entropy w.r.t. the logits."""
+    grad = probs.copy()
+    grad[label] -= 1.0
+    return grad
+
+
+def batch_norm_backward(
+    d_out: np.ndarray, x: np.ndarray, mean: np.ndarray, var: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Gradient of inference batch-norm w.r.t. the input.
+
+    With stored (frozen) statistics the transform is affine per channel,
+    so the gradient is a per-channel rescale.
+    """
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    return d_out / np.sqrt(var.reshape(shape) + eps)
+
+
+def scale_backward(
+    d_out: np.ndarray, x: np.ndarray, gamma: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the Scale layer: ``(d_x, d_gamma, d_beta)``."""
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    d_x = d_out * gamma.reshape(shape)
+    axes = tuple(range(1, x.ndim))
+    d_gamma = (d_out * x).sum(axis=axes)
+    d_beta = d_out.sum(axis=axes)
+    return d_x, d_gamma, d_beta
+
+
+def sigmoid_backward(d_out: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """Gradient through a sigmoid given its *output* ``s``."""
+    return d_out * s * (1.0 - s)
+
+
+def tanh_backward(d_out: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Gradient through a tanh given its *output* ``t``."""
+    return d_out * (1.0 - t * t)
+
+
+def gru_cell_backward(
+    d_h_next: np.ndarray,
+    x: np.ndarray,
+    h: np.ndarray,
+    weights: dict[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Gradients of one GRU step w.r.t. every parameter and ``h``.
+
+    ``weights`` uses the layer's tensor names (``w_z``, ``u_z``, ``b_z``,
+    ...).  Returns a dict with ``d_<name>`` entries plus ``d_h`` and
+    ``d_x``.
+    """
+    z = F.sigmoid(weights["w_z"] @ x + weights["u_z"] @ h + weights["b_z"])
+    r = F.sigmoid(weights["w_r"] @ x + weights["u_r"] @ h + weights["b_r"])
+    h_tilde = np.tanh(weights["w_h"] @ x + weights["u_h"] @ (r * h) + weights["b_h"])
+
+    d_z = d_h_next * (h_tilde - h)
+    d_h_tilde = d_h_next * z
+    d_h = d_h_next * (1.0 - z)
+
+    d_a_h = tanh_backward(d_h_tilde, h_tilde)
+    d_a_z = sigmoid_backward(d_z, z)
+
+    d_rh = weights["u_h"].T @ d_a_h
+    d_r = d_rh * h
+    d_h = d_h + d_rh * r
+    d_a_r = sigmoid_backward(d_r, r)
+
+    grads = {
+        "d_w_z": np.outer(d_a_z, x), "d_u_z": np.outer(d_a_z, h), "d_b_z": d_a_z,
+        "d_w_r": np.outer(d_a_r, x), "d_u_r": np.outer(d_a_r, h), "d_b_r": d_a_r,
+        "d_w_h": np.outer(d_a_h, x), "d_u_h": np.outer(d_a_h, r * h), "d_b_h": d_a_h,
+    }
+    d_h = d_h + weights["u_z"].T @ d_a_z + weights["u_r"].T @ d_a_r
+    d_x = (
+        weights["w_z"].T @ d_a_z
+        + weights["w_r"].T @ d_a_r
+        + weights["w_h"].T @ d_a_h
+    )
+    grads["d_h"] = d_h
+    grads["d_x"] = d_x
+    return grads

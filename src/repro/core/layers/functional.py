@@ -1,0 +1,291 @@
+"""Pure NumPy implementations of the Tango layer primitives.
+
+The paper decomposes every network layer into "fundamental mathematical
+computations" so the suite needs no cuDNN or framework; this module is
+the NumPy equivalent of those decompositions.  All image tensors use CHW
+layout (channels, height, width) without a batch dimension — the paper's
+kernels run single-image inference, one thread per neuron.
+
+Every function is a plain array-in/array-out transformation so that unit
+and property-based tests can check each primitive against an independent
+reference (e.g. :func:`conv2d` against ``scipy.signal.correlate``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pad_chw(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of a CHW tensor by *pad* pixels."""
+    if pad == 0:
+        return x
+    if pad < 0:
+        raise ValueError("pad must be non-negative")
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def conv_out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution/pooling window sweep."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"window (k={kernel}, s={stride}, p={pad}) does not fit input of size {size}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold a CHW tensor into convolution columns.
+
+    Returns an array of shape ``(C*kh*kw, out_h*out_w)`` whose columns
+    are the receptive fields, the standard lowering that turns
+    convolution into a matrix product.
+    """
+    c, h, w = x.shape
+    out_h = conv_out_dim(h, kh, stride, pad)
+    out_w = conv_out_dim(w, kw, stride, pad)
+    xp = pad_chw(x, pad)
+    # Gather windows via stride tricks: shape (C, kh, kw, out_h, out_w).
+    s0, s1, s2 = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s1 * stride, s2 * stride),
+        writeable=False,
+    )
+    return windows.reshape(c * kh * kw, out_h * out_w)
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """2-D cross-correlation (CNN "convolution") over a CHW tensor.
+
+    Args:
+        x: Input of shape ``(C_in, H, W)``.
+        weight: Filters of shape ``(C_out, C_in, kh, kw)``.
+        bias: Optional per-output-channel bias of shape ``(C_out,)``.
+        stride: Spatial stride.
+        pad: Symmetric zero padding.
+
+    Returns:
+        Output of shape ``(C_out, out_h, out_w)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[0] != c_in:
+        raise ValueError(f"input has {x.shape[0]} channels, filters expect {c_in}")
+    out_h = conv_out_dim(x.shape[1], kh, stride, pad)
+    out_w = conv_out_dim(x.shape[2], kw, stride, pad)
+    cols = im2col(x, kh, kw, stride, pad)
+    out = weight.reshape(c_out, c_in * kh * kw) @ cols
+    if bias is not None:
+        out += bias[:, None]
+    return out.reshape(c_out, out_h, out_w)
+
+
+def _pool(x: np.ndarray, kernel: int, stride: int, pad: int, reduce_fn) -> np.ndarray:
+    """Shared window-reduction driver for max/avg pooling."""
+    c, h, w = x.shape
+    out_h = conv_out_dim(h, kernel, stride, pad)
+    out_w = conv_out_dim(w, kernel, stride, pad)
+    xp = pad_chw(x, pad)
+    s0, s1, s2 = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    return reduce_fn(windows, axis=(3, 4))
+
+
+def max_pool2d(x: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+    """Max pooling over a CHW tensor."""
+    return _pool(x, kernel, stride, pad, np.max)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int, pad: int = 0) -> np.ndarray:
+    """Average pooling over a CHW tensor."""
+    return _pool(x, kernel, stride, pad, np.mean)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling: CHW -> C vector (SqueezeNet's final layer)."""
+    return x.mean(axis=(1, 2))
+
+
+def fully_connected(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer: ``y = W @ flatten(x) + b``."""
+    flat = x.reshape(-1)
+    if weight.shape[1] != flat.shape[0]:
+        raise ValueError(f"weight expects {weight.shape[1]} inputs, got {flat.shape[0]}")
+    y = weight @ flat
+    if bias is not None:
+        y = y + bias
+    return y
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def lrn(x: np.ndarray, local_size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0) -> np.ndarray:
+    """Local response normalization across channels (AlexNet's Norm layer).
+
+    Implements Krizhevsky's formula: each activation is divided by
+    ``(k + alpha/n * sum of squares over n neighbouring channels)**beta``.
+    """
+    c = x.shape[0]
+    sq = x * x
+    half = local_size // 2
+    denom = np.empty_like(x)
+    # Prefix sums over channels give each window sum in O(C).
+    csum = np.concatenate([np.zeros_like(sq[:1]), np.cumsum(sq, axis=0)])
+    for i in range(c):
+        lo = max(0, i - half)
+        hi = min(c, i + half + 1)
+        denom[i] = csum[hi] - csum[lo]
+    return x / (k + (alpha / local_size) * denom) ** beta
+
+
+def batch_norm(
+    x: np.ndarray, mean: np.ndarray, var: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Inference-time batch normalization with stored statistics.
+
+    ResNet (as released for Caffe) splits normalization into a BatchNorm
+    layer (this function) followed by a separate Scale layer
+    (:func:`scale`), and the paper's Table III lists both as distinct
+    kernels; we keep the split.
+    """
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    return (x - mean.reshape(shape)) / np.sqrt(var.reshape(shape) + eps)
+
+
+def scale(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """Per-channel affine scale layer (ResNet's Scale kernels)."""
+    shape = (-1,) + (1,) * (x.ndim - 1)
+    return x * gamma.reshape(shape) + beta.reshape(shape)
+
+
+def eltwise_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise addition (ResNet's shortcut Eltwise kernels)."""
+    if a.shape != b.shape:
+        raise ValueError(f"eltwise operands differ in shape: {a.shape} vs {b.shape}")
+    return a + b
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over a vector of class scores."""
+    shifted = x - np.max(x)
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid (RNN gate activation)."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def gru_cell(
+    x: np.ndarray,
+    h: np.ndarray,
+    w_z: np.ndarray,
+    u_z: np.ndarray,
+    b_z: np.ndarray,
+    w_r: np.ndarray,
+    u_r: np.ndarray,
+    b_r: np.ndarray,
+    w_h: np.ndarray,
+    u_h: np.ndarray,
+    b_h: np.ndarray,
+) -> np.ndarray:
+    """One GRU step (Cho et al.): update gate, reset gate, candidate.
+
+    GRU merges LSTM's forget and input gates into a single update gate
+    ``z`` and adds a reset gate ``r`` — two gates, as the paper notes.
+    """
+    z = sigmoid(w_z @ x + u_z @ h + b_z)
+    r = sigmoid(w_r @ x + u_r @ h + b_r)
+    h_tilde = np.tanh(w_h @ x + u_h @ (r * h) + b_h)
+    return (1.0 - z) * h + z * h_tilde
+
+
+def lstm_cell(
+    x: np.ndarray,
+    h: np.ndarray,
+    c: np.ndarray,
+    w_i: np.ndarray,
+    u_i: np.ndarray,
+    b_i: np.ndarray,
+    w_f: np.ndarray,
+    u_f: np.ndarray,
+    b_f: np.ndarray,
+    w_o: np.ndarray,
+    u_o: np.ndarray,
+    b_o: np.ndarray,
+    w_g: np.ndarray,
+    u_g: np.ndarray,
+    b_g: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step with input, forget and output gates.
+
+    Returns ``(h_next, c_next)``.  Three gates, against GRU's two —
+    the structural difference behind the paper's observation that LSTM
+    shows more data-dependency stalls than GRU.
+    """
+    i = sigmoid(w_i @ x + u_i @ h + b_i)
+    f = sigmoid(w_f @ x + u_f @ h + b_f)
+    o = sigmoid(w_o @ x + u_o @ h + b_o)
+    g = np.tanh(w_g @ x + u_g @ h + b_g)
+    c_next = f * c + i * g
+    h_next = o * np.tanh(c_next)
+    return h_next, c_next
+
+
+def depthwise_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Depthwise 2-D convolution: one filter per input channel.
+
+    The core primitive of MobileNet's depthwise-separable blocks (the
+    paper names MobileNet as the suite's next addition).
+
+    Args:
+        x: Input of shape ``(C, H, W)``.
+        weight: Per-channel filters of shape ``(C, kh, kw)``.
+        bias: Optional per-channel bias of shape ``(C,)``.
+        stride: Spatial stride.
+        pad: Symmetric zero padding.
+
+    Returns:
+        Output of shape ``(C, out_h, out_w)``.
+    """
+    c, h, w = x.shape
+    if weight.shape[0] != c:
+        raise ValueError(f"input has {c} channels, filters expect {weight.shape[0]}")
+    _, kh, kw = weight.shape
+    out_h = conv_out_dim(h, kh, stride, pad)
+    out_w = conv_out_dim(w, kw, stride, pad)
+    xp = pad_chw(x, pad)
+    s0, s1, s2 = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp,
+        shape=(c, out_h, out_w, kh, kw),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    out = np.einsum("cyxij,cij->cyx", windows, weight)
+    if bias is not None:
+        out += bias[:, None, None]
+    return out

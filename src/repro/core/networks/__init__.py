@@ -1,0 +1,40 @@
+"""The seven Tango reference networks.
+
+Five CNNs — CifarNet, AlexNet, SqueezeNet v1.0, ResNet-50, VGGNet-16 —
+and two RNNs — GRU and LSTM — built as :class:`~repro.core.graph.NetworkGraph`
+objects with the exact layer sequences the paper's Table III kernels
+implement.
+"""
+
+from repro.core.networks.alexnet import build_alexnet
+from repro.core.networks.cifarnet import build_cifarnet
+from repro.core.networks.gru import build_gru
+from repro.core.networks.lstm import build_lstm
+from repro.core.networks.mobilenet import build_mobilenet
+from repro.core.networks.resnet import build_resnet50
+from repro.core.networks.squeezenet import build_squeezenet
+from repro.core.networks.vggnet import build_vggnet16
+
+BUILDERS = {
+    "cifarnet": build_cifarnet,
+    "alexnet": build_alexnet,
+    "squeezenet": build_squeezenet,
+    "resnet": build_resnet50,
+    "vggnet": build_vggnet16,
+    "gru": build_gru,
+    "lstm": build_lstm,
+    # Extension network (paper Section III: "currently developing").
+    "mobilenet": build_mobilenet,
+}
+
+__all__ = [
+    "BUILDERS",
+    "build_mobilenet",
+    "build_alexnet",
+    "build_cifarnet",
+    "build_gru",
+    "build_lstm",
+    "build_resnet50",
+    "build_squeezenet",
+    "build_vggnet16",
+]

@@ -1,0 +1,38 @@
+"""AlexNet: five convolution layers and three fully-connected layers.
+
+The first successful ILSVRC CNN (Krizhevsky et al., 2012).  The paper's
+implementation takes three-channel 227x227 inputs and produces 1000
+ImageNet class scores (Section III-A.2).  The kernel sequence of
+Table III — Conv1 split over four kernels, two Norm (LRN) layers, three
+pools, grouped Conv2/4/5 kernels, and three FC layers — corresponds to
+the layer graph built here; the kernel-level splitting is applied by
+:mod:`repro.kernels.mapping`.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, LRN, Conv2D, Pool2D, Softmax
+
+NUM_CLASSES = 1000
+
+
+def build_alexnet() -> NetworkGraph:
+    """Build the AlexNet graph (input 3x227x227, 1000-way output)."""
+    graph = NetworkGraph("alexnet", (3, 227, 227), display_name="AlexNet")
+    net = SequentialBuilder(graph)
+    net.add("conv1", Conv2D(out_channels=96, kernel=11, stride=4, relu=True))
+    net.add("norm1", LRN(local_size=5))
+    net.add("pool1", Pool2D(kind="max", kernel=3, stride=2))
+    net.add("conv2", Conv2D(out_channels=256, kernel=5, pad=2, relu=True))
+    net.add("norm2", LRN(local_size=5))
+    net.add("pool2", Pool2D(kind="max", kernel=3, stride=2))
+    net.add("conv3", Conv2D(out_channels=384, kernel=3, pad=1, relu=True))
+    net.add("conv4", Conv2D(out_channels=384, kernel=3, pad=1, relu=True))
+    net.add("conv5", Conv2D(out_channels=256, kernel=3, pad=1, relu=True))
+    net.add("pool5", Pool2D(kind="max", kernel=3, stride=2))
+    net.add("fc6", FC(out_features=4096, relu=True))
+    net.add("fc7", FC(out_features=4096, relu=True))
+    net.add("fc8", FC(out_features=NUM_CLASSES))
+    net.add("softmax", Softmax())
+    return graph

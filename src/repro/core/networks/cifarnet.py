@@ -1,0 +1,32 @@
+"""CifarNet: three convolution layers plus two fully-connected layers.
+
+The paper's CifarNet model is trained for traffic-signal detection over
+CIFAR-sized inputs: three-channel 32x32 images in, nine output classes
+fed to a softmax (Section III-A.1, Table I).  The layer sequence follows
+the Caffe ``cifar10_quick`` reference the paper's repository mirrors:
+conv/pool x3, then two inner-product layers, then softmax.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, Conv2D, Pool2D, Softmax
+
+#: The paper's model recognizes nine traffic signals.
+NUM_CLASSES = 9
+
+
+def build_cifarnet() -> NetworkGraph:
+    """Build the CifarNet graph (input 3x32x32, 9-way softmax output)."""
+    graph = NetworkGraph("cifarnet", (3, 32, 32), display_name="CifarNet")
+    net = SequentialBuilder(graph)
+    net.add("conv1", Conv2D(out_channels=32, kernel=5, pad=2, relu=True))
+    net.add("pool1", Pool2D(kind="max", kernel=3, stride=2, pad=1))
+    net.add("conv2", Conv2D(out_channels=32, kernel=5, pad=2, relu=True))
+    net.add("pool2", Pool2D(kind="avg", kernel=3, stride=2, pad=1))
+    net.add("conv3", Conv2D(out_channels=64, kernel=5, pad=2, relu=True))
+    net.add("pool3", Pool2D(kind="avg", kernel=3, stride=2, pad=1))
+    net.add("fc1", FC(out_features=64, relu=True))
+    net.add("fc2", FC(out_features=NUM_CLASSES))
+    net.add("softmax", Softmax())
+    return graph

@@ -1,0 +1,28 @@
+"""GRU: a gated recurrent unit forecasting the next bitcoin price.
+
+The paper's GRU benchmark is a single recurrent layer with reset and
+update gates (two gates — LSTM's forget and input gates merged into one
+update gate) that receives the scaled bitcoin prices of the past two
+days and projects the next price (Sections III-B.2 and Table I).  The
+kernel runs one thread per hidden neuron with a (10, 10, 1) thread block
+— hence a hidden size of 100 (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, GRUCell
+
+#: Hidden state width implied by Table III's (10, 10, 1) block.
+HIDDEN_SIZE = 100
+#: The model consumes the past two days of prices.
+SEQ_LEN = 2
+
+
+def build_gru() -> NetworkGraph:
+    """Build the GRU graph (input: 2 scaled prices, output: next price)."""
+    graph = NetworkGraph("gru", (SEQ_LEN, 1), display_name="GRU")
+    net = SequentialBuilder(graph)
+    net.add("gru_layer", GRUCell(hidden_size=HIDDEN_SIZE, input_size=1))
+    net.add("projection", FC(out_features=1))
+    return graph

@@ -1,0 +1,27 @@
+"""LSTM: a long short-term memory network forecasting bitcoin prices.
+
+The paper's LSTM benchmark mirrors the GRU one but uses the full LSTM
+cell with input, output and forget gates (Sections III-B.1 and Table I):
+past two days' scaled prices in, projected next price out.  The kernel
+runs one thread per hidden neuron with a (100, 1, 1) thread block —
+hidden size 100 (Table III).
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, LSTMCell
+
+#: Hidden state width implied by Table III's (100, 1, 1) block.
+HIDDEN_SIZE = 100
+#: The model consumes the past two days of prices.
+SEQ_LEN = 2
+
+
+def build_lstm() -> NetworkGraph:
+    """Build the LSTM graph (input: 2 scaled prices, output: next price)."""
+    graph = NetworkGraph("lstm", (SEQ_LEN, 1), display_name="LSTM")
+    net = SequentialBuilder(graph)
+    net.add("lstm_layer", LSTMCell(hidden_size=HIDDEN_SIZE, input_size=1))
+    net.add("projection", FC(out_features=1))
+    return graph

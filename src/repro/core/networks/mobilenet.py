@@ -1,0 +1,44 @@
+"""MobileNet v1: depthwise-separable convolutions for mobile inference.
+
+The paper closes Section III with "We are currently developing more
+networks such as MobileNet.  Thus, the coverage will keep increasing" —
+this module is that extension.  Standard MobileNet v1 (width 1.0):
+a 3x3/2 stem, thirteen depthwise-separable blocks (3x3 depthwise +
+1x1 pointwise), global average pooling and a 1000-way classifier.
+Batch-norms are folded into the convolutions' bias/scale, as any
+inference deployment does.
+
+MobileNet is an *extension* network: it is fully runnable and
+characterizable but excluded from the paper-figure harness, whose
+network set matches the paper's seven.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, Conv2D, DepthwiseConv2D, Pool2D, Softmax
+
+NUM_CLASSES = 1000
+
+#: (pointwise output channels, depthwise stride) per separable block.
+BLOCK_PLAN: tuple[tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2), (128, 1),
+    (256, 2), (256, 1),
+    (512, 2), (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+    (1024, 2), (1024, 1),
+)
+
+
+def build_mobilenet() -> NetworkGraph:
+    """Build the MobileNet v1 graph (input 3x224x224, 1000 classes)."""
+    graph = NetworkGraph("mobilenet", (3, 224, 224), display_name="MobileNet")
+    net = SequentialBuilder(graph)
+    net.add("conv1", Conv2D(out_channels=32, kernel=3, stride=2, pad=1, relu=True))
+    for index, (channels, stride) in enumerate(BLOCK_PLAN, start=2):
+        net.add(f"conv{index}_dw", DepthwiseConv2D(kernel=3, stride=stride, pad=1))
+        net.add(f"conv{index}_pw", Conv2D(out_channels=channels, kernel=1, relu=True))
+    net.add("pool", Pool2D(global_pool=True))
+    net.add("fc", FC(out_features=NUM_CLASSES))
+    net.add("softmax", Softmax())
+    return graph

@@ -1,0 +1,78 @@
+"""ResNet-50: deep residual network with bottleneck shortcut blocks.
+
+He et al.'s 50-layer residual network.  The paper implements the Caffe
+release, where every convolution is followed by separate BatchNorm and
+Scale kernels and the shortcut join is an Eltwise kernel followed by a
+ReLU kernel — Table III lists exactly this Conv/BatchNorm/Scale/ReLU/
+Eltwise sequence for the first 24 layers.  Inputs are three-channel
+224x224 images; output is a 1000-way classification (Section III-A.3).
+
+Structure: conv1 (7x7/2, 64) + max pool, then four stages of bottleneck
+blocks (3, 4, 6, 3 blocks with widths 64/128/256/512), global average
+pool and a single fully-connected layer.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph
+from repro.core.layers import FC, BatchNorm, Conv2D, Eltwise, Pool2D, ReLU, Scale, Softmax
+
+NUM_CLASSES = 1000
+
+#: (blocks, bottleneck width) per stage; output channels are 4x width.
+STAGE_PLAN: tuple[tuple[int, int], ...] = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _conv_bn_scale(
+    graph: NetworkGraph,
+    name: str,
+    src: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    pad: int = 0,
+    relu: bool = True,
+) -> str:
+    """Append the Caffe-style Conv -> BatchNorm -> Scale (-> ReLU) chain."""
+    head = graph.add(
+        f"{name}", Conv2D(out_channels=out_channels, kernel=kernel, stride=stride, pad=pad, bias=False), src
+    )
+    head = graph.add(f"bn_{name}", BatchNorm(), head)
+    head = graph.add(f"scale_{name}", Scale(), head)
+    if relu:
+        head = graph.add(f"relu_{name}", ReLU(), head)
+    return head
+
+
+def _bottleneck(graph: NetworkGraph, name: str, src: str, width: int, stride: int, project: bool) -> str:
+    """Append one bottleneck block: 1x1 / 3x3 / 1x1 plus the shortcut."""
+    out_channels = width * 4
+    main = _conv_bn_scale(graph, f"{name}_branch2a", src, width, kernel=1, stride=stride)
+    main = _conv_bn_scale(graph, f"{name}_branch2b", main, width, kernel=3, pad=1)
+    main = _conv_bn_scale(graph, f"{name}_branch2c", main, out_channels, kernel=1, relu=False)
+    if project:
+        shortcut = _conv_bn_scale(
+            graph, f"{name}_branch1", src, out_channels, kernel=1, stride=stride, relu=False
+        )
+    else:
+        shortcut = src
+    head = graph.add(f"{name}_eltwise", Eltwise(), (shortcut, main))
+    return graph.add(f"relu_{name}", ReLU(), head)
+
+
+def build_resnet50() -> NetworkGraph:
+    """Build the ResNet-50 graph (input 3x224x224, 1000 classes)."""
+    graph = NetworkGraph("resnet", (3, 224, 224), display_name="ResNet")
+    head = _conv_bn_scale(graph, "conv1", "input", 64, kernel=7, stride=2, pad=3)
+    head = graph.add("pool1", Pool2D(kind="max", kernel=3, stride=2, pad=1), head)
+    for stage_index, (blocks, width) in enumerate(STAGE_PLAN, start=2):
+        for block_index in range(blocks):
+            name = f"res{stage_index}{chr(ord('a') + block_index)}"
+            stride = 2 if (block_index == 0 and stage_index > 2) else 1
+            head = _bottleneck(
+                graph, name, head, width, stride=stride, project=(block_index == 0)
+            )
+    head = graph.add("pool5", Pool2D(global_pool=True), head)
+    head = graph.add("fc1000", FC(out_features=NUM_CLASSES), head)
+    graph.add("softmax", Softmax(), head)
+    return graph

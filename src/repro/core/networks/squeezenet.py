@@ -1,0 +1,72 @@
+"""SqueezeNet v1.0: fire modules for AlexNet-level accuracy at 1/50 size.
+
+Each fire module is a 1x1 *squeeze* convolution followed by an *expand*
+stage mixing 1x1 and 3x3 convolutions whose outputs are concatenated
+(Iandola et al., 2016).  The paper's suite implements v1.0: conv1 (7x7/2)
++ max pool, fire2-4, max pool, fire5-8, max pool, fire9, conv10 (1x1,
+1000 channels) and a global average pool (Section III-A.4, Table III).
+Inputs are three-channel 227x227 images.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import Concat, Conv2D, Pool2D, Softmax
+
+NUM_CLASSES = 1000
+
+#: Fire module channel plans: name -> (squeeze, expand1x1, expand3x3).
+FIRE_PLAN: dict[str, tuple[int, int, int]] = {
+    "fire2": (16, 64, 64),
+    "fire3": (16, 64, 64),
+    "fire4": (32, 128, 128),
+    "fire5": (32, 128, 128),
+    "fire6": (48, 192, 192),
+    "fire7": (48, 192, 192),
+    "fire8": (64, 256, 256),
+    "fire9": (64, 256, 256),
+}
+
+
+def _fire(net: SequentialBuilder, name: str) -> None:
+    """Append one fire module: squeeze 1x1, expand 1x1 || expand 3x3."""
+    squeeze, expand1, expand3 = FIRE_PLAN[name]
+    s = net.add(
+        f"{name}/squeeze1x1",
+        Conv2D(out_channels=squeeze, kernel=1, relu=True, fire_role="squeeze"),
+    )
+    e1 = net.graph.add(
+        f"{name}/expand1x1",
+        Conv2D(out_channels=expand1, kernel=1, relu=True, fire_role="expand"),
+        s,
+    )
+    e3 = net.graph.add(
+        f"{name}/expand3x3",
+        Conv2D(out_channels=expand3, kernel=3, pad=1, relu=True, fire_role="expand"),
+        s,
+    )
+    net.head = net.graph.add(f"{name}/concat", Concat(), (e1, e3))
+
+
+def build_squeezenet() -> NetworkGraph:
+    """Build the SqueezeNet v1.0 graph (input 3x227x227, 1000 classes)."""
+    graph = NetworkGraph("squeezenet", (3, 227, 227), display_name="SqueezeNet")
+    net = SequentialBuilder(graph)
+    net.add("conv1", Conv2D(out_channels=96, kernel=7, stride=2, relu=True))
+    net.add("pool1", Pool2D(kind="max", kernel=3, stride=2))
+    _fire(net, "fire2")
+    _fire(net, "fire3")
+    _fire(net, "fire4")
+    net.add("pool4", Pool2D(kind="max", kernel=3, stride=2))
+    _fire(net, "fire5")
+    _fire(net, "fire6")
+    _fire(net, "fire7")
+    _fire(net, "fire8")
+    net.add("pool8", Pool2D(kind="max", kernel=3, stride=2))
+    _fire(net, "fire9")
+    # The reference v1.0 prototxt gives conv10 a 1-pixel pad, producing a
+    # 15x15 map — which is why Table III shows conv10 with grid (15,1,1).
+    net.add("conv10", Conv2D(out_channels=NUM_CLASSES, kernel=1, pad=1, relu=True))
+    net.add("pool10", Pool2D(global_pool=True))
+    net.add("softmax", Softmax())
+    return graph

@@ -1,0 +1,42 @@
+"""VGGNet-16: thirteen 3x3 convolution layers and three FC layers.
+
+Simonyan & Zisserman's 16-layer configuration D: five conv blocks of
+3x3/pad-1 filters separated by 2x2/stride-2 max pools, then FC-4096,
+FC-4096 and FC-1000 with a final softmax — "13 convolution layers, three
+fully-connected layers, five pooling layers, and one soft-max layer"
+(Section III-A.5).  Inputs are three-channel 224x224 images.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import NetworkGraph, SequentialBuilder
+from repro.core.layers import FC, Conv2D, Pool2D, Softmax
+
+NUM_CLASSES = 1000
+
+#: Convolution channel plan per block (block index -> conv widths).
+BLOCK_PLAN: tuple[tuple[int, ...], ...] = (
+    (64, 64),
+    (128, 128),
+    (256, 256, 256),
+    (512, 512, 512),
+    (512, 512, 512),
+)
+
+
+def build_vggnet16() -> NetworkGraph:
+    """Build the VGGNet-16 graph (input 3x224x224, 1000 classes)."""
+    graph = NetworkGraph("vggnet", (3, 224, 224), display_name="VGGNet")
+    net = SequentialBuilder(graph)
+    for block_index, widths in enumerate(BLOCK_PLAN, start=1):
+        for conv_index, width in enumerate(widths, start=1):
+            net.add(
+                f"conv{block_index}_{conv_index}",
+                Conv2D(out_channels=width, kernel=3, pad=1, relu=True),
+            )
+        net.add(f"pool{block_index}", Pool2D(kind="max", kernel=2, stride=2))
+    net.add("fc6", FC(out_features=4096, relu=True))
+    net.add("fc7", FC(out_features=4096, relu=True))
+    net.add("fc8", FC(out_features=NUM_CLASSES))
+    net.add("softmax", Softmax())
+    return graph

@@ -1,0 +1,174 @@
+"""Post-training int8 quantization (the paper's planned extension).
+
+Section IV-D of the paper: "To improve performance and power
+efficiency, quantized networks have been recently introduced ...  We
+plan to apply quantization for the proposed benchmark suite but the
+current version uses 32-bit floating-point data".  This module supplies
+that extension: symmetric per-tensor int8 quantization of the weight
+store, integer-accumulated conv/FC kernels with float dequantization,
+and a drop-in quantized inference runner.
+
+The arithmetic follows the standard post-training scheme: a tensor
+``x`` is stored as ``q = round(x / scale)`` clipped to [-127, 127], a
+conv/FC computes in int32 (``sum(q_w * q_x)``) and rescales by
+``scale_w * scale_x``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import INPUT, NetworkGraph
+from repro.core.layers.defs import FC, Conv2D, DepthwiseConv2D
+from repro.core.layers import functional as F
+
+#: Symmetric int8 uses the full [-127, 127] range (no -128: keeps the
+#: scheme symmetric and overflow-safe under negation).
+QMAX = 127
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An int8 tensor plus its dequantization scale."""
+
+    values: np.ndarray  # int8
+    scale: float
+
+    def dequantize(self) -> np.ndarray:
+        """Back to float32."""
+        return self.values.astype(np.float32) * self.scale
+
+    @property
+    def nbytes(self) -> int:
+        """Storage cost: one byte per element."""
+        return self.values.size
+
+
+def quantize(x: np.ndarray) -> QuantizedTensor:
+    """Symmetric per-tensor int8 quantization."""
+    peak = float(np.abs(x).max())
+    scale = peak / QMAX if peak > 0 else 1.0
+    q = np.clip(np.round(x / scale), -QMAX, QMAX).astype(np.int8)
+    return QuantizedTensor(q, scale)
+
+
+def quantization_error(x: np.ndarray) -> float:
+    """Relative RMS error introduced by quantizing *x*."""
+    q = quantize(x)
+    err = q.dequantize() - x
+    denom = float(np.sqrt((x * x).mean())) or 1.0
+    return float(np.sqrt((err * err).mean())) / denom
+
+
+def qconv2d(
+    x: np.ndarray,
+    q_weight: QuantizedTensor,
+    bias: np.ndarray | None,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Convolution with int8 weights and int8-quantized activations.
+
+    Activations are quantized on entry (per-tensor), the multiply-
+    accumulate runs in int32 via the same im2col lowering as the float
+    path, and the result is rescaled to float.
+    """
+    q_x = quantize(x)
+    c_out, c_in, kh, kw = q_weight.values.shape
+    cols = F.im2col(q_x.values.astype(np.int32), kh, kw, stride, pad)
+    acc = q_weight.values.reshape(c_out, -1).astype(np.int32) @ cols
+    out_h = F.conv_out_dim(x.shape[1], kh, stride, pad)
+    out_w = F.conv_out_dim(x.shape[2], kw, stride, pad)
+    out = acc.reshape(c_out, out_h, out_w).astype(np.float32)
+    out *= q_weight.scale * q_x.scale
+    if bias is not None:
+        out += bias[:, None, None]
+    return out
+
+
+def qfc(
+    x: np.ndarray, q_weight: QuantizedTensor, bias: np.ndarray | None
+) -> np.ndarray:
+    """Fully-connected layer with int8 weights/activations."""
+    q_x = quantize(x.reshape(-1))
+    acc = q_weight.values.astype(np.int32) @ q_x.values.astype(np.int32)
+    out = acc.astype(np.float32) * (q_weight.scale * q_x.scale)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+#: Layer types whose weights get quantized (the MAC-heavy ones).
+_QUANTIZABLE = (Conv2D, DepthwiseConv2D, FC)
+
+
+def quantize_weights(
+    graph: NetworkGraph, weights: dict[str, dict[str, np.ndarray]]
+) -> dict[str, QuantizedTensor]:
+    """Quantize every conv/FC weight tensor of the store.
+
+    Returns node name -> quantized weight; biases stay float (standard
+    practice — they are tiny and added after the int32 accumulate).
+    """
+    quantized: dict[str, QuantizedTensor] = {}
+    for node in graph.nodes:
+        if isinstance(node.layer, _QUANTIZABLE) and "weight" in weights.get(node.name, {}):
+            quantized[node.name] = quantize(weights[node.name]["weight"])
+    return quantized
+
+
+def quantized_model_bytes(
+    graph: NetworkGraph, weights: dict[str, dict[str, np.ndarray]]
+) -> int:
+    """Model size after int8-quantizing the conv/FC weights."""
+    total = 0
+    quantized_nodes = quantize_weights(graph, weights)
+    for node_name, tensors in weights.items():
+        for tensor_name, array in tensors.items():
+            if tensor_name == "weight" and node_name in quantized_nodes:
+                total += array.size  # 1 byte/element
+            else:
+                total += array.nbytes
+    return total
+
+
+def run_quantized(
+    graph: NetworkGraph,
+    x: np.ndarray,
+    weights: dict[str, dict[str, np.ndarray]],
+) -> np.ndarray:
+    """Run inference with int8 conv/FC layers (others stay float).
+
+    A drop-in counterpart to :meth:`NetworkGraph.run` for studying
+    quantization effects on the suite's networks.
+    """
+    quantized = quantize_weights(graph, weights)
+    values: dict[str, np.ndarray] = {INPUT: x}
+    for node in graph.nodes:
+        ins = [values[src] for src in node.inputs]
+        layer = node.layer
+        node_weights = weights.get(node.name, {})
+        if node.name in quantized and isinstance(layer, Conv2D):
+            out = qconv2d(
+                ins[0], quantized[node.name], node_weights.get("bias"),
+                stride=layer.stride, pad=layer.pad,
+            )
+            if layer.relu:
+                out = F.relu(out)
+        elif node.name in quantized and isinstance(layer, FC):
+            out = qfc(ins[0], quantized[node.name], node_weights.get("bias"))
+            if layer.relu:
+                out = F.relu(out)
+        elif node.name in quantized and isinstance(layer, DepthwiseConv2D):
+            out = F.depthwise_conv2d(
+                ins[0], quantized[node.name].dequantize(), node_weights.get("bias"),
+                stride=layer.stride, pad=layer.pad,
+            )
+            if layer.relu:
+                out = F.relu(out)
+        else:
+            out = layer.forward(ins, node_weights)
+        values[node.name] = out
+    return values[graph.output_name]

@@ -1,0 +1,80 @@
+"""Deterministic synthetic pre-trained models.
+
+The paper feeds each network a pre-trained Caffe/Keras model file
+(Table I: BVLC AlexNet, DeepScale SqueezeNet v1.0, KaimingHe ResNet-50,
+VGG's very-deep release, a traffic-signal CifarNet, and bitcoin-price
+GRU/LSTM models) partitioned into per-layer weight files.  Those
+artifacts are not redistributable here and no network access is
+available, so this module synthesizes weight tensors with the *exact
+shapes* of the reference models and realistic statistics (fan-in-scaled
+Gaussians, positive variances for BatchNorm).  All architectural results
+(memory footprint, instruction mix, cache behaviour, timing) depend on
+tensor shapes, not values — DESIGN.md records the substitution.
+
+Weights are deterministic: the RNG is seeded from the network name, the
+node name and the tensor name, so repeated runs and parallel test
+workers see identical models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.graph import NetworkGraph
+
+
+def _seed_for(*parts: str) -> int:
+    """Stable 64-bit seed derived from string parts."""
+    digest = hashlib.sha256("/".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def synthesize_tensor(shape: tuple[int, ...], kind: str, rng: np.random.Generator) -> np.ndarray:
+    """Create one weight tensor with statistics matching its role.
+
+    ``kind`` is the tensor name declared by the layer ("weight", "bias",
+    "mean", "var", "gamma", "beta", "w_z", "u_i", ...).
+    """
+    if kind == "var":
+        # Stored batch-norm variances are strictly positive.
+        return rng.uniform(0.5, 1.5, size=shape)
+    if kind in ("gamma",):
+        return rng.uniform(0.8, 1.2, size=shape)
+    if kind in ("bias", "beta", "mean") or kind.startswith("b_"):
+        return rng.normal(0.0, 0.05, size=shape)
+    # Convolution / FC / recurrent matrices: He-style fan-in scaling keeps
+    # activations in a sane range through deep stacks.
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+    std = float(np.sqrt(2.0 / max(1, fan_in)))
+    return rng.normal(0.0, std, size=shape)
+
+
+def synthesize_weights(graph: NetworkGraph) -> dict[str, dict[str, np.ndarray]]:
+    """Build the full weight store for *graph*: node -> tensor -> array."""
+    store: dict[str, dict[str, np.ndarray]] = {}
+    for node_name, tensors in graph.weight_shapes().items():
+        node_store: dict[str, np.ndarray] = {}
+        for tensor_name, shape in tensors.items():
+            rng = np.random.default_rng(_seed_for(graph.name, node_name, tensor_name))
+            node_store[tensor_name] = synthesize_tensor(shape, tensor_name, rng).astype(
+                np.float32
+            )
+        store[node_name] = node_store
+    return store
+
+
+def model_size_bytes(graph: NetworkGraph) -> int:
+    """Total f32 model size in bytes (the paper's pre-trained model size)."""
+    return graph.total_weight_bytes()
+
+
+def per_layer_weight_bytes(graph: NetworkGraph) -> dict[str, int]:
+    """Per-layer weight file sizes, mirroring Tango's partitioned files."""
+    sizes: dict[str, int] = {}
+    for node in graph.nodes:
+        size = node.layer.weight_bytes(graph.in_shapes(node))
+        if size:
+            sizes[node.name] = size
+    return sizes

@@ -1,0 +1,63 @@
+"""CUDA occupancy calculation.
+
+Determines how many blocks of a kernel can be resident on one SM given
+the machine's thread, block, register-file and shared-memory limits —
+the quantity behind wave counting, latency-hiding capacity, and the
+register-file footprint of Figure 12.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.kernels.launch import KernelLaunch, WARP_SIZE
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on one SM."""
+
+    blocks: int
+    warps: int
+    threads: int
+    limiter: str
+    allocated_register_bytes: int
+
+
+def compute_occupancy(kernel: KernelLaunch, config: GpuConfig) -> Occupancy:
+    """Blocks of *kernel* resident on one SM of *config*.
+
+    Registers are allocated with warp granularity (whole warps' worth of
+    registers are reserved even for partially-full warps), matching the
+    allocation the paper's Figure 12 measures as ``Max Allocated``.
+    """
+    threads = kernel.threads_per_block
+    warps = kernel.warps_per_block
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = config.max_blocks_per_sm
+    limits["threads"] = config.max_threads_per_sm // threads
+    regs_per_block = kernel.regs * warps * WARP_SIZE
+    if regs_per_block > 0:
+        limits["registers"] = config.registers_per_sm // regs_per_block
+    if kernel.smem_bytes > 0:
+        limits["shared_memory"] = config.shared_mem_per_sm // kernel.smem_bytes
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = max(1, min(limits.values()))
+    # Cap by the grid: blocks spread across every SM, so a kernel with a
+    # small grid (SqueezeNet's 111 row-blocks over 28 SMs) leaves each SM
+    # only a few resident blocks regardless of the resource limits.
+    grid_share = max(1, math.ceil(kernel.total_blocks / config.num_sms))
+    if grid_share < blocks:
+        limiter = "grid"
+        blocks = grid_share
+    return Occupancy(
+        blocks=blocks,
+        warps=blocks * warps,
+        threads=blocks * threads,
+        limiter=limiter,
+        allocated_register_bytes=blocks * regs_per_block * 4,
+    )

@@ -1,0 +1,249 @@
+"""Kernel- and network-level simulation drivers.
+
+:func:`simulate_kernel` runs one resident wave of a kernel on one SM
+(:mod:`repro.gpu.sm`) and rescales the outcome to the full launch:
+
+* event counters scale by ``total_blocks / simulated_blocks``;
+* wave cycles scale by the instruction-sampling factor (dynamic /
+  sampled instructions) and by the number of waves the launch needs
+  across all SMs (``ceil(blocks / (resident * num_sms))``);
+* a fixed launch overhead is added per kernel, which is what keeps the
+  tiny RNN kernels launch-bound (and scheduler-insensitive, Figure 15).
+
+:func:`simulate_network` drives a compiled network kernel-by-kernel,
+reusing results across signature-identical kernels (ResNet repeats its
+bottleneck shapes dozens of times) and returning per-kernel and
+per-layer-type aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.occupancy import Occupancy, compute_occupancy
+from repro.gpu.sm import SmWave
+from repro.isa.program import expand_program
+from repro.kernels.compile import compiled_network
+from repro.kernels.launch import KernelLaunch
+from repro.kernels.program_builder import build_guard_program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.profiling.stats import KernelStats
+
+#: Guard program shared by all kernels (fully-inactive warps).
+_GUARD_PROGRAM = build_guard_program()
+
+
+@dataclass
+class KernelResult:
+    """Scaled simulation outcome of one kernel launch."""
+
+    kernel: KernelLaunch
+    stats: KernelStats
+    occupancy: Occupancy
+    #: dynamic / simulated instruction ratio (per-warp sampling factor).
+    sample_factor: float
+    #: total_blocks / simulated_blocks (block sampling factor).
+    block_factor: float
+
+    @property
+    def cycles(self) -> float:
+        """Estimated full-launch cycles including launch overhead."""
+        return self.stats.cycles
+
+    @property
+    def category(self) -> str:
+        """Layer-type category of the kernel."""
+        return self.kernel.category
+
+
+@dataclass
+class NetworkResult:
+    """Simulation outcome of a whole network's kernel sequence."""
+
+    network: str
+    config: GpuConfig
+    options: SimOptions
+    kernels: list[KernelResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles (kernels run back-to-back, as in Tango)."""
+        return sum(k.stats.cycles for k in self.kernels)
+
+    @property
+    def total_time_ms(self) -> float:
+        """End-to-end time in milliseconds at the config's core clock."""
+        return self.total_cycles / (self.config.clock_ghz * 1e6)
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Execution cycles aggregated per layer-type category (Fig 1)."""
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.category] = out.get(k.category, 0.0) + k.stats.cycles
+        return out
+
+    def stats_by_category(self) -> dict[str, KernelStats]:
+        """Merged counters per layer-type category (Figs 4, 7, 13, 14)."""
+        out: dict[str, KernelStats] = {}
+        for k in self.kernels:
+            agg = out.setdefault(k.category, KernelStats())
+            agg.merge(k.stats)
+        return out
+
+    def aggregate(self) -> KernelStats:
+        """Whole-network merged counters."""
+        total = KernelStats()
+        for k in self.kernels:
+            total.merge(k.stats)
+        return total
+
+
+def _make_hierarchy(config: GpuConfig) -> MemoryHierarchy:
+    """Fresh per-kernel memory hierarchy for one simulated SM.
+
+    The simulated SM sees the *full* L2: the L2 is physically shared and
+    in these workloads the other SMs run sibling blocks of the same
+    kernel touching the same weights/feature maps, so cross-SM sharing
+    keeps their lines resident rather than evicting ours.  DRAM
+    bandwidth, by contrast, is genuinely divided among SMs, so the
+    channel model gets a 1/num_sms share.
+    """
+    return MemoryHierarchy(
+        l1_size=config.l1_size,
+        l2_size=config.l2_size,
+        mshr_entries=config.mshr_entries,
+        dram_latency=config.dram_latency,
+        dram_bytes_per_cycle=config.dram_bytes_per_cycle_per_sm,
+    )
+
+
+#: Address range of the canonical "input" slot (repro.kernels.memory_layout).
+_INPUT_SLOT = (1 << 30, 2 << 30)
+
+
+def _warm_shared_input(wave, hierarchy, expanded) -> None:
+    """Pre-touch shared input lines in L2 on behalf of unsimulated blocks.
+
+    When every block of a grid reads the same input tensor
+    (``KernelLaunch.shared_input``), the blocks running on the other SMs
+    — which the one-SM simulation does not execute — would have brought
+    those lines into the shared L2 already.  This replays the simulated
+    warps' input-slot loads against the L2 tag store with zero statistic
+    weight, so the measured wave sees the sharing without the counters
+    being polluted.
+    """
+    from repro.memory.coalescer import coalesce
+
+    # Padded convolutions shift their base a little below the slot start.
+    lo, hi = _INPUT_SLOT[0] - (1 << 24), _INPUT_SLOT[1]
+    for warp in wave.warps:
+        for instr in warp.instrs:
+            if not (instr.is_load and instr.addr is not None):
+                continue
+            if not (lo <= instr.addr.base < hi):
+                continue
+            addrs = instr.addr.evaluate(warp, instr.loop_env)
+            addrs = addrs[warp.active_lanes]
+            if addrs.size:
+                for tx in coalesce(addrs, instr.width_bytes):
+                    hierarchy.l2.access(int(tx), weight=0.0)
+
+
+def simulate_kernel(
+    kernel: KernelLaunch, config: GpuConfig, options: SimOptions | None = None
+) -> KernelResult:
+    """Simulate one kernel launch and scale to the full grid."""
+    options = options or SimOptions()
+    occupancy = compute_occupancy(kernel, config)
+    sim_blocks = occupancy.blocks
+    if options.max_sim_blocks is not None:
+        sim_blocks = max(1, min(sim_blocks, options.max_sim_blocks))
+
+    expanded = expand_program(kernel.program, options.max_trips, options.max_outer_trips)
+    guard_expanded = expand_program(_GUARD_PROGRAM)
+    hierarchy = _make_hierarchy(config)
+    wave = SmWave(kernel, expanded, guard_expanded, sim_blocks, config, options, hierarchy)
+    if kernel.shared_input and kernel.total_blocks > sim_blocks:
+        _warm_shared_input(wave, hierarchy, expanded)
+    stats = wave.run()
+
+    # --- scaling ------------------------------------------------------
+    dynamic = kernel.program.dynamic_count()
+    sample_factor = dynamic / max(1, len(expanded))
+    block_factor = kernel.total_blocks / sim_blocks
+    waves = math.ceil(kernel.total_blocks / (occupancy.blocks * config.num_sms))
+
+    stats.waves = waves
+    stats.cycles = (
+        stats.wave_cycles * sample_factor * waves + config.launch_overhead_cycles
+    )
+    stats.scale_events(block_factor)
+    # Stall samples count warp-cycles of the sampled wave; scale by the
+    # instruction-sampling factor (block scaling was applied above) so
+    # kernels weight correctly in per-layer aggregates.
+    for reason in stats.stalls:
+        stats.stalls[reason] *= sample_factor
+    stats.l1_accesses = hierarchy.l1.stats.accesses * block_factor
+    stats.l1_misses = hierarchy.l1.stats.misses * block_factor
+    stats.l2_accesses = hierarchy.l2.stats.accesses * block_factor
+    stats.l2_misses = hierarchy.l2.stats.misses * block_factor
+    stats.dram_bytes = hierarchy.dram.bytes_served * block_factor
+    stats.load_transactions = hierarchy.load_transactions * block_factor
+    stats.store_transactions = hierarchy.store_transactions * block_factor
+    stats.shared_accesses = hierarchy.shared_accesses * block_factor
+    stats.const_accesses = hierarchy.const_accesses * block_factor
+    stats.active_sms = min(
+        config.num_sms, math.ceil(kernel.total_blocks / occupancy.blocks)
+    )
+    stats.resident_warps = occupancy.warps
+
+    return KernelResult(
+        kernel=kernel,
+        stats=stats,
+        occupancy=occupancy,
+        sample_factor=sample_factor,
+        block_factor=block_factor,
+    )
+
+
+def simulate_network(
+    name: str, config: GpuConfig, options: SimOptions | None = None
+) -> NetworkResult:
+    """Simulate every kernel of the named suite network, in order.
+
+    Signature-identical kernels (same program shape and launch geometry,
+    canonical addresses) reuse one simulation; each occurrence still
+    contributes its own entry — and its own launch overhead — to the
+    result.
+    """
+    options = options or SimOptions()
+    result = NetworkResult(network=name, config=config, options=options)
+    cache: dict[str, KernelResult] = {}
+    for kernel in compiled_network(name):
+        signature = kernel.signature()
+        hit = cache.get(signature)
+        if hit is None:
+            hit = simulate_kernel(kernel, config, options)
+            cache[signature] = hit
+        else:
+            hit = KernelResult(
+                kernel=kernel,
+                stats=_copy_stats(hit.stats),
+                occupancy=hit.occupancy,
+                sample_factor=hit.sample_factor,
+                block_factor=hit.block_factor,
+            )
+        result.kernels.append(hit)
+    return result
+
+
+def _copy_stats(stats: KernelStats) -> KernelStats:
+    """Deep-enough copy so repeated kernels aggregate independently."""
+    clone = KernelStats()
+    clone.merge(stats)
+    clone.cycles = stats.cycles
+    clone.wave_cycles = stats.wave_cycles
+    clone.waves = stats.waves
+    return clone

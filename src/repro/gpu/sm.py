@@ -1,0 +1,301 @@
+"""The streaming-multiprocessor issue loop.
+
+Simulates one SM running one resident wave of a kernel: warps issue in
+scheduler order through scoreboard, pipeline-port and memory-system
+checks, and every non-issue warp-cycle is attributed to an nvprof stall
+reason (Figure 7).  The loop is event-driven — when no warp can issue it
+jumps to the next wake-up — and stall attribution is sampled every
+``SimOptions.stall_sample`` cycles, exactly as nvprof itself samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.scheduler import make_scheduler
+from repro.gpu.warp import KIND_ALU, KIND_CONST, KIND_MEM, Warp
+from repro.isa.instruction import MemSpace
+from repro.isa.opcodes import Op, Pipe
+from repro.kernels.launch import KernelLaunch, WARP_SIZE
+from repro.memory.coalescer import coalesce
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.profiling.stall import StallReason
+from repro.profiling.stats import KernelStats
+
+#: Instruction-buffer refill period (instructions per fetch bubble).
+_FETCH_PERIOD = 32
+_FETCH_BUBBLE = 2
+
+#: Issue interval per pipeline (cycles between issues to the same port).
+#: The SM front-end issues up to ``_ISSUE_WIDTH`` instructions per cycle
+#: (four scheduler sub-partitions), but each execution port accepts one
+#: warp instruction per interval — so same-pipe pressure (the mad-heavy
+#: inner loops of convolution and normalization) saturates a single port
+#: and shows up as pipe_busy stalls (Figure 7), while the latency of
+#: memory instructions can no longer hide behind an issue bottleneck
+#: (which is what makes the L1 sweep of Figure 2 bite).
+_PIPE_INTERVAL = {Pipe.SP: 1, Pipe.FPU: 1, Pipe.SFU: 4, Pipe.LDST: 1, Pipe.CTRL: 0}
+
+#: Instructions the SM front-end can issue per cycle.
+_ISSUE_WIDTH = 4
+
+_KIND_REASON = {
+    KIND_ALU: StallReason.EXEC_DEPENDENCY,
+    KIND_MEM: StallReason.MEMORY_DEPENDENCY,
+    KIND_CONST: StallReason.CONSTANT_MEMORY_DEPENDENCY,
+}
+
+#: Wake value for warps parked at a barrier (released explicitly).
+_FAR_FUTURE = 1 << 40
+
+#: Safety valve: a wave longer than this indicates a simulator bug.
+_MAX_CYCLES = 50_000_000
+
+
+class _BlockCtx:
+    """Barrier bookkeeping for one resident block."""
+
+    __slots__ = ("arrived", "expected", "warps")
+
+    def __init__(self) -> None:
+        self.arrived = 0
+        self.expected = 0
+        self.warps: list[Warp] = []
+
+
+class SmWave:
+    """One SM executing one resident wave of a kernel."""
+
+    def __init__(
+        self,
+        kernel: KernelLaunch,
+        expanded: list,
+        guard_expanded: list,
+        sim_blocks: int,
+        config: GpuConfig,
+        options: SimOptions,
+        hierarchy: MemoryHierarchy,
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.options = options
+        self.hier = hierarchy
+        self.stats = KernelStats()
+        self.warps: list[Warp] = []
+        self.blocks: list[_BlockCtx] = []
+
+        gx, gy, gz = kernel.grid
+        warps_per_block = kernel.warps_per_block
+        has_barrier = any(e.op is Op.BAR for e in expanded)
+        for block_index in range(sim_blocks):
+            coords = (block_index % gx, (block_index // gx) % gy, block_index // (gx * gy))
+            block = _BlockCtx()
+            self.blocks.append(block)
+            for w in range(warps_per_block):
+                lane_start = w * WARP_SIZE
+                fully_inactive = lane_start >= kernel.active_threads
+                warp = Warp(
+                    warp_id=len(self.warps),
+                    block=block,
+                    instrs=guard_expanded if fully_inactive else expanded,
+                    lane_start=lane_start,
+                    block_dims=kernel.block,
+                    block_coords=coords,
+                    grid_dims=kernel.grid,
+                    active_threads=kernel.active_threads,
+                    entry_regs=kernel.program.entry_regs,
+                )
+                block.warps.append(warp)
+                self.warps.append(warp)
+                if has_barrier and not fully_inactive:
+                    block.expected += 1
+
+    # ------------------------------------------------------------------
+    def run(self) -> KernelStats:
+        """Execute the wave to completion; returns unscaled wave stats."""
+        warps = self.warps
+        live = sum(1 for w in warps if not w.done)
+        if live == 0:
+            self.stats.wave_cycles = 0
+            return self.stats
+        scheduler = make_scheduler(self.options.scheduler, warps, self.options.tlv_group)
+        pipe_free = {pipe: 0 for pipe in _PIPE_INTERVAL}
+        queue_penalty = self.options.queue_penalty if scheduler.manages_queues else 0
+        sample = max(1, self.options.stall_sample)
+        stalls = self.stats.stalls
+        cycle = 0
+        next_sample = 0
+        bubble_until = 0
+
+        while live > 0:
+            if cycle > _MAX_CYCLES:
+                raise RuntimeError(
+                    f"{self.kernel.name}: wave exceeded {_MAX_CYCLES} cycles"
+                )
+            issued: list[Warp] = []
+            if cycle >= bubble_until:
+                for warp in scheduler.order(cycle):
+                    if warp.done or warp.wake > cycle or warp in issued:
+                        continue
+                    result = self._try_issue(warp, cycle, pipe_free)
+                    if result:
+                        issued.append(warp)
+                        scheduler.notify_issue(warp)
+                        if warp.done:
+                            live -= 1
+                        # Queue-management bubble on memory issues
+                        # (GTO/TLV only): the mechanism behind LRR's win
+                        # on cache-friendly convolutions (Observation 12).
+                        if queue_penalty and result == "mem" and bubble_until <= cycle:
+                            bubble_until = cycle + 1 + queue_penalty
+                        if len(issued) >= _ISSUE_WIDTH:
+                            break
+
+            # Sampled stall attribution, nvprof style: every `sample`
+            # cycles each non-issuing resident warp contributes one
+            # sample of its current stall reason.
+            if cycle >= next_sample:
+                for warp in warps:
+                    if warp.done or warp in issued:
+                        continue
+                    if warp.wake > cycle and warp.reason is not None:
+                        reason = warp.reason
+                    else:
+                        reason = StallReason.NOT_SELECTED
+                    stalls[reason] += sample
+                next_sample = cycle + sample
+
+            if issued:
+                cycle += 1
+                continue
+            # Nothing issued: jump to the earliest event that could
+            # change that — a warp wake-up or the end of a scheduler
+            # bubble that is blocking an already-ready warp.
+            next_wake = None
+            ready_now = False
+            for warp in warps:
+                if warp.done:
+                    continue
+                if warp.wake <= cycle:
+                    ready_now = True
+                elif next_wake is None or warp.wake < next_wake:
+                    next_wake = warp.wake
+            if ready_now and bubble_until > cycle:
+                cycle = bubble_until
+            elif next_wake is not None:
+                cycle = max(cycle + 1, next_wake)
+            else:
+                cycle += 1
+
+        self.stats.wave_cycles = cycle
+        self.stats.resident_warps = len(warps)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _try_issue(self, warp: Warp, now: int, pipe_free: dict) -> str | None:
+        """Attempt to issue *warp*'s next instruction at cycle *now*.
+
+        Returns "alu"/"mem"/"ctrl" on issue; None (with the warp's
+        ``reason``/``wake`` updated) on stall.
+        """
+        instr = warp.current()
+        stats = self.stats
+
+        # Barrier: issue the bar once, then wait until the whole block
+        # (every warp expected to participate) has arrived.
+        if warp.at_barrier:
+            warp.reason = StallReason.SYNC
+            warp.wake = _FAR_FUTURE  # woken explicitly by the release
+            return None
+        if instr.op is Op.BAR:
+            block = warp.block
+            stats.count_issue(instr.pipe, instr.weight)
+            warp.advance()
+            block.arrived += 1
+            if block.arrived >= block.expected:
+                # Last arrival releases everyone.
+                for other in block.warps:
+                    if other.at_barrier:
+                        other.at_barrier = False
+                        other.wake = now + 1
+                block.arrived = 0
+                warp.wake = now + 1
+            else:
+                warp.at_barrier = True
+                warp.reason = StallReason.SYNC
+                warp.wake = _FAR_FUTURE
+            return "ctrl"
+
+        # Instruction fetch bubble at i-buffer refill boundaries.
+        if warp.pc != warp.fetch_pc and warp.pc % _FETCH_PERIOD == 0 and warp.pc:
+            warp.fetch_pc = warp.pc
+            warp.reason = StallReason.INST_FETCH
+            warp.wake = now + _FETCH_BUBBLE
+            return None
+
+        # Scoreboard: all sources ready?
+        blocked = warp.src_block(now, instr.srcs)
+        if blocked is not None:
+            ready_cycle, kind = blocked
+            warp.reason = _KIND_REASON[kind]
+            warp.wake = ready_cycle
+            return None
+
+        # Pipeline port availability.
+        pipe = instr.pipe
+        interval = _PIPE_INTERVAL[pipe]
+        if interval and pipe_free[pipe] > now:
+            warp.reason = StallReason.PIPE_BUSY
+            warp.wake = pipe_free[pipe]
+            return None
+
+        weight = instr.weight
+        issued_kind = "alu"
+        if instr.is_mem:
+            issued_kind = "mem"
+            space = instr.space
+            if space in (MemSpace.GLOBAL, MemSpace.LOCAL) and instr.addr is not None:
+                addrs = instr.addr.evaluate(warp, instr.loop_env)
+                addrs = addrs[warp.active_lanes]
+                if addrs.size:
+                    txs = coalesce(addrs, instr.width_bytes)
+                    if instr.is_load:
+                        result = self.hier.load(now, txs, weight)
+                        if result.ready_cycle is None:
+                            warp.reason = StallReason.MEMORY_THROTTLE
+                            release = self.hier.mshr.next_release()
+                            warp.wake = max(
+                                now + 1, release if release is not None else now + 8
+                            )
+                            return None
+                        warp.set_reg(instr.dst, result.ready_cycle, KIND_MEM)
+                    else:
+                        self.hier.store(now, txs, weight)
+            elif space is MemSpace.SHARED:
+                ready = self.hier.shared(now, weight)
+                if instr.is_load:
+                    warp.set_reg(instr.dst, ready, KIND_MEM)
+            elif space in (MemSpace.CONST, MemSpace.PARAM):
+                ready, _missed = self.hier.const(now, weight)
+                if instr.is_load:
+                    warp.set_reg(instr.dst, ready, KIND_CONST)
+            elif instr.is_load and instr.dst is not None:
+                warp.set_reg(instr.dst, now + self.hier.lat_l1, KIND_MEM)
+        elif instr.dst is not None:
+            warp.set_reg(instr.dst, now + instr.latency, KIND_ALU)
+            issued_kind = "alu"
+        else:
+            issued_kind = "ctrl"
+
+        if interval:
+            pipe_free[pipe] = now + interval
+        stats.count_issue(pipe, weight)
+        stats.rf_reads += len(instr.srcs) * weight
+        if instr.dst is not None:
+            stats.rf_writes += weight
+        warp.issued_count += weight
+        warp.advance()
+        warp.reason = None
+        warp.wake = now + 1
+        return issued_kind

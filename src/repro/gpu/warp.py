@@ -1,0 +1,129 @@
+"""Resident warp state.
+
+A :class:`Warp` is one SIMT execution context: 32 lanes of one block,
+an in-order program counter over the expanded instruction list, a
+scoreboard of register readiness, and the lane/block symbol values the
+address expressions evaluate against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.launch import WARP_SIZE
+
+#: Register-producer kinds, used for stall attribution.
+KIND_ALU = 0
+KIND_MEM = 1
+KIND_CONST = 2
+
+
+class Warp:
+    """One resident warp executing an expanded thread program."""
+
+    __slots__ = (
+        "warp_id",
+        "block",
+        "instrs",
+        "pc",
+        "reg_ready",
+        "reg_kind",
+        "wake",
+        "reason",
+        "done",
+        "at_barrier",
+        "lane_syms",
+        "block_syms",
+        "active_lanes",
+        "width",
+        "issued_count",
+        "fetch_pc",
+    )
+
+    def __init__(
+        self,
+        warp_id: int,
+        block,
+        instrs: list,
+        lane_start: int,
+        block_dims: tuple[int, int, int],
+        block_coords: tuple[int, int, int],
+        grid_dims: tuple[int, int, int],
+        active_threads: int,
+        entry_regs,
+    ) -> None:
+        self.warp_id = warp_id
+        self.block = block
+        self.instrs = instrs
+        self.pc = 0
+        self.reg_ready: dict[int, int] = {r.index: 0 for r in entry_regs}
+        self.reg_kind: dict[int, int] = {r.index: KIND_ALU for r in entry_regs}
+        self.wake = 0
+        self.reason = None
+        self.done = not instrs
+        self.at_barrier = False
+        self.issued_count = 0.0
+        self.width = WARP_SIZE
+        self.fetch_pc = -1
+
+        bx_dim, by_dim, _ = block_dims
+        lanes = np.arange(lane_start, lane_start + WARP_SIZE, dtype=np.int64)
+        threads_per_block = block_dims[0] * block_dims[1] * block_dims[2]
+        in_block = lanes < threads_per_block
+        active = lanes < min(active_threads, threads_per_block)
+        self.active_lanes = active
+        # Clip out-of-block lanes to the last valid thread so address
+        # evaluation stays in range; they are masked from memory anyway.
+        clipped = np.minimum(lanes, threads_per_block - 1)
+        tx = clipped % bx_dim
+        ty = (clipped // bx_dim) % by_dim
+        tz = clipped // (bx_dim * by_dim)
+        self.lane_syms = {"tx": tx, "ty": ty, "tz": tz, "lin_tid": clipped}
+        gx, gy, _ = grid_dims
+        cx, cy, cz = block_coords
+        self.block_syms = {
+            "bx": cx,
+            "by": cy,
+            "bz": cz,
+            "lin_bid": (cz * gy + cy) * gx + cx,
+            "one": 1,
+        }
+
+    @property
+    def active_count(self) -> int:
+        """Number of lanes doing real work."""
+        return int(self.active_lanes.sum())
+
+    def current(self):
+        """The instruction at the program counter (None when done)."""
+        if self.pc >= len(self.instrs):
+            return None
+        return self.instrs[self.pc]
+
+    def set_reg(self, reg, ready_cycle: int, kind: int) -> None:
+        """Scoreboard update for a produced register."""
+        self.reg_ready[reg.index] = ready_cycle
+        self.reg_kind[reg.index] = kind
+
+    def src_block(self, now: int, srcs) -> tuple[int, int] | None:
+        """Latest unready source: (ready_cycle, producer kind) or None."""
+        worst_cycle = now
+        worst_kind = KIND_ALU
+        blocked = False
+        ready = self.reg_ready
+        kinds = self.reg_kind
+        for reg in srcs:
+            cycle = ready.get(reg.index, 0)
+            if cycle > worst_cycle:
+                worst_cycle = cycle
+                worst_kind = kinds.get(reg.index, KIND_ALU)
+                blocked = True
+        if not blocked:
+            return None
+        return worst_cycle, worst_kind
+
+    def advance(self) -> None:
+        """Move past the current instruction; mark done at the end."""
+        self.pc += 1
+        if self.pc >= len(self.instrs):
+            self.done = True

@@ -1,0 +1,19 @@
+"""The experiment harness: one module per paper table and figure.
+
+Every ``figNN_*`` / ``tableN`` module exposes:
+
+* ``run(runner) -> ExperimentResult`` — compute the experiment's data
+  (series labelled as in the paper) and evaluate the paper's qualitative
+  claims as named checks;
+* the shared :class:`~repro.harness.report.ExperimentResult` carries a
+  text rendering used by the CLI and EXPERIMENTS.md.
+
+:mod:`repro.harness.runner` provides the disk-cached simulation runner
+all experiments share, so a full harness sweep simulates each
+(network, platform, L1, scheduler) combination exactly once.
+"""
+
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+
+__all__ = ["Check", "ExperimentResult", "Runner"]

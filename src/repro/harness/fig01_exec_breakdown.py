@@ -1,0 +1,76 @@
+"""Figure 1: execution-time breakdown with respect to layer type.
+
+Paper: stacked-percentage bars for CifarNet, AlexNet, SqueezeNet and
+ResNet on the GPGPU-Sim platform.  Claims checked: convolution is the
+most time-consuming layer type of every CNN (Observation 1); CifarNet
+and ResNet spend over 90% of their time in convolution; SqueezeNet's
+fire-expand layers outweigh its plain convolutions while its single
+longest kernel is still conv10.
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import CNNS, default_options, display, sim_platform
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+
+
+def run(runner: Runner) -> ExperimentResult:
+    """Regenerate Figure 1."""
+    series: dict[str, dict[str, float]] = {}
+    checks: list[Check] = []
+    conv10_note = ""
+    for name in CNNS:
+        result = runner.run(name, sim_platform(), default_options())
+        by_cat = result.cycles_by_category()
+        total = sum(by_cat.values())
+        fractions = {cat: cycles / total for cat, cycles in by_cat.items()}
+        series[display(name)] = {cat: round(frac, 4) for cat, frac in fractions.items()}
+
+        conv_like = fractions.get("Conv", 0.0)
+        if name == "squeezenet":
+            conv_like += fractions.get("Fire_Squeeze", 0.0) + fractions.get("Fire_Expand", 0.0)
+        checks.append(
+            Check(
+                f"{display(name)}: convolution-class layers dominate execution time",
+                conv_like == max(
+                    conv_like,
+                    *(frac for cat, frac in fractions.items()
+                      if cat not in ("Conv", "Fire_Squeeze", "Fire_Expand")),
+                )
+                and conv_like > 0.5,
+                f"conv-class share = {conv_like:.0%}",
+            )
+        )
+        if name in ("cifarnet", "resnet"):
+            checks.append(
+                Check(
+                    f"{display(name)}: over 90% of time in convolution layers",
+                    fractions.get("Conv", 0.0) > 0.90,
+                    f"conv share = {fractions.get('Conv', 0.0):.1%}",
+                )
+            )
+        if name == "squeezenet":
+            checks.append(
+                Check(
+                    "SqueezeNet: fire-expand layers take more time than plain conv",
+                    fractions.get("Fire_Expand", 0.0) > fractions.get("Conv", 0.0),
+                    f"expand={fractions.get('Fire_Expand', 0.0):.0%} "
+                    f"conv={fractions.get('Conv', 0.0):.0%}",
+                )
+            )
+            longest = max(result.kernels, key=lambda k: k.stats.cycles)
+            conv10_note = f"longest SqueezeNet kernel: {longest.kernel.name}"
+            checks.append(
+                Check(
+                    "SqueezeNet: the single longest kernel is conv10",
+                    longest.kernel.node_name == "conv10",
+                    conv10_note,
+                )
+            )
+    return ExperimentResult(
+        exp_id="fig01",
+        title="Execution Time Breakdown w.r.t. Layer Type",
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,54 @@
+"""Figure 3: peak power consumption across layers, per network.
+
+Paper: the maximum power ever measured while running each network
+(GPUWattch over GPGPU-Sim).  Claims checked: peak power correlates with
+layer size — networks with larger layers (AlexNet, ResNet) peak higher
+(Observation 3), with AlexNet's peak around 5x CifarNet's.
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import ALL_NETWORKS, default_options, display, sim_platform
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+from repro.power.gpuwattch import GpuWattchModel
+
+
+def run(runner: Runner) -> ExperimentResult:
+    """Regenerate Figure 3."""
+    platform = sim_platform()
+    model = GpuWattchModel(platform)
+    peaks: dict[str, float] = {}
+    for name in ALL_NETWORKS:
+        result = runner.run(name, platform, default_options())
+        peaks[display(name)] = round(model.peak_power(result), 1)
+
+    checks = [
+        Check(
+            "networks with larger layers peak higher (AlexNet > CifarNet)",
+            peaks["AlexNet"] > peaks["CifarNet"],
+            f"AlexNet={peaks['AlexNet']}W CifarNet={peaks['CifarNet']}W",
+        ),
+        Check(
+            "AlexNet peak is roughly 5x CifarNet peak",
+            3.0 <= peaks["AlexNet"] / peaks["CifarNet"] <= 8.0,
+            f"ratio = {peaks['AlexNet'] / peaks['CifarNet']:.2f}",
+        ),
+        Check(
+            "ResNet is among the highest-peak networks",
+            peaks["ResNet"] >= sorted(peaks.values())[-3],
+            f"ResNet={peaks['ResNet']}W",
+        ),
+        Check(
+            "RNNs peak lower than every large CNN",
+            max(peaks["GRU"], peaks["LSTM"])
+            < min(peaks["AlexNet"], peaks["ResNet"], peaks["VGGNet"]),
+            f"GRU={peaks['GRU']}W LSTM={peaks['LSTM']}W",
+        ),
+    ]
+    return ExperimentResult(
+        exp_id="fig03",
+        title="Peak Power Consumption Across Layers (W)",
+        series={"peak_watts": peaks},
+        checks=checks,
+    )

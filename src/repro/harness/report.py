@@ -1,0 +1,60 @@
+"""Shared experiment-result containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class Check:
+    """One qualitative claim from the paper, evaluated on our data."""
+
+    claim: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        mark = "PASS" if self.passed else "FAIL"
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.claim}{detail}"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper table or figure."""
+
+    exp_id: str
+    title: str
+    #: Labelled data series; structure is experiment-specific but always
+    #: JSON-serializable (dicts/lists of floats/strings).
+    series: dict[str, Any] = field(default_factory=dict)
+    checks: list[Check] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every qualitative check holds."""
+        return all(check.passed for check in self.checks)
+
+    def format(self) -> str:
+        """Human-readable rendering for the CLI and EXPERIMENTS.md."""
+        lines = [f"=== {self.exp_id}: {self.title} ==="]
+        for label, data in self.series.items():
+            lines.append(f"  {label}: {_fmt(data)}")
+        for check in self.checks:
+            lines.append(f"  {check}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(data: Any) -> str:
+    if isinstance(data, dict):
+        inner = ", ".join(f"{key}={_fmt(value)}" for key, value in data.items())
+        return "{" + inner + "}"
+    if isinstance(data, float):
+        return f"{data:.4g}"
+    if isinstance(data, (list, tuple)):
+        return "[" + ", ".join(_fmt(item) for item in data) + "]"
+    return str(data)

@@ -1,0 +1,218 @@
+"""Disk-cached simulation runner shared by all experiments.
+
+A full harness sweep needs each (network, platform, L1 size, scheduler)
+combination exactly once; simulations are deterministic, so results are
+cached as JSON under ``.tango_cache/`` keyed by a hash of the run
+parameters plus a cache-format version.  Cached runs load as
+:class:`CachedNetworkResult`, which exposes the same read API as
+:class:`~repro.gpu.simulator.NetworkResult` (the power model and nvprof
+front-end duck-type against it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.simulator import NetworkResult, simulate_network
+from repro.isa.opcodes import Pipe
+from repro.profiling.stall import StallReason
+from repro.profiling.stats import KernelStats
+
+#: Bump when simulator semantics change so stale caches are discarded.
+CACHE_VERSION = 6
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Identity of one kernel in a cached result."""
+
+    name: str
+    node_name: str
+    category: str
+
+
+@dataclass
+class CachedKernelResult:
+    """Kernel entry of a cached run (API-compatible with KernelResult)."""
+
+    kernel: KernelInfo
+    stats: KernelStats
+
+    @property
+    def category(self) -> str:
+        """Layer-type category."""
+        return self.kernel.category
+
+
+@dataclass
+class CachedNetworkResult:
+    """Cached network run exposing the NetworkResult read API."""
+
+    network: str
+    config: GpuConfig
+    kernels: list[CachedKernelResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles."""
+        return sum(k.stats.cycles for k in self.kernels)
+
+    @property
+    def total_time_ms(self) -> float:
+        """End-to-end milliseconds at the platform clock."""
+        return self.total_cycles / (self.config.clock_ghz * 1e6)
+
+    def cycles_by_category(self) -> dict[str, float]:
+        """Cycles per layer-type category."""
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.category] = out.get(k.category, 0.0) + k.stats.cycles
+        return out
+
+    def stats_by_category(self) -> dict[str, KernelStats]:
+        """Merged counters per layer-type category."""
+        out: dict[str, KernelStats] = {}
+        for k in self.kernels:
+            out.setdefault(k.category, KernelStats()).merge(k.stats)
+        return out
+
+    def aggregate(self) -> KernelStats:
+        """Whole-network merged counters."""
+        total = KernelStats()
+        for k in self.kernels:
+            total.merge(k.stats)
+        return total
+
+
+# ----------------------------------------------------------------------
+# (de)serialization
+# ----------------------------------------------------------------------
+def stats_to_dict(stats: KernelStats) -> dict:
+    """JSON-ready dict of one KernelStats."""
+    return {
+        "cycles": stats.cycles,
+        "wave_cycles": stats.wave_cycles,
+        "waves": stats.waves,
+        "issued": stats.issued,
+        "issued_by_pipe": {p.value: v for p, v in stats.issued_by_pipe.items()},
+        "stalls": {r.value: v for r, v in stats.stalls.items()},
+        "l1_accesses": stats.l1_accesses,
+        "l1_misses": stats.l1_misses,
+        "l2_accesses": stats.l2_accesses,
+        "l2_misses": stats.l2_misses,
+        "dram_bytes": stats.dram_bytes,
+        "load_transactions": stats.load_transactions,
+        "store_transactions": stats.store_transactions,
+        "shared_accesses": stats.shared_accesses,
+        "const_accesses": stats.const_accesses,
+        "rf_reads": stats.rf_reads,
+        "rf_writes": stats.rf_writes,
+        "active_sms": stats.active_sms,
+        "resident_warps": stats.resident_warps,
+    }
+
+
+def stats_from_dict(data: dict) -> KernelStats:
+    """Inverse of :func:`stats_to_dict`."""
+    stats = KernelStats()
+    for key in (
+        "cycles", "wave_cycles", "waves", "issued", "l1_accesses", "l1_misses",
+        "l2_accesses", "l2_misses", "dram_bytes", "load_transactions",
+        "store_transactions", "shared_accesses", "const_accesses", "rf_reads",
+        "rf_writes", "active_sms", "resident_warps",
+    ):
+        setattr(stats, key, data[key])
+    for pipe_name, value in data["issued_by_pipe"].items():
+        stats.issued_by_pipe[Pipe(pipe_name)] = value
+    for reason_name, value in data["stalls"].items():
+        stats.stalls[StallReason(reason_name)] = value
+    return stats
+
+
+def _result_to_dict(result: NetworkResult) -> dict:
+    return {
+        "network": result.network,
+        "kernels": [
+            {
+                "name": k.kernel.name,
+                "node_name": k.kernel.node_name,
+                "category": k.category,
+                "stats": stats_to_dict(k.stats),
+            }
+            for k in result.kernels
+        ],
+    }
+
+
+def _result_from_dict(data: dict, config: GpuConfig) -> CachedNetworkResult:
+    out = CachedNetworkResult(network=data["network"], config=config)
+    for entry in data["kernels"]:
+        out.kernels.append(
+            CachedKernelResult(
+                kernel=KernelInfo(entry["name"], entry["node_name"], entry["category"]),
+                stats=stats_from_dict(entry["stats"]),
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+class Runner:
+    """Cached front door to :func:`simulate_network`."""
+
+    def __init__(self, cache_dir: str | Path | None = ".tango_cache", verbose: bool = False):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.verbose = verbose
+        self._memory: dict[str, CachedNetworkResult] = {}
+
+    def _key(self, network: str, config: GpuConfig, options: SimOptions) -> str:
+        payload = json.dumps(
+            {
+                "v": CACHE_VERSION,
+                "network": network,
+                "config": [
+                    config.name, config.num_sms, config.l1_size, config.l2_size,
+                    config.mshr_entries, config.dram_gb_per_s, config.clock_ghz,
+                    config.registers_per_sm, config.max_blocks_per_sm,
+                ],
+                "options": [
+                    options.scheduler, options.max_trips, options.max_outer_trips,
+                    options.max_sim_blocks, options.stall_sample,
+                    options.queue_penalty, options.tlv_group,
+                ],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def run(
+        self,
+        network: str,
+        config: GpuConfig,
+        options: SimOptions | None = None,
+    ) -> CachedNetworkResult:
+        """Run (or load) one network simulation."""
+        options = options or SimOptions()
+        key = self._key(network, config, options)
+        if key in self._memory:
+            return self._memory[key]
+        path = self.cache_dir / f"{network}-{config.name}-{key}.json" if self.cache_dir else None
+        if path is not None and path.exists():
+            data = json.loads(path.read_text())
+            result = _result_from_dict(data, config)
+        else:
+            if self.verbose:
+                print(f"[runner] simulating {network} on {config.name} "
+                      f"(l1={config.l1_size}, sched={options.scheduler})")
+            live = simulate_network(network, config, options)
+            data = _result_to_dict(live)
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(json.dumps(data))
+            result = _result_from_dict(data, config)
+        self._memory[key] = result
+        return result

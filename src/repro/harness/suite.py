@@ -1,0 +1,135 @@
+"""Run the whole experiment harness: every table and figure.
+
+``python -m repro.harness.suite`` regenerates all 20 experiments (4
+tables + 16 figures), prints each one's series and qualitative checks,
+and exits non-zero if any check fails.  Results are cached under
+``.tango_cache`` so a re-run is fast.
+
+Options: ``--chart`` renders each figure's series as terminal bar
+charts; ``--json DIR`` writes each experiment's data as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.harness import fig01_exec_breakdown
+from repro.harness import fig02_l1_sensitivity
+from repro.harness import fig03_peak_power
+from repro.harness import fig04_layer_power
+from repro.harness import fig05_component_power
+from repro.harness import fig06_tx1_pynq
+from repro.harness import fig07_stall_breakdown
+from repro.harness import fig08_op_breakdown
+from repro.harness import fig09_top_ops
+from repro.harness import fig10_dtype_breakdown
+from repro.harness import fig11_memfootprint
+from repro.harness import fig12_register_usage
+from repro.harness import fig13_l2_misses
+from repro.harness import fig14_l2_miss_ratio
+from repro.harness import fig15_scheduler
+from repro.harness import fig16_scheduler_alexnet
+from repro.harness import tables
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import Runner
+
+#: Every experiment in paper order: id -> run callable.
+EXPERIMENTS: dict[str, Callable[[Runner], ExperimentResult]] = {
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "table4": tables.run_table4,
+    "fig01": fig01_exec_breakdown.run,
+    "fig02": fig02_l1_sensitivity.run,
+    "fig03": fig03_peak_power.run,
+    "fig04": fig04_layer_power.run,
+    "fig05": fig05_component_power.run,
+    "fig06": fig06_tx1_pynq.run,
+    "fig07": fig07_stall_breakdown.run,
+    "fig08": fig08_op_breakdown.run,
+    "fig09": fig09_top_ops.run,
+    "fig10": fig10_dtype_breakdown.run,
+    "fig11": fig11_memfootprint.run,
+    "fig12": fig12_register_usage.run,
+    "fig13": fig13_l2_misses.run,
+    "fig14": fig14_l2_miss_ratio.run,
+    "fig15": fig15_scheduler.run,
+    "fig16": fig16_scheduler_alexnet.run,
+}
+
+
+def run_all(
+    ids: list[str] | None = None,
+    cache_dir: str | None = ".tango_cache",
+    verbose: bool = True,
+) -> list[ExperimentResult]:
+    """Run the selected (default: all) experiments and return results."""
+    runner = Runner(cache_dir=cache_dir, verbose=verbose)
+    selected = ids or list(EXPERIMENTS)
+    results = []
+    for exp_id in selected:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        start = time.time()
+        result = EXPERIMENTS[exp_id](runner)
+        result.notes = (result.notes + f" [{time.time() - start:.1f}s]").strip()
+        results.append(result)
+        if verbose:
+            print(result.format(), flush=True)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--no-cache", action="store_true", help="disable the disk cache")
+    parser.add_argument("--chart", action="store_true",
+                        help="render series as terminal bar charts")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="write each experiment's series/checks as JSON under DIR")
+    args = parser.parse_args(argv)
+    results = run_all(
+        ids=args.experiments or None,
+        cache_dir=None if args.no_cache else ".tango_cache",
+    )
+    if args.chart:
+        from repro.harness.render import render_experiment
+
+        for result in results:
+            chart = render_experiment(result)
+            if chart:
+                print("\n" + chart)
+    if args.json:
+        out_dir = Path(args.json)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            payload = {
+                "id": result.exp_id,
+                "title": result.title,
+                "series": result.series,
+                "checks": [
+                    {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+                    for c in result.checks
+                ],
+                "notes": result.notes,
+            }
+            (out_dir / f"{result.exp_id}.json").write_text(json.dumps(payload, indent=2))
+        print(f"wrote {len(results)} JSON files under {out_dir}/")
+    failed = [
+        f"{r.exp_id}: {c.claim}" for r in results for c in r.checks if not c.passed
+    ]
+    print(f"\n{len(results)} experiments, "
+          f"{sum(len(r.checks) for r in results)} checks, {len(failed)} failed")
+    for line in failed:
+        print(f"  FAIL {line}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""PTX-like instruction set used by the Tango kernel models.
+
+The paper's benchmark suite is written in CUDA C; when compiled, each
+kernel becomes a stream of PTX instructions.  Tango's instruction-level
+characterization (Figures 8-10) reports statistics over exactly that
+stream: opcodes such as ``add``/``mad``/``shl`` and data types such as
+``f32``/``u32``/``u16``.
+
+This package defines the reduced PTX-like ISA that the kernel builders in
+:mod:`repro.kernels` target and the GPU simulator in :mod:`repro.gpu`
+executes:
+
+* :mod:`repro.isa.dtypes` -- operand data types (``f32``, ``u32``, ...).
+* :mod:`repro.isa.opcodes` -- the opcode set of Figure 8 plus pipeline
+  classification (SP / SFU / LDST / control).
+* :mod:`repro.isa.registers` -- virtual register file and allocator.
+* :mod:`repro.isa.instruction` -- the :class:`Instruction` record.
+* :mod:`repro.isa.program` -- structured thread programs (straight-line
+  code and counted loops) plus loop-trip sampling expansion.
+"""
+
+from repro.isa.dtypes import DType
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op, Pipe, op_pipe
+from repro.isa.program import Loop, Program, expand_program
+from repro.isa.registers import RegisterAllocator, Reg
+
+__all__ = [
+    "DType",
+    "Instruction",
+    "Loop",
+    "MemSpace",
+    "Op",
+    "Pipe",
+    "Program",
+    "Reg",
+    "RegisterAllocator",
+    "expand_program",
+    "op_pipe",
+]

@@ -1,0 +1,81 @@
+"""The instruction record executed by the GPU timing simulator.
+
+An :class:`Instruction` is one static PTX-like operation inside a thread
+program: opcode, data type, destination/source virtual registers, and —
+for loads and stores — the memory space plus a symbolic address
+expression that the simulator evaluates per warp to a vector of 32 lane
+addresses (see :mod:`repro.kernels.addressing`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.isa.dtypes import DType
+from repro.isa.opcodes import Op
+
+
+class MemSpace(enum.Enum):
+    """Memory space of a load/store, as in PTX ``ld.<space>``.
+
+    The space determines which storage the access exercises: ``GLOBAL``
+    goes through L1D/L2/DRAM, ``SHARED`` hits the per-SM scratchpad,
+    ``CONST`` hits the constant cache (and produces the paper's
+    ``constant_memory_dependency`` stalls on a miss), ``PARAM`` reads the
+    kernel parameter bank, and ``LOCAL`` behaves like global memory.
+    """
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONST = "const"
+    PARAM = "param"
+    LOCAL = "local"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction of a thread program.
+
+    Attributes:
+        op: Opcode (one of the paper's Figure 8 opcodes).
+        dtype: Data type, as reported in the paper's Figure 10.
+        dst: Destination register, or ``None`` for stores/control flow.
+        srcs: Source registers the instruction reads.
+        space: Memory space for ``ld``/``st``; ``None`` otherwise.
+        addr: Symbolic address expression (``repro.kernels.addressing``)
+            for ``ld``/``st`` on global/local memory; ``None`` otherwise.
+        width_bytes: Access width per lane for memory operations.
+    """
+
+    op: Op
+    dtype: DType = DType.NONE
+    dst: Any = None
+    srcs: tuple = ()
+    space: MemSpace | None = None
+    addr: Any = None
+    width_bytes: int = 4
+
+    @property
+    def is_mem(self) -> bool:
+        """True for loads and stores."""
+        return self.op in (Op.LD, Op.ST)
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.op is Op.LD
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.op.value]
+        if self.space is not None:
+            parts.append(self.space.value)
+        if self.dtype is not DType.NONE:
+            parts.append(self.dtype.value)
+        head = ".".join(parts)
+        ops = []
+        if self.dst is not None:
+            ops.append(str(self.dst))
+        ops.extend(str(s) for s in self.srcs)
+        return f"{head} {', '.join(ops)}".strip()

@@ -1,0 +1,271 @@
+"""Structured thread programs and sampled loop expansion.
+
+A thread program is the code one CUDA thread executes: straight-line
+:class:`~repro.isa.instruction.Instruction` items interleaved with
+counted :class:`Loop` nodes (the reduction loops of convolution,
+fully-connected and recurrent layers).
+
+The timing simulator does not interpret the loop structure directly;
+:func:`expand_program` flattens a program into a linear list of
+:class:`ExpandedInstr` records.  Because fully unrolling the reduction
+loop of, say, a 3x3x512 convolution would produce millions of records per
+kernel, expansion supports *loop-trip sampling* (SMARTS-style periodic
+sampling): only ``max_trips`` iterations are materialized, chosen as a
+few contiguous chunks spread across the iteration space (contiguity
+preserves the spatial locality of neighbouring filter taps; spreading
+preserves coverage of the address range), and every sampled record
+carries a ``weight`` equal to the number of real iterations it stands
+for.  All simulator counters are accumulated weighted, so totals such as
+instruction counts and L2 misses (Figures 8-9, 13) estimate the unsampled
+run.  DESIGN.md section 6 documents the methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op, Pipe, op_latency, op_pipe
+
+#: Number of contiguous chunks used when sampling a loop's trip space.
+#: Two long chunks rather than many short ones: streaming loops touch a
+#: 128-byte line once per 32 consecutive 4-byte iterations, so chunks
+#: must be >= a line's worth of iterations to preserve the real
+#: miss-per-iteration rate (the default 64-trip budget gives two
+#: 32-iteration chunks).
+_SAMPLE_CHUNKS = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Loop:
+    """A counted loop with a known trip count.
+
+    Attributes:
+        var: Name of the loop variable; address expressions inside the
+            body may reference it (e.g. the collapsed ``(c, kh, kw)``
+            reduction index of a convolution).
+        trips: Total number of iterations the real kernel executes.
+        body: Loop body, a sequence of instructions and nested loops.
+    """
+
+    var: str
+    trips: int
+    body: tuple["ProgramItem", ...]
+
+    def __post_init__(self) -> None:
+        if self.trips < 0:
+            raise ValueError(f"loop {self.var!r} has negative trip count")
+
+
+ProgramItem = Union[Instruction, Loop]
+
+
+@dataclass
+class Program:
+    """A complete thread program plus its register metadata.
+
+    Attributes:
+        items: Top-level instructions and loops, in program order.
+        reg_count: Registers the kernel allocates per thread (Table III).
+        entry_regs: Registers live on entry (thread/block ids, parameter
+            pointers); the simulator seeds the scoreboard with these.
+    """
+
+    items: tuple[ProgramItem, ...]
+    reg_count: int = 0
+    entry_regs: tuple = ()
+
+    def static_count(self) -> int:
+        """Number of static instructions (loop bodies counted once)."""
+
+        def count(items: tuple[ProgramItem, ...]) -> int:
+            total = 0
+            for item in items:
+                if isinstance(item, Loop):
+                    total += count(item.body)
+                else:
+                    total += 1
+            return total
+
+        return count(self.items)
+
+    def dynamic_count(self) -> int:
+        """Exact dynamic instruction count of the unsampled program."""
+
+        def count(items: tuple[ProgramItem, ...]) -> int:
+            total = 0
+            for item in items:
+                if isinstance(item, Loop):
+                    total += item.trips * count(item.body)
+                else:
+                    total += 1
+            return total
+
+        return count(self.items)
+
+
+class ExpandedInstr:
+    """One dynamic instruction record, pre-digested for the simulator.
+
+    Fields are plain attributes (not properties) because the simulator
+    touches millions of these in its inner loop.
+    """
+
+    __slots__ = (
+        "op",
+        "pipe",
+        "dtype",
+        "latency",
+        "dst",
+        "srcs",
+        "is_mem",
+        "is_load",
+        "space",
+        "addr",
+        "width_bytes",
+        "weight",
+        "loop_env",
+    )
+
+    def __init__(self, instr: Instruction, weight: float, loop_env: dict[str, int]):
+        self.op: Op = instr.op
+        self.pipe: Pipe = op_pipe(instr.op)
+        self.dtype = instr.dtype
+        self.latency = op_latency(instr.op)
+        self.dst = instr.dst
+        self.srcs = instr.srcs
+        self.is_mem = instr.is_mem
+        self.is_load = instr.op is Op.LD
+        self.space: MemSpace | None = instr.space
+        self.addr = instr.addr
+        self.width_bytes = instr.width_bytes
+        self.weight = weight
+        self.loop_env = loop_env
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExpandedInstr {self.op.value} w={self.weight:g} env={self.loop_env}>"
+
+
+def sample_trips(trips: int, max_trips: int | None) -> list[tuple[int, float]]:
+    """Choose which iterations of a ``trips``-long loop to materialize.
+
+    Returns ``(iteration_index, weight)`` pairs.  When the loop fits in
+    the budget every iteration is returned with weight 1.  Otherwise
+    ``max_trips`` iterations are selected as up to ``_SAMPLE_CHUNKS``
+    contiguous chunks evenly spread over ``[0, trips)`` and each carries
+    weight ``trips / max_trips`` so that weighted totals are unbiased.
+    """
+    if max_trips is None or trips <= max_trips:
+        return [(i, 1.0) for i in range(trips)]
+    if max_trips <= 0:
+        raise ValueError("max_trips must be positive")
+    weight = trips / max_trips
+    chunks = min(_SAMPLE_CHUNKS, max_trips)
+    base, extra = divmod(max_trips, chunks)
+    picked: list[tuple[int, float]] = []
+    taken = 0
+    for chunk in range(chunks):
+        size = base + (1 if chunk < extra else 0)
+        # Spread chunk starts so chunks cover the whole range without
+        # overlapping:  start of chunk k is at k/chunks of the free space.
+        start = round(chunk * (trips - max_trips) / max(1, chunks - 1)) + taken if chunks > 1 else 0
+        start = min(start, trips - (max_trips - taken))
+        for i in range(start, start + size):
+            picked.append((i, weight))
+        taken += size
+    return picked
+
+
+def _contains_loop(items: tuple[ProgramItem, ...]) -> bool:
+    return any(isinstance(item, Loop) for item in items)
+
+
+def expand_program(
+    program: Program,
+    max_trips: int | None = None,
+    max_outer_trips: int | None = None,
+) -> list[ExpandedInstr]:
+    """Flatten *program* into dynamic instruction records.
+
+    Loops longer than their budget are sampled (see :func:`sample_trips`);
+    weights multiply across nested loops so the weighted record count
+    estimates :meth:`Program.dynamic_count`.  Outer loops (those
+    containing another loop) use ``max_outer_trips`` so a sampled nest
+    stays small; inner loops use ``max_trips``.
+    """
+    if max_outer_trips is None:
+        max_outer_trips = max_trips
+    out: list[ExpandedInstr] = []
+
+    def walk(items: tuple[ProgramItem, ...], weight: float, env: dict[str, int]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                budget = max_outer_trips if _contains_loop(item.body) else max_trips
+                for index, trip_weight in sample_trips(item.trips, budget):
+                    inner = dict(env)
+                    inner[item.var] = index
+                    walk(item.body, weight * trip_weight, inner)
+            else:
+                out.append(ExpandedInstr(item, weight, env))
+
+    walk(program.items, 1.0, {})
+    return out
+
+
+@dataclass
+class LivenessResult:
+    """Result of the liveness analysis over a program."""
+
+    max_live: int
+    entry_live: int = 0
+
+
+def max_live_registers(program: Program) -> LivenessResult:
+    """Compute the maximum number of simultaneously-live registers.
+
+    A backward pass over the straight-line expansion (loops walked once,
+    which is exact for loop-carried values because the loop body repeats)
+    marks, for each register, the span between its first definition and
+    last use; the maximum overlap is the live high-water mark reported in
+    the paper's Figure 12 as ``Max Live Registers``.
+    """
+    linear: list[Instruction] = []
+
+    def walk(items: tuple[ProgramItem, ...]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                # Walk the body twice so loop-carried values (defined in
+                # iteration i, read in i+1) are seen as live across the
+                # body.
+                walk(item.body)
+                walk(item.body)
+            else:
+                linear.append(item)
+
+    walk(program.items)
+
+    first_def: dict[int, int] = {}
+    last_use: dict[int, int] = {}
+    for reg in program.entry_regs:
+        first_def[reg.index] = 0
+    for pos, instr in enumerate(linear):
+        for src in instr.srcs:
+            last_use[src.index] = pos
+            first_def.setdefault(src.index, 0)
+        if instr.dst is not None:
+            first_def.setdefault(instr.dst.index, pos)
+            last_use.setdefault(instr.dst.index, pos)
+
+    events: list[tuple[int, int]] = []
+    for reg_index, start in first_def.items():
+        end = last_use.get(reg_index, start)
+        events.append((start, 1))
+        events.append((end + 1, -1))
+    events.sort()
+    live = 0
+    max_live = 0
+    for _, delta in events:
+        live += delta
+        max_live = max(max_live, live)
+    return LivenessResult(max_live=max_live, entry_live=len(program.entry_regs))

@@ -1,0 +1,71 @@
+"""Virtual registers and per-kernel register allocation.
+
+The paper's Table III reports the per-thread register count of every
+kernel (8-31 registers), and Figure 12 compares the *maximum allocated*
+register-file footprint against the *maximum live* register count.  To
+reproduce both, kernel builders allocate virtual registers through
+:class:`RegisterAllocator`; the allocator records the high-water mark
+(allocated registers, what the compiler would reserve) while a separate
+liveness pass over the emitted program computes the live maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A virtual register operand.
+
+    Registers are identified by a small integer index; special
+    pre-initialized registers (thread/block identifiers, parameter
+    pointers) carry a descriptive name and are live on kernel entry.
+    """
+
+    index: int
+    name: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name or f"r{self.index}"
+
+
+@dataclass
+class RegisterAllocator:
+    """Allocates virtual registers for one kernel's thread program.
+
+    ``fresh()`` hands out a new register; ``special()`` hands out a named
+    register that is considered ready at kernel start (e.g. ``%tid.x``).
+    ``count`` is the total number of registers the kernel uses, which maps
+    to Table III's ``regs`` column.
+    """
+
+    _next: int = 0
+    _specials: dict[str, Reg] = field(default_factory=dict)
+
+    def fresh(self, name: str = "") -> Reg:
+        """Allocate and return a new virtual register."""
+        reg = Reg(self._next, name)
+        self._next += 1
+        return reg
+
+    def special(self, name: str) -> Reg:
+        """Return the named special register, allocating it on first use.
+
+        Special registers (thread id, block id, parameter base pointers)
+        are ready at kernel entry; the simulator seeds the scoreboard with
+        them.
+        """
+        if name not in self._specials:
+            self._specials[name] = self.fresh(name)
+        return self._specials[name]
+
+    @property
+    def count(self) -> int:
+        """Total registers allocated (the compiler's reservation)."""
+        return self._next
+
+    @property
+    def specials(self) -> tuple[Reg, ...]:
+        """All special (entry-live) registers allocated so far."""
+        return tuple(self._specials.values())

@@ -1,0 +1,29 @@
+"""Kernel IR and compiler: from layer graphs to CUDA-like kernel launches.
+
+The paper implements every layer as one or two CUDA/OpenCL kernels with
+one thread per neuron, splitting layers that exceed the per-kernel
+thread limit across multiple kernels (Table III).  This package performs
+the same lowering symbolically:
+
+* :mod:`repro.kernels.addressing` -- symbolic per-lane address
+  expressions (affine in thread/block ids and loop variables, with
+  div/mod decomposition of collapsed reduction indices).
+* :mod:`repro.kernels.launch` -- the :class:`KernelLaunch` record: grid
+  and block dimensions, register/shared/constant usage, the thread
+  program and the tensors it touches.
+* :mod:`repro.kernels.memory_layout` -- global-memory address assignment
+  for activations and per-layer weight files.
+* :mod:`repro.kernels.builders` -- thread-program emitters per layer
+  type (conv, pool, FC, LRN, batchnorm, scale, relu, eltwise, softmax,
+  concat, GRU/LSTM cells).
+* :mod:`repro.kernels.mapping` -- per-network grid/block mapping styles
+  reproducing Table III (CifarNet single-block kernels, AlexNet
+  block-per-channel with 32x32/23-pixel tiling, SqueezeNet row kernels,
+  ResNet (C,1,1)x(32,32,1), VGGNet 3-D grids, RNN single-block cells).
+* :mod:`repro.kernels.compile` -- :func:`compile_network`, the driver.
+"""
+
+from repro.kernels.compile import compile_network
+from repro.kernels.launch import KernelLaunch
+
+__all__ = ["KernelLaunch", "compile_network"]

@@ -1,0 +1,117 @@
+"""Symbolic per-lane address expressions.
+
+Every ``ld``/``st`` in a thread program carries an :class:`AddrExpr`
+that the simulator evaluates, per warp, to a vector of 32 byte
+addresses.  Expressions are affine combinations of
+
+* *thread symbols* — ``tx``/``ty``/``tz`` (coordinates inside the block)
+  and ``lin_tid`` (linearized thread id), which differ per lane and
+  evaluate to length-32 vectors;
+* *block symbols* — ``bx``/``by``/``bz``/``lin_bid``, scalar per warp;
+* *loop variables* — scalars taken from the expanded instruction's loop
+  environment.
+
+Each term supports an optional ``// div % mod`` decomposition so a
+single collapsed reduction loop variable (e.g. ``rc`` running over
+``C*KH*KW``) can address multi-dimensional tensors exactly:
+``c = rc // (KH*KW)``, ``kh = (rc // KW) % KH``, ``kw = rc % KW``.
+
+The realism of the whole cache characterization (Figures 2, 13, 14)
+rests here: convolution expressions make neighbouring threads touch
+overlapping input windows and make all threads share filter taps, while
+fully-connected expressions make each thread stream its own weight row —
+reproducing the paper's high conv locality vs. ~10% FC L2 miss ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Thread-varying symbols (evaluate to a 32-vector per warp).
+THREAD_SYMBOLS = ("tx", "ty", "tz", "lin_tid")
+#: Block-level symbols (scalar per warp).  ``one`` always evaluates to 1,
+#: letting mappings express constant offsets (tile origins, channel
+#: splits) as ordinary terms.
+BLOCK_SYMBOLS = ("bx", "by", "bz", "lin_bid", "one")
+
+
+@dataclass(frozen=True, slots=True)
+class Term:
+    """One affine term: ``coef * (((sym * pre) // div) % mod)``.
+
+    ``pre`` pre-scales the symbol before the div/mod decomposition; loop
+    unrolling uses it (an unrolled-by-2 counter advances two elements
+    per iteration).
+    """
+
+    sym: str
+    coef: int
+    div: int = 1
+    mod: int | None = None
+    pre: int = 1
+
+    def apply(self, value):
+        """Evaluate the term given the raw symbol value (scalar/vector)."""
+        v = value
+        if self.pre != 1:
+            v = v * self.pre
+        if self.div != 1:
+            v = v // self.div
+        if self.mod is not None:
+            v = v % self.mod
+        return v * self.coef
+
+
+@dataclass(frozen=True)
+class AddrExpr:
+    """A full address expression: ``base + sum(terms)``."""
+
+    base: int
+    terms: tuple[Term, ...] = ()
+
+    def __post_init__(self):
+        # Pre-split terms by symbol class so evaluation does one pass of
+        # scalars and one of vectors; stored via object.__setattr__
+        # because the dataclass is frozen.
+        thread_terms = tuple(t for t in self.terms if t.sym in THREAD_SYMBOLS)
+        other_terms = tuple(t for t in self.terms if t.sym not in THREAD_SYMBOLS)
+        object.__setattr__(self, "_thread_terms", thread_terms)
+        object.__setattr__(self, "_other_terms", other_terms)
+
+    def evaluate(self, warp, loop_env: dict[str, int]) -> np.ndarray:
+        """Per-lane byte addresses for *warp* under *loop_env*.
+
+        Args:
+            warp: An object exposing ``lane_syms`` (dict of thread-symbol
+                name -> int64 vector) and ``block_syms`` (dict of block
+                symbol -> int).
+            loop_env: Loop-variable values of the expanded instruction.
+
+        Returns:
+            int64 array of shape (warp_size,).
+        """
+        scalar = self.base
+        for term in self._other_terms:
+            if term.sym in loop_env:
+                scalar += int(term.apply(loop_env[term.sym]))
+            else:
+                scalar += int(term.apply(warp.block_syms[term.sym]))
+        if not self._thread_terms:
+            return np.full(warp.width, scalar, dtype=np.int64)
+        total = None
+        for term in self._thread_terms:
+            part = term.apply(warp.lane_syms[term.sym])
+            total = part if total is None else total + part
+        return total + scalar
+
+    def shifted(self, offset: int) -> "AddrExpr":
+        """A copy of this expression with *offset* added to the base."""
+        return AddrExpr(self.base + offset, self.terms)
+
+
+def affine(base: int, **coefs: int) -> AddrExpr:
+    """Convenience constructor: ``affine(b, tx=4, ty=128)``."""
+    terms = tuple(Term(sym, coef) for sym, coef in coefs.items() if coef != 0)
+    return AddrExpr(base, terms)

@@ -1,0 +1,683 @@
+"""Per-layer thread-program builders.
+
+Each ``build_*`` function lowers one layer (or one kernel slice of a
+layer) to a :class:`~repro.isa.program.Program` plus its memory regions
+and shared/constant usage, following the decomposition the paper
+describes: one thread per neuron, an inner reduction loop over the
+receptive field / input features, explicit index arithmetic, and plain
+loads/stores against the per-layer weight files.
+
+The emitted instruction sequences are the source of every instruction-
+level statistic in the reproduction (Figures 8-10) and of the memory
+address streams behind the cache figures (2, 13, 14):
+
+* convolution threads share filter taps (broadcast loads) and overlap
+  input windows -> high locality, <1% L2 miss ratio;
+* fully-connected threads stream private weight rows -> no reuse, ~10%
+  L2 miss ratio and MSHR pressure (``memory_throttle`` stalls);
+* pooling's ``acc = max(acc, v)`` chain serializes on short-latency ops
+  -> ``exec_dependency`` stalls;
+* RNN cells keep the hidden state in shared memory and stream the
+  recurrent matrices once -> insensitive to L1 size (Observation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layers.defs import (
+    FC,
+    DepthwiseConv2D,
+    LRN,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Eltwise,
+    GRUCell,
+    LSTMCell,
+    Pool2D,
+    ReLU,
+    Scale,
+    Softmax,
+)
+from repro.isa.dtypes import DType
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op
+from repro.isa.program import Program
+from repro.kernels.addressing import AddrExpr, Term
+from repro.kernels.geometry import OUTER_VAR, REDUCE_VAR, ThreadMap, scale_terms
+from repro.kernels.launch import MemRegion
+from repro.kernels.memory_layout import MemLayout
+from repro.kernels.program_builder import ProgramBuilder
+
+F32 = DType.F32
+U32 = DType.U32
+U16 = DType.U16
+S32 = DType.S32
+
+
+@dataclass
+class BuiltKernel:
+    """Result of lowering one kernel: program + SRAM usage + regions."""
+
+    program: Program
+    smem_bytes: int
+    cmem_bytes: int
+    regions: tuple[MemRegion, ...]
+
+
+def _cmem_bytes(n_pointers: int, n_scalars: int) -> int:
+    """Constant-bank usage: parameter pointers plus dimension scalars."""
+    return 8 * n_pointers + 4 * n_scalars
+
+
+def _elem_expr(base: int, terms: tuple[Term, ...], elem_bytes: int = 4) -> AddrExpr:
+    """Byte address expression from element-index terms."""
+    return AddrExpr(base, scale_terms(terms, elem_bytes))
+
+
+# ----------------------------------------------------------------------
+# convolution
+# ----------------------------------------------------------------------
+def build_conv(
+    layer: Conv2D,
+    in_shape: tuple[int, int, int],
+    out_shape: tuple[int, int, int],
+    tmap: ThreadMap,
+    channel_offset: int = 0,
+) -> BuiltKernel:
+    """Convolution kernel: inner reduction over ``C_in * kh * kw``.
+
+    ``channel_offset`` supports Table III-style output-channel splits
+    (AlexNet conv2 runs as two kernels of 128 channels each).
+    """
+    c_in, h, w = in_shape
+    _, oh, ow = out_shape
+    k, s, p = layer.kernel, layer.stride, layer.pad
+    elems = c_in * k * k
+    # nvcc unrolls the reduction loop; unroll-by-2 with paired loads is
+    # what shapes the op mix (fewer bra/set per useful mad, Figure 9).
+    # 1x1 convolutions reduce over a perfectly contiguous channel run,
+    # so they vectorize further (float4 loads, unroll-by-4) — SqueezeNet
+    # squeeze/conv10 and ResNet bottleneck 1x1s all compile this way.
+    if k == 1 and c_in >= 64:
+        unroll = 4
+    elif elems >= 8:
+        unroll = 2
+    else:
+        unroll = 1
+    trips = (elems + unroll - 1) // unroll
+
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * c_in * h * w)
+    w_base = layout.alloc("weight", "weight", 4 * layer.out_channels * elems)
+    b_base = layout.alloc("weight", "bias", 4 * layer.out_channels) if layer.bias else 0
+    out_base = layout.alloc("output", "out", 4 * int(np.prod(out_shape)))
+
+    c_terms = tmap.c_terms
+    # Input element: ((cin)*H + y*s + kh - p)*W + x*s + kw - p
+    in_terms = (
+        (Term(REDUCE_VAR, h * w, div=k * k, pre=unroll),)          # cin
+        + scale_terms(tmap.y_terms, s * w)
+        + (Term(REDUCE_VAR, w, div=k, mod=k, pre=unroll),)          # kh
+        + scale_terms(tmap.x_terms, s)
+        + (Term(REDUCE_VAR, 1, mod=k, pre=unroll),)                 # kw
+    )
+    # Padding makes border windows start before the tensor; the 1 GB slot
+    # gaps in MemLayout keep those overhang addresses in empty space.
+    in_expr = AddrExpr(in_base - 4 * (p * w + p), scale_terms(in_terms, 4))
+    # Weight element: (oc + channel_offset)*elems + rc
+    w_terms = scale_terms(c_terms, elems) + (Term(REDUCE_VAR, unroll),)
+    w_expr = _elem_expr(w_base + 4 * channel_offset * elems, w_terms)
+    out_terms = tmap.out_index_terms(out_shape)
+    out_expr = _elem_expr(out_base, out_terms)
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    pb.guard(ids["lin"])
+    xy = pb.alu(Op.MUL, U32, ids["tx"], ids["dim0"])
+    xy = pb.alu(Op.ADD, U32, xy, ids["byte"])
+
+    def body(outer_dep):
+        acc = pb.alu(Op.MOV, F32)
+        with pb.loop(REDUCE_VAR, trips) as rc:
+            t0 = pb.alu(Op.MUL, U32, rc, ids["dim1"])
+            t1 = pb.alu(Op.ADD, U32, t0, xy)
+            wofs = pb.alu(Op.SHL, U32, rc)
+            stage = pb.alu(Op.MAD24, U32, rc, ids["dim0"], xy)
+            stage = pb.alu(Op.MOV, U32, stage, dst=stage)
+            wv = pb.ld(
+                F32, w_expr, deps=(wofs, outer_dep) if outer_dep else (wofs,),
+                width=4 * unroll,
+            )
+            xv = pb.ld(F32, in_expr, deps=(t1,), width=4 * unroll)
+            acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+            for _ in range(unroll - 1):
+                acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+        if layer.bias:
+            bias_expr = _elem_expr(b_base + 4 * channel_offset, c_terms)
+            bv = pb.ld(F32, bias_expr)
+            acc = pb.alu(Op.ADD, F32, acc, bv, dst=acc)
+        if layer.relu:
+            acc = pb.alu(Op.MAX, F32, acc, dst=acc)
+        so = pb.alu(Op.SHL, U32, ids["lin"])
+        pb.st(F32, acc, out_expr, deps=(so,))
+
+    if tmap.outputs_per_thread > 1:
+        with pb.loop(OUTER_VAR, tmap.outputs_per_thread) as oc:
+            body(oc)
+    else:
+        body(None)
+
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=56 if k > 1 else 40,
+        cmem_bytes=_cmem_bytes(4, (k * k + 2) if k <= 7 else 51),
+        regions=layout.regions,
+    )
+
+
+# ----------------------------------------------------------------------
+# pooling
+# ----------------------------------------------------------------------
+def build_pool(
+    layer: Pool2D,
+    in_shape: tuple[int, ...],
+    out_shape: tuple[int, ...],
+    tmap: ThreadMap,
+) -> BuiltKernel:
+    """Pooling kernel: window scan with a serial max/avg chain."""
+    c, h, w = in_shape
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * c * h * w)
+    out_base = layout.alloc("output", "out", 4 * int(np.prod(out_shape)))
+
+    if layer.global_pool:
+        # One thread per channel reduces its whole feature map.
+        trips = h * w
+        in_terms = scale_terms(tmap.n_terms, h * w) + (Term(REDUCE_VAR, 1),)
+        out_terms = tmap.n_terms
+        k = 0
+        s = p = 0
+    else:
+        k, s, p = layer.kernel, layer.stride, layer.pad
+        trips = k * k
+        in_terms = (
+            scale_terms(tmap.c_terms, h * w)
+            + scale_terms(tmap.y_terms, s * w)
+            + (Term(REDUCE_VAR, w, div=k),)
+            + scale_terms(tmap.x_terms, s)
+            + (Term(REDUCE_VAR, 1, mod=k),)
+        )
+        out_terms = tmap.out_index_terms(out_shape)
+    in_expr = AddrExpr(in_base - 4 * (p * w + p), scale_terms(in_terms, 4))
+    out_expr = _elem_expr(out_base, out_terms)
+
+    reduce_op = Op.MAX if layer.kind == "max" else Op.ADD
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    pb.guard(ids["lin"])
+
+    def body(outer_dep):
+        acc = pb.alu(Op.MOV, F32)
+        with pb.loop(REDUCE_VAR, trips) as rc:
+            idx = pb.alu(Op.MAD24, U32, rc, ids["dim0"], ids["byte"])
+            idx = pb.alu(Op.ADD, U32, idx, ids["tx"])
+            v = pb.ld(F32, in_expr, deps=(idx,))
+            # Serial reduction chain: each max/add depends on the
+            # freshly-loaded value AND the previous result -> the
+            # exec/memory-dependency stalls pooling shows in Figure 7.
+            acc = pb.alu(reduce_op, F32, acc, v, dst=acc)
+        if layer.kind == "avg" or layer.global_pool:
+            inv = pb.alu(Op.MOV, F32)
+            acc = pb.alu(Op.MUL, F32, acc, inv, dst=acc)
+        pb.st(F32, acc, out_expr)
+
+    if tmap.outputs_per_thread > 1:
+        with pb.loop(OUTER_VAR, tmap.outputs_per_thread) as oc:
+            body(oc)
+    else:
+        body(None)
+
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=60,
+        cmem_bytes=_cmem_bytes(2, 5),
+        regions=layout.regions,
+    )
+
+
+# ----------------------------------------------------------------------
+# fully connected
+# ----------------------------------------------------------------------
+def build_fc(
+    layer: FC,
+    in_features: int,
+    tmap: ThreadMap,
+) -> BuiltKernel:
+    """Fully-connected kernel: each thread streams one weight row.
+
+    Per-thread weight rows are ``in_features`` apart, so a warp's lanes
+    touch 32 distinct cache lines per iteration: no coalescing, no
+    reuse.  This is what drives FC's high L2 miss ratio (Figure 14) and
+    its memory_throttle stalls (Figure 7).
+    """
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * in_features)
+    w_base = layout.alloc("weight", "weight", 4 * layer.out_features * in_features)
+    b_base = layout.alloc("weight", "bias", 4 * layer.out_features)
+    out_base = layout.alloc("output", "out", 4 * layer.out_features)
+
+    # nvcc unrolls the dot-product loop aggressively; unroll-by-4 with
+    # 16-byte vector loads matches what it emits for contiguous rows.
+    unroll = 4 if in_features >= 16 else 1
+    trips = (in_features + unroll - 1) // unroll
+    w_terms = scale_terms(tmap.n_terms, in_features) + (Term(REDUCE_VAR, unroll),)
+    x_terms = (Term(REDUCE_VAR, unroll),)
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue(two_d=len(tmap.n_terms) > 1)
+    pb.guard(ids["lin"])
+    wptr = pb.alu(Op.MAD24, U32, ids["lin"], ids["dim0"])
+    xptr = pb.alu(Op.MOV, U32, ids["byte"]) if "byte" in ids else pb.alu(Op.MOV, U32)
+    acc = pb.alu(Op.MOV, F32)
+    with pb.loop(REDUCE_VAR, trips) as rc:
+        wptr = pb.alu(Op.ADD, U32, wptr, dst=wptr)
+        xptr = pb.alu(Op.ADD, U32, xptr, dst=xptr)
+        wv = pb.ld(F32, _elem_expr(w_base, w_terms), deps=(wptr,), width=4 * unroll)
+        xv = pb.ld(F32, _elem_expr(in_base, x_terms), deps=(xptr,), width=4 * unroll)
+        acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+        for _ in range(unroll - 1):
+            acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+    bv = pb.ld(F32, _elem_expr(b_base, tmap.n_terms))
+    acc = pb.alu(Op.ADD, F32, acc, bv, dst=acc)
+    if layer.relu:
+        acc = pb.alu(Op.MAX, F32, acc, dst=acc)
+    pb.st(F32, acc, _elem_expr(out_base, tmap.n_terms))
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=58,
+        cmem_bytes=_cmem_bytes(4, 2),
+        regions=layout.regions,
+    )
+
+
+# ----------------------------------------------------------------------
+# normalization / element-wise family
+# ----------------------------------------------------------------------
+def build_lrn(
+    layer: LRN,
+    in_shape: tuple[int, int, int],
+    tmap: ThreadMap,
+) -> BuiltKernel:
+    """Local response normalization: cross-channel square-sum window."""
+    c, h, w = in_shape
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * c * h * w)
+    out_base = layout.alloc("output", "out", 4 * c * h * w)
+    half = layer.local_size // 2
+
+    neighbour_terms = (
+        scale_terms(tmap.c_terms, h * w)
+        + (Term(REDUCE_VAR, h * w),)
+        + scale_terms(tmap.y_terms, w)
+        + tmap.x_terms
+    )
+    in_expr = AddrExpr(in_base - 4 * half * h * w, scale_terms(neighbour_terms, 4))
+    centre_expr = _elem_expr(in_base, tmap.out_index_terms(in_shape))
+    out_expr = _elem_expr(out_base, tmap.out_index_terms(in_shape))
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    pb.guard(ids["lin"])
+
+    def body(outer_dep):
+        ssq = pb.alu(Op.MOV, F32)
+        with pb.loop(REDUCE_VAR, layer.local_size) as rc:
+            idx = pb.alu(Op.MUL, U32, rc, ids["dim0"])
+            idx = pb.alu(Op.ADD, U32, idx, ids["byte"])
+            v = pb.ld(F32, in_expr, deps=(idx,))
+            ssq = pb.alu(Op.MAD, F32, v, v, ssq, dst=ssq)
+        centre = pb.ld(F32, centre_expr)
+        # x / (k + a*ssq)^0.75 via exp2/log-free SFU sequence.
+        scaled = pb.alu(Op.MAD, F32, ssq, ssq, centre)
+        powv = pb.alu(Op.EX2, F32, scaled)
+        inv = pb.alu(Op.RCP, F32, powv)
+        outv = pb.alu(Op.MUL, F32, centre, inv)
+        pb.st(F32, outv, out_expr)
+
+    if tmap.outputs_per_thread > 1:
+        with pb.loop(OUTER_VAR, tmap.outputs_per_thread) as oc:
+            body(oc)
+    else:
+        body(None)
+
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=64,
+        cmem_bytes=_cmem_bytes(2, 7) + 280,
+        regions=layout.regions,
+    )
+
+
+def _build_elementwise(
+    category: str,
+    in_shape: tuple[int, int, int],
+    tmap: ThreadMap,
+    n_inputs: int = 1,
+    channel_tensors: tuple[str, ...] = (),
+    f32_ops: tuple[Op, ...] = (Op.MAX,),
+) -> BuiltKernel:
+    """Shared emitter for ReLU / BatchNorm / Scale / Eltwise / Concat.
+
+    Loads each input element (plus any per-channel parameter tensors),
+    applies a short f32 op chain, and stores the result.
+    """
+    c, h, w = in_shape
+    layout = MemLayout()
+    in_exprs = []
+    for i in range(n_inputs):
+        base = layout.alloc("input", f"in{i}", 4 * c * h * w)
+        in_exprs.append(_elem_expr(base, tmap.out_index_terms(in_shape)))
+    chan_exprs = []
+    for name in channel_tensors:
+        base = layout.alloc("weight", name, 4 * c)
+        chan_exprs.append(_elem_expr(base, tmap.c_terms))
+    out_base = layout.alloc("output", "out", 4 * c * h * w)
+    out_expr = _elem_expr(out_base, tmap.out_index_terms(in_shape))
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    pb.guard(ids["lin"])
+
+    def body(outer_dep):
+        idx = pb.alu(Op.MUL, U32, ids["tx"], ids["dim0"])
+        idx = pb.alu(Op.ADD, U32, idx, ids["byte"])
+        vals = [pb.ld(F32, expr, deps=(idx,)) for expr in in_exprs]
+        vals += [pb.ld(F32, expr) for expr in chan_exprs]
+        acc = vals[0]
+        for op in f32_ops:
+            operand = vals[1] if len(vals) > 1 else acc
+            acc = pb.alu(op, F32, acc, operand, dst=acc)
+        ofs = pb.alu(Op.SHL, U32, ids["lin"])
+        pb.st(F32, acc, out_expr, deps=(ofs,))
+
+    if tmap.outputs_per_thread > 1:
+        with pb.loop(OUTER_VAR, tmap.outputs_per_thread) as oc:
+            body(oc)
+    else:
+        body(None)
+
+    smem = {"Relu": 32, "Scale": 52, "Norm": 52, "Eltwise": 48, "Others": 40}
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=smem.get(category, 40),
+        cmem_bytes=_cmem_bytes(n_inputs + len(channel_tensors) + 1, 3),
+        regions=layout.regions,
+    )
+
+
+def build_relu(in_shape, tmap) -> BuiltKernel:
+    """Stand-alone ReLU kernel."""
+    return _build_elementwise("Relu", in_shape, tmap, f32_ops=(Op.MAX,))
+
+
+def build_batchnorm(in_shape, tmap) -> BuiltKernel:
+    """BatchNorm kernel: per-channel (x - mean) * rsqrt(var)."""
+    built = _build_elementwise(
+        "Norm", in_shape, tmap, channel_tensors=("mean", "var"),
+        f32_ops=(Op.ADD, Op.RSQRT, Op.MUL),
+    )
+    return built
+
+
+def build_scale(in_shape, tmap) -> BuiltKernel:
+    """Scale kernel: per-channel gamma * x + beta."""
+    return _build_elementwise(
+        "Scale", in_shape, tmap, channel_tensors=("gamma", "beta"),
+        f32_ops=(Op.MAD,),
+    )
+
+
+def build_eltwise(in_shape, tmap) -> BuiltKernel:
+    """Eltwise kernel: shortcut addition of two activations."""
+    return _build_elementwise("Eltwise", in_shape, tmap, n_inputs=2, f32_ops=(Op.ADD,))
+
+
+def build_concat(in_shape, tmap) -> BuiltKernel:
+    """Concat kernel slice: a plain strided copy of one input."""
+    return _build_elementwise("Others", in_shape, tmap, f32_ops=(Op.MOV,))
+
+
+def build_softmax(classes: int, tmap: ThreadMap) -> BuiltKernel:
+    """Softmax kernel: one thread per class, reduction over all classes."""
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * classes)
+    out_base = layout.alloc("output", "out", 4 * classes)
+    score_expr = _elem_expr(in_base, tmap.n_terms)
+    other_expr = _elem_expr(in_base, (Term(REDUCE_VAR, 1),))
+    out_expr = _elem_expr(out_base, tmap.n_terms)
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue(two_d=False)
+    pb.guard(ids["lin"])
+    own = pb.ld(F32, score_expr)
+    m = pb.alu(Op.MOV, F32)
+    total = pb.alu(Op.MOV, F32)
+    with pb.loop(REDUCE_VAR, classes) as rc:
+        v = pb.ld(F32, other_expr, deps=(rc,))
+        m = pb.alu(Op.MAX, F32, m, v, dst=m)
+        e = pb.alu(Op.EX2, F32, v)
+        total = pb.alu(Op.ADD, F32, total, e, dst=total)
+    e_own = pb.alu(Op.EX2, F32, own)
+    inv = pb.alu(Op.RCP, F32, total)
+    outv = pb.alu(Op.MUL, F32, e_own, inv)
+    pb.st(F32, outv, out_expr)
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=40,
+        cmem_bytes=_cmem_bytes(2, 1),
+        regions=layout.regions,
+    )
+
+
+# ----------------------------------------------------------------------
+# recurrent cells
+# ----------------------------------------------------------------------
+def build_rnn_cell(layer: GRUCell | LSTMCell) -> BuiltKernel:
+    """GRU/LSTM cell kernel: one thread per hidden neuron, one timestep.
+
+    The hidden state lives in shared memory (hence Table III's 504 B /
+    936 B smem for GRU/LSTM); the recurrent matrices stream from global
+    memory with no reuse, which is why RNNs gain nothing from a larger
+    L1 (Figure 2).  Gate sigmoids/tanhs use the SFU (`ex2`, `rcp`), and
+    LSTM's extra gate plus the ``c = f*c + i*g`` chain add the extra
+    data-dependency stalls the paper notes versus GRU.
+    """
+    hidden = layer.hidden_size
+    gates = ("z", "r", "h") if isinstance(layer, GRUCell) else ("i", "f", "o", "g")
+    layout = MemLayout()
+    x_base = layout.alloc("input", "x", 4 * layer.input_size)
+    u_bases = {g: layout.alloc("weight", f"u_{g}", 4 * hidden * hidden) for g in gates}
+    w_bases = {g: layout.alloc("weight", f"w_{g}", 4 * hidden * layer.input_size) for g in gates}
+    b_bases = {g: layout.alloc("weight", f"b_{g}", 4 * hidden) for g in gates}
+    out_base = layout.alloc("output", "h_out", 4 * hidden)
+
+    n_terms = (Term("lin_tid", 1),)
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue(two_d=isinstance(layer, GRUCell), warp_indexing=False)
+    pb.guard(ids["lin"])
+    xv = pb.ld(F32, _elem_expr(x_base, ()))
+    # Shared temporaries reused across the gate mat-vecs keep the kernel
+    # register count in the small range Table III reports for the RNNs.
+    uptr = pb.alu(Op.MAD24, U32, ids["lin"], ids["dim0"])
+    hptr = pb.alu(Op.MOV, U32, ids["lin"])
+    uv = pb.ra.fresh()
+    hv = pb.ra.fresh()
+    wv = pb.ra.fresh()
+    # The recurrent matrices are stored transposed (u[j][n]) with rows
+    # padded to a cache-line multiple (the cudaMallocPitch layout), so
+    # lane n's load at step j is coalesced with its neighbours and every
+    # iteration touches fresh cache lines exactly once — which is why
+    # RNNs are insensitive to L1 capacity (Figure 2 / Observation 2).
+    row_stride = -(-hidden // 32) * 32
+    u_terms = (Term(REDUCE_VAR, row_stride),) + n_terms
+
+    def gate_epilogue(acc):
+        """Bias + input contribution + exp2-based sigmoid/tanh."""
+        pb.ld(F32, _elem_expr(w_bases[gates[0]], n_terms), dst=wv)
+        acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+        pb.ld(F32, _elem_expr(b_bases[gates[0]], n_terms), dst=wv)
+        acc = pb.alu(Op.ADD, F32, acc, wv, dst=acc)
+        e = pb.alu(Op.EX2, F32, acc, dst=acc)
+        e1 = pb.alu(Op.ADD, F32, e, dst=acc)
+        return pb.alu(Op.RCP, F32, e1)
+
+    gate_results = []
+    if isinstance(layer, GRUCell):
+        # The GRU kernel fuses the update and reset mat-vecs into one
+        # loop — both gates read the same h and the same row index, and
+        # neither depends on the other — giving the loop two independent
+        # accumulator chains (more ILP, fewer dependency stalls than
+        # LSTM's serial gate loops; the paper links LSTM's extra data
+        # dependency to its extra gate).
+        acc_z = pb.alu(Op.MOV, F32)
+        acc_r = pb.alu(Op.MOV, F32)
+        with pb.loop(REDUCE_VAR, hidden) as rc:
+            uptr = pb.alu(Op.ADD, U32, uptr, dst=uptr)
+            hptr = pb.alu(Op.ADD, U32, hptr, dst=hptr)
+            pb.ld(F32, _elem_expr(u_bases["z"], u_terms), deps=(uptr,), dst=uv)
+            pb.ld(F32, space=MemSpace.SHARED, deps=(hptr,), dst=hv)
+            acc_z = pb.alu(Op.MAD, F32, uv, hv, acc_z, dst=acc_z)
+            pb.ld(F32, _elem_expr(u_bases["r"], u_terms), deps=(uptr,), dst=uv)
+            acc_r = pb.alu(Op.MAD, F32, uv, hv, acc_r, dst=acc_r)
+        z = gate_epilogue(acc_z)
+        r = gate_epilogue(acc_r)
+        # Candidate mat-vec: u_h @ (r * h) — the r-gated product makes
+        # this loop depend on the reset gate.
+        acc_h = pb.alu(Op.MOV, F32)
+        u_terms_h = (Term("rh", row_stride),) + n_terms
+        with pb.loop("rh", hidden) as rc:
+            uptr = pb.alu(Op.ADD, U32, uptr, dst=uptr)
+            hptr = pb.alu(Op.ADD, U32, hptr, dst=hptr)
+            pb.ld(F32, _elem_expr(u_bases["h"], u_terms_h), deps=(uptr,), dst=uv)
+            pb.ld(F32, space=MemSpace.SHARED, deps=(hptr,), dst=hv)
+            gated = pb.alu(Op.MUL, F32, r, hv)
+            acc_h = pb.alu(Op.MAD, F32, uv, gated, acc_h, dst=acc_h)
+        gate_results = [z, r, gate_epilogue(acc_h)]
+    else:
+        # LSTM: four gates, four serial mat-vec loops with a single
+        # accumulator chain each.
+        for g in gates:
+            acc = pb.alu(Op.MOV, F32)
+            with pb.loop(REDUCE_VAR, hidden) as rc:
+                uptr = pb.alu(Op.ADD, U32, uptr, dst=uptr)
+                hptr = pb.alu(Op.ADD, U32, hptr, dst=hptr)
+                pb.ld(F32, _elem_expr(u_bases[g], u_terms), deps=(uptr,), dst=uv)
+                pb.ld(F32, space=MemSpace.SHARED, deps=(hptr,), dst=hv)
+                acc = pb.alu(Op.MAD, F32, uv, hv, acc, dst=acc)
+            gate_results.append(gate_epilogue(acc))
+
+    if isinstance(layer, GRUCell):
+        z, r, hc = gate_results
+        one_minus = pb.alu(Op.ADD, F32, z)
+        old = pb.ld(F32, space=MemSpace.SHARED)
+        keep = pb.alu(Op.MUL, F32, one_minus, old)
+        new = pb.alu(Op.MAD, F32, z, hc, keep)
+    else:
+        i, f, o, g_ = gate_results
+        c_old = pb.ld(F32, space=MemSpace.SHARED)
+        fc = pb.alu(Op.MUL, F32, f, c_old)
+        c_new = pb.alu(Op.MAD, F32, i, g_, fc)
+        ec = pb.alu(Op.EX2, F32, c_new)
+        tanh_c = pb.alu(Op.RCP, F32, ec)
+        new = pb.alu(Op.MUL, F32, o, tanh_c)
+        pb.st(F32, c_new, space=MemSpace.SHARED)
+    pb.st(F32, new, space=MemSpace.SHARED)
+    pb.emit(Instruction(Op.BAR, DType.NONE))
+    pb.st(F32, new, _elem_expr(out_base, n_terms))
+
+    smem = 936 if isinstance(layer, LSTMCell) else 504
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=smem,
+        cmem_bytes=_cmem_bytes(3 * len(gates) + 2, 2),
+        regions=layout.regions,
+    )
+
+
+# ----------------------------------------------------------------------
+# depthwise convolution (MobileNet extension)
+# ----------------------------------------------------------------------
+def build_depthwise_conv(
+    layer: DepthwiseConv2D,
+    in_shape: tuple[int, int, int],
+    out_shape: tuple[int, int, int],
+    tmap: ThreadMap,
+) -> BuiltKernel:
+    """Depthwise convolution kernel: per-channel k x k reduction.
+
+    Unlike a full convolution, each output channel reads only its own
+    input plane, so blocks do not share input data and the reduction is
+    just ``k*k`` long — low arithmetic intensity, which is exactly why
+    depthwise layers are memory-bound on GPUs.
+    """
+    c, h, w = in_shape
+    _, oh, ow = out_shape
+    k, s, p = layer.kernel, layer.stride, layer.pad
+    trips = k * k
+
+    layout = MemLayout()
+    in_base = layout.alloc("input", "in", 4 * c * h * w)
+    w_base = layout.alloc("weight", "weight", 4 * c * trips)
+    b_base = layout.alloc("weight", "bias", 4 * c) if layer.bias else 0
+    out_base = layout.alloc("output", "out", 4 * int(np.prod(out_shape)))
+
+    in_terms = (
+        scale_terms(tmap.c_terms, h * w)
+        + scale_terms(tmap.y_terms, s * w)
+        + (Term(REDUCE_VAR, w, div=k),)
+        + scale_terms(tmap.x_terms, s)
+        + (Term(REDUCE_VAR, 1, mod=k),)
+    )
+    in_expr = AddrExpr(in_base - 4 * (p * w + p), scale_terms(in_terms, 4))
+    w_terms = scale_terms(tmap.c_terms, trips) + (Term(REDUCE_VAR, 1),)
+    out_expr = _elem_expr(out_base, tmap.out_index_terms(out_shape))
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    pb.guard(ids["lin"])
+
+    def body(outer_dep):
+        acc = pb.alu(Op.MOV, F32)
+        with pb.loop(REDUCE_VAR, trips) as rc:
+            t0 = pb.alu(Op.MUL, U32, rc, ids["dim1"])
+            t1 = pb.alu(Op.ADD, U32, t0, ids["byte"])
+            wofs = pb.alu(Op.SHL, U32, rc)
+            wv = pb.ld(F32, _elem_expr(w_base, w_terms), deps=(wofs,))
+            xv = pb.ld(F32, in_expr, deps=(t1,))
+            acc = pb.alu(Op.MAD, F32, wv, xv, acc, dst=acc)
+        if layer.bias:
+            bv = pb.ld(F32, _elem_expr(b_base, tmap.c_terms))
+            acc = pb.alu(Op.ADD, F32, acc, bv, dst=acc)
+        if layer.relu:
+            acc = pb.alu(Op.MAX, F32, acc, dst=acc)
+        so = pb.alu(Op.SHL, U32, ids["lin"])
+        pb.st(F32, acc, out_expr, deps=(so,))
+
+    if tmap.outputs_per_thread > 1:
+        with pb.loop(OUTER_VAR, tmap.outputs_per_thread) as oc:
+            body(oc)
+    else:
+        body(None)
+
+    return BuiltKernel(
+        program=pb.finish(),
+        smem_bytes=56,
+        cmem_bytes=_cmem_bytes(4, k * k + 2),
+        regions=layout.regions,
+    )

@@ -1,0 +1,70 @@
+"""Thread-to-output geometry: how a kernel's threads cover neurons.
+
+A :class:`ThreadMap` tells the program builders how one thread's output
+coordinates are derived from its thread/block identifiers and the
+per-thread outer loop, as symbolic :class:`~repro.kernels.addressing.Term`
+lists.  The mapping styles themselves (CifarNet single-block kernels,
+AlexNet block-per-channel, ...) live in :mod:`repro.kernels.mapping`;
+this module only defines the shared vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernels.addressing import Term
+
+#: Name of the per-thread outer loop variable (multiple outputs/thread).
+OUTER_VAR = "outer"
+#: Name of the inner reduction loop variable.
+REDUCE_VAR = "rc"
+
+
+def scale_terms(terms: tuple[Term, ...], k: int) -> tuple[Term, ...]:
+    """Multiply every term's coefficient by *k* (dropping zeroed terms)."""
+    if k == 0:
+        return ()
+    return tuple(Term(t.sym, t.coef * k, t.div, t.mod) for t in terms)
+
+
+@dataclass(frozen=True)
+class ThreadMap:
+    """Symbolic map from (thread, block, outer-loop) ids to output coords.
+
+    For image layers the output coordinate is ``(c, y, x)``; for vector
+    layers (FC, RNN, softmax) it is a flat neuron index ``n``.  Each
+    coordinate is the sum of its terms evaluated on the warp context.
+
+    Attributes:
+        c_terms / y_terms / x_terms: Channel / row / column of the output
+            element this thread computes (image layers).
+        n_terms: Flat output index (vector layers).
+        outputs_per_thread: Trip count of the per-thread outer loop; 1
+            means each thread produces a single output.
+        active_threads_per_block: Threads per block doing real work
+            (blocks may overhang the output extent).
+    """
+
+    c_terms: tuple[Term, ...] = ()
+    y_terms: tuple[Term, ...] = ()
+    x_terms: tuple[Term, ...] = ()
+    n_terms: tuple[Term, ...] = ()
+    outputs_per_thread: int = 1
+    active_threads_per_block: int = 0
+
+    def out_index_terms(self, out_shape: tuple[int, ...]) -> tuple[Term, ...]:
+        """Terms of the flattened output element index.
+
+        For CHW outputs the flat index is ``(c*H + y)*W + x``; for vector
+        outputs it is ``n`` directly.
+        """
+        if self.n_terms:
+            return self.n_terms
+        if len(out_shape) != 3:
+            raise ValueError(f"image mapping needs a CHW output, got {out_shape}")
+        _, oh, ow = out_shape
+        return (
+            scale_terms(self.c_terms, oh * ow)
+            + scale_terms(self.y_terms, ow)
+            + self.x_terms
+        )

@@ -1,0 +1,403 @@
+"""Per-network launch mapping styles, reproducing the paper's Table III.
+
+The paper assigns one thread per neuron and splits any layer whose
+neuron count exceeds the per-kernel thread limit over multiple kernels;
+the concrete grid/block geometry differs per network in the released
+suite, and Table III records it.  This module encodes those styles:
+
+* **CifarNet** -- every image kernel is a single (32, 32, 1) block
+  (threads = spatial positions, channels looped per thread); FC kernels
+  are single blocks of one thread per output neuron.
+* **AlexNet** -- one block per output channel; spatial maps larger than
+  32x32 are tiled into 32/23-pixel tiles, one kernel per distinct tile
+  size (conv1 runs as four kernels of 96 blocks: 32x32, 32x23, 23x32,
+  23x23); wide convolutions split output channels across two kernels
+  (conv2/4/5); FC layers launch one single-thread block per neuron.
+* **SqueezeNet** -- row kernels: grid = rows, block = one thread per
+  column, channels looped per thread; pools launch with input dims.
+* **ResNet** -- every kernel is (C_out, 1, 1) x (32, 32, 1); threads
+  sweep spatial positions in 1024-element strides.
+* **VGGNet** -- 3-D grids: (tiles_x, tiles_y, C_out) with a per-size
+  tile lookup; FC layers use the (4,4,4)x(8,8,1) and (1,1,10)x(10,10,1)
+  geometries of Table III.
+* **GRU/LSTM** -- a single block per timestep: (10, 10, 1) for GRU and
+  (100, 1, 1) for LSTM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import NetworkGraph, Node
+from repro.core.layers.defs import (
+    FC,
+    DepthwiseConv2D,
+    LRN,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Eltwise,
+    GRUCell,
+    LSTMCell,
+    Pool2D,
+    ReLU,
+    Scale,
+    Softmax,
+)
+from repro.kernels.addressing import Term
+from repro.kernels.geometry import OUTER_VAR, ThreadMap
+from repro.kernels.launch import MAX_THREADS_PER_BLOCK, Dim3
+
+#: AlexNet-style spatial tiling: 55 = 32 + 23.
+_TILE = 32
+
+#: VGGNet tile lookup: output size -> (grid side, block side).
+_VGG_TILES = {224: (16, 14), 112: (8, 14), 56: (8, 7), 28: (7, 4), 14: (7, 2), 7: (7, 1)}
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """One planned kernel slice of a layer."""
+
+    node: Node
+    kernel_name: str
+    grid: Dim3
+    block: Dim3
+    tmap: ThreadMap
+    #: Timestep replication (RNN cells launch once per sequence element).
+    launches: int = 1
+
+
+def _image_out(graph: NetworkGraph, node: Node) -> tuple[int, int, int]:
+    shape = graph.out_shape(node.name)
+    if len(shape) != 3:
+        raise ValueError(f"{node.name}: expected CHW output, got {shape}")
+    return shape
+
+
+def _is_image_layer(node: Node) -> bool:
+    return isinstance(
+        node.layer,
+        (Conv2D, DepthwiseConv2D, LRN, BatchNorm, Scale, ReLU, Eltwise, Concat),
+    ) or (isinstance(node.layer, Pool2D) and not node.layer.global_pool)
+
+
+# ----------------------------------------------------------------------
+# style: CifarNet
+# ----------------------------------------------------------------------
+def _plan_cifarnet(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    for node in graph:
+        layer = node.layer
+        if isinstance(layer, Pool2D) and layer.global_pool:
+            channels = graph.out_shape(node.name)[0]
+            width = max(32, min(MAX_THREADS_PER_BLOCK, channels))
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),), active_threads_per_block=channels
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (width, 1, 1), tmap))
+        elif _is_image_layer(node):
+            oc, oh, ow = _image_out(graph, node)
+            tmap = ThreadMap(
+                c_terms=(Term(OUTER_VAR, 1),),
+                y_terms=(Term("ty", 1, mod=oh),),
+                x_terms=(Term("tx", 1, mod=ow),),
+                outputs_per_thread=oc,
+                active_threads_per_block=oh * ow,
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (32, 32, 1), tmap))
+        elif isinstance(layer, FC):
+            width = max(32, math.ceil(layer.out_features / 32) * 32)
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),),
+                active_threads_per_block=layer.out_features,
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (width, 1, 1), tmap))
+        elif isinstance(layer, Softmax):
+            classes = graph.out_shape(node.name)[0]
+            width = max(32, math.ceil(classes / 32) * 32)
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),), active_threads_per_block=classes
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (width, 1, 1), tmap))
+        else:
+            raise ValueError(f"cifarnet: unhandled layer {node.name}")
+    return plans
+
+
+# ----------------------------------------------------------------------
+# style: AlexNet
+# ----------------------------------------------------------------------
+#: Output-channel splits of the wide convolutions, from Table III.
+_ALEXNET_CONV_SPLITS = {"conv2": 2, "conv3": 1, "conv4": 2, "conv5": 2}
+
+
+def _spatial_tiles(size: int) -> list[tuple[int, int]]:
+    """Tile a spatial extent into (offset, width) pieces of <= 32 pixels."""
+    tiles = []
+    offset = 0
+    while offset < size:
+        width = min(_TILE, size - offset)
+        tiles.append((offset, width))
+        offset += width
+    return tiles
+
+
+def _plan_alexnet(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    for node in graph:
+        layer = node.layer
+        if _is_image_layer(node):
+            oc, oh, ow = _image_out(graph, node)
+            tiles_x = _spatial_tiles(ow)
+            tiles_y = _spatial_tiles(oh)
+            multi_tile = len(tiles_x) > 1 or len(tiles_y) > 1
+            splits = (
+                _ALEXNET_CONV_SPLITS.get(node.name, 1)
+                if isinstance(layer, Conv2D)
+                else 1
+            )
+            channels_per_kernel = oc // splits
+            slice_index = 0
+            for split in range(splits):
+                c_offset = split * channels_per_kernel
+                for x_off, tw in tiles_x:
+                    for y_off, th in tiles_y:
+                        slice_index += 1
+                        c_terms = (Term("bx", 1),)
+                        if c_offset:
+                            c_terms += (Term("one", c_offset),)
+                        tmap = ThreadMap(
+                            c_terms=c_terms,
+                            y_terms=(Term("ty", 1), Term("one", y_off)),
+                            x_terms=(Term("tx", 1), Term("one", x_off)),
+                            active_threads_per_block=tw * th,
+                        )
+                        suffix = f"-{slice_index}" if (multi_tile or splits > 1) else ""
+                        plans.append(
+                            KernelPlan(
+                                node,
+                                f"{node.name}{suffix}",
+                                (channels_per_kernel, 1, 1),
+                                (tw, th, 1),
+                                tmap,
+                            )
+                        )
+        elif isinstance(layer, FC):
+            tmap = ThreadMap(
+                n_terms=(Term("lin_bid", 1),), active_threads_per_block=1
+            )
+            plans.append(
+                KernelPlan(node, node.name, (layer.out_features, 1, 1), (1, 1, 1), tmap)
+            )
+        elif isinstance(layer, Softmax):
+            classes = graph.out_shape(node.name)[0]
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),), active_threads_per_block=classes
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (classes, 1, 1), tmap))
+        else:
+            raise ValueError(f"alexnet: unhandled layer {node.name}")
+    return plans
+
+
+# ----------------------------------------------------------------------
+# style: SqueezeNet (row kernels)
+# ----------------------------------------------------------------------
+def _plan_squeezenet(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    for node in graph:
+        layer = node.layer
+        if isinstance(layer, Concat):
+            # The released kernels write expand outputs directly into the
+            # concatenated buffer; no copy kernel is launched (and Table
+            # III lists none).
+            continue
+        if isinstance(layer, Pool2D) and layer.global_pool:
+            channels = graph.out_shape(node.name)[0]
+            width = min(MAX_THREADS_PER_BLOCK, channels)
+            blocks = math.ceil(channels / width)
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1), Term("lin_bid", width)),
+                active_threads_per_block=width,
+            )
+            plans.append(
+                KernelPlan(node, node.name, (blocks, 1, 1), (width, 1, 1), tmap)
+            )
+        elif _is_image_layer(node):
+            oc, oh, ow = _image_out(graph, node)
+            if isinstance(layer, Pool2D):
+                # Table III launches pools with the *input* spatial dims.
+                _, gh, gw = graph.in_shapes(node)[0]
+            else:
+                gh, gw = oh, ow
+            tmap = ThreadMap(
+                c_terms=(Term(OUTER_VAR, 1),),
+                y_terms=(Term("bx", 1, mod=oh),),
+                x_terms=(Term("tx", 1, mod=ow),),
+                outputs_per_thread=oc,
+                active_threads_per_block=min(gw, ow) if isinstance(layer, Pool2D) else ow,
+            )
+            plans.append(KernelPlan(node, node.name, (gh, 1, 1), (gw, 1, 1), tmap))
+        elif isinstance(layer, Softmax):
+            classes = graph.out_shape(node.name)[0]
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),), active_threads_per_block=classes
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (classes, 1, 1), tmap))
+        else:
+            raise ValueError(f"squeezenet: unhandled layer {node.name}")
+    return plans
+
+
+# ----------------------------------------------------------------------
+# style: ResNet
+# ----------------------------------------------------------------------
+def _plan_resnet(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    for node in graph:
+        layer = node.layer
+        if isinstance(layer, Pool2D) and layer.global_pool:
+            channels = graph.out_shape(node.name)[0]
+            width = min(MAX_THREADS_PER_BLOCK, channels)
+            blocks = math.ceil(channels / width)
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1), Term("lin_bid", width)),
+                active_threads_per_block=width,
+            )
+            plans.append(
+                KernelPlan(node, node.name, (blocks, 1, 1), (width, 1, 1), tmap)
+            )
+        elif _is_image_layer(node):
+            oc, oh, ow = _image_out(graph, node)
+            spatial = oh * ow
+            per_thread = math.ceil(spatial / MAX_THREADS_PER_BLOCK)
+            y_terms: tuple[Term, ...] = (Term("lin_tid", 1, div=ow),)
+            if per_thread > 1:
+                y_terms += (Term(OUTER_VAR, max(1, round(MAX_THREADS_PER_BLOCK / ow))),)
+            tmap = ThreadMap(
+                c_terms=(Term("bx", 1),),
+                y_terms=y_terms,
+                x_terms=(Term("lin_tid", 1, mod=ow),),
+                outputs_per_thread=per_thread,
+                active_threads_per_block=min(MAX_THREADS_PER_BLOCK, spatial),
+            )
+            plans.append(KernelPlan(node, node.name, (oc, 1, 1), (32, 32, 1), tmap))
+        elif isinstance(layer, FC):
+            tmap = ThreadMap(n_terms=(Term("lin_bid", 1),), active_threads_per_block=1)
+            plans.append(
+                KernelPlan(node, node.name, (layer.out_features, 1, 1), (1, 1, 1), tmap)
+            )
+        elif isinstance(layer, Softmax):
+            classes = graph.out_shape(node.name)[0]
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),), active_threads_per_block=classes
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (classes, 1, 1), tmap))
+        else:
+            raise ValueError(f"resnet: unhandled layer {node.name}")
+    return plans
+
+
+# ----------------------------------------------------------------------
+# style: VGGNet
+# ----------------------------------------------------------------------
+def _plan_vggnet(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    for node in graph:
+        layer = node.layer
+        if _is_image_layer(node):
+            oc, oh, ow = _image_out(graph, node)
+            if oh not in _VGG_TILES:
+                raise ValueError(f"vggnet: no tile entry for spatial size {oh}")
+            g, b = _VGG_TILES[oh]
+            tmap = ThreadMap(
+                c_terms=(Term("bz", 1),),
+                y_terms=(Term("by", b), Term("ty", 1)),
+                x_terms=(Term("bx", b), Term("tx", 1)),
+                active_threads_per_block=b * b,
+            )
+            plans.append(KernelPlan(node, node.name, (g, g, oc), (b, b, 1), tmap))
+        elif isinstance(layer, FC):
+            if layer.out_features == 4096:
+                grid, block = (4, 4, 4), (8, 8, 1)
+            else:
+                grid, block = (1, 1, 10), (10, 10, 1)
+            threads = block[0] * block[1]
+            tmap = ThreadMap(
+                n_terms=(Term("lin_bid", threads), Term("lin_tid", 1)),
+                active_threads_per_block=threads,
+            )
+            plans.append(KernelPlan(node, node.name, grid, block, tmap))
+        elif isinstance(layer, Softmax):
+            tmap = ThreadMap(
+                n_terms=(Term("lin_bid", 100), Term("lin_tid", 1)),
+                active_threads_per_block=100,
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 10), (10, 10, 1), tmap))
+        else:
+            raise ValueError(f"vggnet: unhandled layer {node.name}")
+    return plans
+
+
+# ----------------------------------------------------------------------
+# style: RNNs
+# ----------------------------------------------------------------------
+def _plan_rnn(graph: NetworkGraph) -> list[KernelPlan]:
+    plans: list[KernelPlan] = []
+    seq_len = graph.input_shape[0]
+    for node in graph:
+        layer = node.layer
+        if isinstance(layer, GRUCell):
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),),
+                active_threads_per_block=layer.hidden_size,
+            )
+            plans.append(
+                KernelPlan(node, "GRU Layer", (1, 1, 1), (10, 10, 1), tmap, launches=seq_len)
+            )
+        elif isinstance(layer, LSTMCell):
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),),
+                active_threads_per_block=layer.hidden_size,
+            )
+            plans.append(
+                KernelPlan(
+                    node, "LSTM Layer", (1, 1, 1), (100, 1, 1), tmap, launches=seq_len
+                )
+            )
+        elif isinstance(layer, FC):
+            width = max(32, math.ceil(layer.out_features / 32) * 32)
+            tmap = ThreadMap(
+                n_terms=(Term("lin_tid", 1),),
+                active_threads_per_block=layer.out_features,
+            )
+            plans.append(KernelPlan(node, node.name, (1, 1, 1), (width, 1, 1), tmap))
+        else:
+            raise ValueError(f"rnn: unhandled layer {node.name}")
+    return plans
+
+
+_PLANNERS = {
+    "cifarnet": _plan_cifarnet,
+    "alexnet": _plan_alexnet,
+    "squeezenet": _plan_squeezenet,
+    "resnet": _plan_resnet,
+    "vggnet": _plan_vggnet,
+    "gru": _plan_rnn,
+    "lstm": _plan_rnn,
+    # MobileNet (extension) uses the ResNet block-per-channel style.
+    "mobilenet": _plan_resnet,
+}
+
+
+def plan_network(graph: NetworkGraph) -> list[KernelPlan]:
+    """Plan the kernel launches of *graph* in invocation order."""
+    try:
+        planner = _PLANNERS[graph.name]
+    except KeyError:
+        raise KeyError(f"no launch mapping style for network {graph.name!r}") from None
+    return planner(graph)

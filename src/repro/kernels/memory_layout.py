@@ -1,0 +1,57 @@
+"""Canonical per-kernel global-memory layout.
+
+Each kernel launch gets its own canonical address space: inputs,
+weights and outputs are placed in fixed, widely-separated slots (256 MB
+apart, 256-byte aligned).  Canonical placement makes two kernels with
+identical shapes byte-identical to the simulator, which lets the
+network simulator cache results across ResNet's many repeated
+bottleneck kernels (see :meth:`repro.kernels.launch.KernelLaunch.signature`).
+
+Cross-kernel cache reuse is not modelled (each kernel simulates against
+a warm-ish hierarchy of its own traffic only); DESIGN.md section 6
+records this approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernels.launch import MemRegion
+
+#: Slot spacing: regions can never collide (max tensor ~550 MB < 1 GB gap).
+_SLOT_STRIDE = 1 << 30
+#: Region alignment in bytes.
+_ALIGN = 256
+
+
+@dataclass
+class MemLayout:
+    """Allocates canonical global-memory regions for one kernel."""
+
+    _regions: list[MemRegion] = field(default_factory=list)
+    _cursors: dict[str, int] = field(default_factory=dict)
+
+    _SLOTS = {"input": 1, "weight": 2, "output": 3, "scratch": 4}
+
+    def alloc(self, slot: str, name: str, size_bytes: int) -> int:
+        """Allocate *size_bytes* in *slot*; returns the base address."""
+        if slot not in self._SLOTS:
+            raise ValueError(f"unknown memory slot {slot!r}")
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        base_of_slot = self._SLOTS[slot] * _SLOT_STRIDE
+        cursor = self._cursors.get(slot, base_of_slot)
+        aligned = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+        self._cursors[slot] = aligned + size_bytes
+        region = MemRegion(name, aligned, size_bytes)
+        self._regions.append(region)
+        return aligned
+
+    @property
+    def regions(self) -> tuple[MemRegion, ...]:
+        """All regions allocated so far, in allocation order."""
+        return tuple(self._regions)
+
+    def total_bytes(self) -> int:
+        """Sum of all allocated region sizes."""
+        return sum(r.size_bytes for r in self._regions)

@@ -1,0 +1,198 @@
+"""Imperative builder for thread programs.
+
+Wraps a :class:`~repro.isa.registers.RegisterAllocator` and a stack of
+instruction lists so layer builders can emit PTX-like code naturally::
+
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue()
+    acc = pb.alu(Op.MOV, DType.F32)
+    with pb.loop(REDUCE_VAR, trips) as rc:
+        w = pb.ld(DType.F32, w_addr, deps=(rc,))
+        x = pb.ld(DType.F32, in_addr, deps=(rc,))
+        acc = pb.alu(Op.MAD, DType.F32, w, x, acc, dst=acc)
+    pb.st(DType.F32, acc, out_addr)
+    program = pb.finish()
+
+The emitted sequences intentionally mirror what nvcc produces for the
+paper's kernels: ``mov``/``cvt`` id reads, ``mad24`` linearization, the
+warp-unit ``shl`` the paper calls out (Section IV-D.1), per-iteration
+``add``/``set``/``bra`` loop bookkeeping, ``ssy`` at divergence points
+and trailing ``nop`` padding — these are what make the operation-mix
+figures (8 and 9) come out with the paper's add/mad/shl/mul-heavy shape.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.isa.dtypes import DType
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op
+from repro.isa.program import Loop, Program
+from repro.isa.registers import Reg, RegisterAllocator
+
+
+class ProgramBuilder:
+    """Builds one thread program instruction by instruction."""
+
+    def __init__(self) -> None:
+        self.ra = RegisterAllocator()
+        self._stack: list[list] = [[]]
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+    def emit(self, instr: Instruction) -> None:
+        """Append a fully-formed instruction."""
+        self._stack[-1].append(instr)
+
+    def special(self, name: str) -> Reg:
+        """The named entry-live special register (%tid.x, pointers, ...)."""
+        return self.ra.special(name)
+
+    def alu(self, op: Op, dtype: DType, *srcs: Reg, dst: Reg | None = None) -> Reg:
+        """Emit an ALU op; allocates a fresh destination unless given."""
+        if dst is None:
+            dst = self.ra.fresh()
+        self.emit(Instruction(op, dtype, dst=dst, srcs=tuple(srcs)))
+        return dst
+
+    def ld(
+        self,
+        dtype: DType,
+        addr=None,
+        space: MemSpace = MemSpace.GLOBAL,
+        deps: tuple[Reg, ...] = (),
+        width: int = 4,
+        dst: Reg | None = None,
+    ) -> Reg:
+        """Emit a load; returns the destination register."""
+        if dst is None:
+            dst = self.ra.fresh()
+        self.emit(
+            Instruction(
+                Op.LD, dtype, dst=dst, srcs=tuple(deps), space=space, addr=addr,
+                width_bytes=width,
+            )
+        )
+        return dst
+
+    def st(
+        self,
+        dtype: DType,
+        value: Reg,
+        addr=None,
+        space: MemSpace = MemSpace.GLOBAL,
+        deps: tuple[Reg, ...] = (),
+        width: int = 4,
+    ) -> None:
+        """Emit a store of *value*."""
+        self.emit(
+            Instruction(
+                Op.ST, dtype, dst=None, srcs=(value,) + tuple(deps), space=space,
+                addr=addr, width_bytes=width,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @contextmanager
+    def loop(self, var: str, trips: int):
+        """A counted loop.
+
+        Emits the surrounding bookkeeping the compiler would produce:
+        ``ssy`` + counter ``mov`` before the loop; per-iteration counter
+        ``add``, ``set`` on the bound and backward ``bra`` at the bottom;
+        a ``nop`` pad after.  Yields the counter register so the body can
+        express dependencies on it.
+        """
+        counter = self.ra.fresh()
+        bound = self.ra.fresh()
+        self.emit(Instruction(Op.SSY, DType.NONE))
+        self.emit(Instruction(Op.MOV, DType.U32, dst=counter))
+        self.emit(Instruction(Op.MOV, DType.U32, dst=bound))
+        self._stack.append([])
+        try:
+            yield counter
+        finally:
+            pred = self.ra.fresh()
+            body = self._stack.pop()
+            body.append(Instruction(Op.ADD, DType.U32, dst=counter, srcs=(counter,)))
+            body.append(
+                Instruction(Op.SET, DType.U32, dst=pred, srcs=(counter, bound))
+            )
+            body.append(Instruction(Op.BRA, DType.NONE, srcs=(pred,)))
+            self._stack[-1].append(Loop(var, trips, tuple(body)))
+            self.emit(Instruction(Op.NOP, DType.NONE))
+
+    # ------------------------------------------------------------------
+    # canned sequences
+    # ------------------------------------------------------------------
+    def thread_prologue(self, two_d: bool = True, warp_indexing: bool = True) -> dict[str, Reg]:
+        """Standard kernel entry: read ids, linearize, byte-scale.
+
+        ``warp_indexing`` adds the ``shr``/``shl`` warp-unit index
+        arithmetic the paper observes in CNN kernels; the RNN kernels
+        (single small block) skip it, which is why the paper's Figure 8
+        shows ``shl`` in CNNs but not RNNs.
+        """
+        regs: dict[str, Reg] = {}
+        tid_x = self.special("%tid.x")
+        ctaid_x = self.special("%ctaid.x")
+        ntid_x = self.special("%ntid.x")
+        tx = self.alu(Op.MOV, DType.U16, tid_x)
+        tx32 = self.alu(Op.CVT, DType.U32, tx)
+        regs["tx"] = tx32
+        if two_d:
+            tid_y = self.special("%tid.y")
+            ty = self.alu(Op.MOV, DType.U16, tid_y)
+            ty32 = self.alu(Op.CVT, DType.U32, ty)
+            lin = self.alu(Op.MAD24, DType.U32, ty32, ntid_x, tx32)
+            regs["ty"] = ty32
+        else:
+            lin = tx32
+        bx = self.alu(Op.MOV, DType.U16, ctaid_x)
+        bx32 = self.alu(Op.CVT, DType.U32, bx)
+        regs["bx"] = bx32
+        regs["lin"] = lin
+        if warp_indexing:
+            # Warp-unit data indexing: each warp runs 32 threads, so the
+            # compiled code shifts by 5 to form warp-granular indices and
+            # by 2 to form byte offsets (Observation in Section IV-D.1).
+            regs["warp"] = self.alu(Op.SHR, DType.U32, lin)
+            regs["byte"] = self.alu(Op.SHL, DType.U32, lin)
+        # Kernel dimension parameters come from the constant bank.
+        regs["dim0"] = self.ld(DType.U32, space=MemSpace.CONST)
+        regs["dim1"] = self.ld(DType.U32, space=MemSpace.CONST)
+        return regs
+
+    def guard(self, on: Reg) -> Reg:
+        """Bounds-check: ``set`` a predicate from *on* and branch on it."""
+        pred = self.alu(Op.SET, DType.U32, on)
+        self.emit(Instruction(Op.BRA, DType.NONE, srcs=(pred,)))
+        return pred
+
+    def finish(self) -> Program:
+        """Close the program with ``exit`` and return it."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop in program builder")
+        self.emit(Instruction(Op.EXIT, DType.NONE))
+        return Program(
+            items=tuple(self._stack[0]),
+            reg_count=self.ra.count,
+            entry_regs=self.ra.specials,
+        )
+
+
+def build_guard_program() -> Program:
+    """Tiny program run by fully-inactive warps: check bounds and exit.
+
+    Blocks whose tile overhangs the layer's output extent carry warps in
+    which every thread fails the bounds check; in the real kernels those
+    warps execute only the prologue guard before exiting.
+    """
+    pb = ProgramBuilder()
+    ids = pb.thread_prologue(two_d=False, warp_indexing=False)
+    pb.guard(ids["lin"])
+    return pb.finish()

@@ -1,0 +1,16 @@
+"""GPU memory-system models: coalescer, caches, MSHRs, DRAM.
+
+These are the components GPGPU-Sim models that the paper's cache
+studies exercise: the configurable/bypassable L1 data cache (Figure 2),
+the shared L2 whose misses and miss ratios Figures 13-14 report, the
+MSHR file whose exhaustion produces ``memory_throttle`` stalls
+(Figure 7), and the DRAM bandwidth model behind memory latency.
+"""
+
+from repro.memory.cache import Cache
+from repro.memory.coalescer import coalesce
+from repro.memory.dram import Dram
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.mshr import MshrFile
+
+__all__ = ["AccessResult", "Cache", "Dram", "MemoryHierarchy", "MshrFile", "coalesce"]

@@ -1,0 +1,114 @@
+"""Set-associative cache with LRU replacement.
+
+Used for the L1 data cache (per SM, sizeable and bypassable — the
+Figure 2 sweep), the L2 slice, and the small constant cache.  The model
+is a tag store only: hit/miss behaviour and statistics, no data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; ``weighted_*`` honour sampling weights."""
+
+    accesses: float = 0.0
+    hits: float = 0.0
+    misses: float = 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Miss ratio over all accesses (0 when idle)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate *other* into this instance."""
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class Cache:
+    """A set-associative LRU tag store.
+
+    A ``size_bytes`` of 0 models a bypassed cache: every access misses
+    and nothing is allocated (the paper's "No L1" configuration).
+    """
+
+    def __init__(
+        self, name: str, size_bytes: int, line_bytes: int = 128, assoc: int = 8
+    ) -> None:
+        if size_bytes < 0:
+            raise ValueError("cache size must be non-negative")
+        if line_bytes <= 0 or (line_bytes & (line_bytes - 1)):
+            raise ValueError("line_bytes must be a positive power of two")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.assoc = max(1, assoc)
+        n_lines = size_bytes // line_bytes
+        self.n_sets = max(1, n_lines // self.assoc) if n_lines else 0
+        # Each set is an LRU-ordered list of tags (most recent last).
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._index_shift = max(1, self.n_sets.bit_length() - 1)
+        self.stats = CacheStats()
+
+    def _set_index(self, line: int) -> int:
+        """Hashed set index (XOR-folded), as GPU caches use to avoid
+        pathological conflicts on power-of-two strides — e.g. the
+        4 KB-apart weight rows of a fully-connected layer."""
+        return (line ^ (line >> self._index_shift)) % self.n_sets
+
+    @property
+    def enabled(self) -> bool:
+        """False when the cache is bypassed (zero capacity)."""
+        return self.n_sets > 0
+
+    def access(self, addr: int, weight: float = 1.0, allocate: bool = True) -> bool:
+        """Look up the line containing *addr*; returns True on hit.
+
+        Args:
+            addr: Byte address.
+            weight: Sampling weight added to the counters.
+            allocate: Allocate on miss (write-through no-allocate stores
+                pass False).
+        """
+        self.stats.accesses += weight
+        if not self.enabled:
+            self.stats.misses += weight
+            return False
+        line = addr // self.line_bytes
+        index = self._set_index(line)
+        tag = line
+        entry = self._sets[index]
+        try:
+            pos = entry.index(tag)
+        except ValueError:
+            self.stats.misses += weight
+            if allocate:
+                if len(entry) >= self.assoc:
+                    entry.pop(0)
+                entry.append(tag)
+            return False
+        # Move to MRU position.
+        entry.append(entry.pop(pos))
+        self.stats.hits += weight
+        return True
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating presence probe (no stats, no LRU update)."""
+        if not self.enabled:
+            return False
+        line = addr // self.line_bytes
+        return line in self._sets[self._set_index(line)]
+
+    def flush(self) -> None:
+        """Invalidate every line (stats are preserved)."""
+        for entry in self._sets:
+            entry.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently allocated."""
+        return sum(len(entry) for entry in self._sets)

@@ -1,0 +1,38 @@
+"""Global-memory access coalescing.
+
+A warp's 32 lanes each present one address; the coalescer merges them
+into the minimal set of 128-byte transactions, exactly as the CUDA
+hardware does.  Broadcast accesses (all lanes on one filter tap)
+collapse to a single transaction; a fully-strided fully-connected
+access degenerates to 32 — the difference that separates the paper's
+convolution and FC memory behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Memory transaction granularity in bytes (one cache sector/line).
+TRANSACTION_BYTES = 128
+
+
+def coalesce(addresses: np.ndarray, width_bytes: int = 4) -> np.ndarray:
+    """Merge per-lane byte addresses into unique transaction addresses.
+
+    Args:
+        addresses: int64 array of active-lane byte addresses.
+        width_bytes: Bytes each lane accesses (vector loads touch more
+            than one transaction when they straddle a boundary).
+
+    Returns:
+        Sorted int64 array of unique transaction base addresses.
+    """
+    if addresses.size == 0:
+        return addresses
+    first = addresses // TRANSACTION_BYTES
+    if width_bytes <= 1:
+        return np.unique(first) * TRANSACTION_BYTES
+    last = (addresses + width_bytes - 1) // TRANSACTION_BYTES
+    if np.array_equal(first, last):
+        return np.unique(first) * TRANSACTION_BYTES
+    return np.unique(np.concatenate([first, last])) * TRANSACTION_BYTES

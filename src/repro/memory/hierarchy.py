@@ -1,0 +1,146 @@
+"""The per-SM view of the memory hierarchy: L1D -> L2 slice -> DRAM.
+
+The simulator drives one streaming multiprocessor (DESIGN.md section 6);
+its hierarchy couples a private L1D (sizeable/bypassable, Figure 2) with
+MSHRs, a slice of the shared L2 (capacity / num_SMs) and one DRAM
+channel share.  Constant loads go through a small constant cache, and
+shared-memory accesses complete at a fixed scratchpad latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memory.cache import Cache
+from repro.memory.dram import Dram
+from repro.memory.mshr import MshrFile
+
+#: Transaction/line size in bytes, matching the coalescer granularity.
+LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one warp memory instruction.
+
+    ``ready_cycle`` is ``None`` when the access was throttled (MSHRs
+    exhausted) and must replay; ``transactions`` is how many memory
+    transactions the coalescer produced.
+    """
+
+    ready_cycle: int | None
+    transactions: int
+    l1_hits: int = 0
+    l2_hits: int = 0
+
+
+class MemoryHierarchy:
+    """L1D + MSHR + L2 slice + DRAM for one simulated SM."""
+
+    def __init__(
+        self,
+        l1_size: int,
+        l2_size: int,
+        mshr_entries: int = 32,
+        l1_assoc: int = 4,
+        l2_assoc: int = 16,
+        lat_l1: int = 28,
+        lat_l2: int = 270,
+        lat_shared: int = 24,
+        lat_const: int = 18,
+        dram_latency: int = 460,
+        dram_bytes_per_cycle: float = 8.0,
+        const_size: int = 2048,
+    ) -> None:
+        self.l1 = Cache("L1D", l1_size, LINE_BYTES, l1_assoc)
+        self.l2 = Cache("L2", l2_size, LINE_BYTES, l2_assoc)
+        self.const_cache = Cache("CC", const_size, 64, 4)
+        self.mshr = MshrFile(mshr_entries)
+        self.dram = Dram(dram_latency, dram_bytes_per_cycle)
+        self.lat_l1 = lat_l1
+        self.lat_l2 = lat_l2
+        self.lat_shared = lat_shared
+        self.lat_const = lat_const
+        # Aggregate traffic counters (weighted).
+        self.load_transactions = 0.0
+        self.store_transactions = 0.0
+        self.shared_accesses = 0.0
+        self.const_accesses = 0.0
+
+    # ------------------------------------------------------------------
+    def load(self, now: int, tx_addrs: np.ndarray, weight: float) -> AccessResult:
+        """Service a coalesced global load; may throttle on MSHRs.
+
+        The MSHR check runs *before* any cache/DRAM side effects so a
+        throttled access can replay without perturbing state or
+        double-counting statistics.
+        """
+        self.mshr.drain(now)
+        needed = sum(
+            1
+            for addr in tx_addrs
+            if not self.l1.contains(int(addr))
+        )
+        # Throttle when the file cannot take this access.  An access
+        # wider than the whole file (e.g. a 32-transaction FC load on a
+        # 16-entry file) proceeds once the file is empty — hardware
+        # splits it across MSHR waves — otherwise it could never issue.
+        free = self.mshr.capacity - self.mshr.in_use
+        if needed > free and self.mshr.in_use > 0:
+            self.mshr.throttle_events += weight
+            return AccessResult(None, len(tx_addrs))
+        ready = now + self.lat_l1
+        l1_hits = 0
+        l2_hits = 0
+        for addr in tx_addrs:
+            addr = int(addr)
+            if self.l1.access(addr, weight):
+                l1_hits += 1
+                continue
+            # L1 miss: fill through L2 (or DRAM) holding an MSHR entry.
+            if self.l2.access(addr, weight):
+                completion = now + self.lat_l2
+                l2_hits += 1
+            else:
+                completion = self.dram.service(now, LINE_BYTES, weight)
+            self.mshr.reserve(addr // LINE_BYTES, completion, now, weight)
+            ready = max(ready, completion)
+        misses = len(tx_addrs) - l1_hits
+        if misses > self.mshr.capacity:
+            # The access is wider than the MSHR file: the LSU replays it
+            # in capacity-sized waves, serializing the extra groups.
+            waves = -(-misses // self.mshr.capacity) - 1
+            ready += waves * self.lat_l1
+            self.mshr.hold_until(int(ready))
+        self.load_transactions += len(tx_addrs) * weight
+        return AccessResult(ready, len(tx_addrs), l1_hits, l2_hits)
+
+    def store(self, now: int, tx_addrs: np.ndarray, weight: float) -> AccessResult:
+        """Service a global store (write-through, no L1 allocate)."""
+        for addr in tx_addrs:
+            addr = int(addr)
+            self.l1.access(addr, weight, allocate=False)
+            if not self.l2.access(addr, weight):
+                self.dram.service(now, LINE_BYTES, weight)
+        self.store_transactions += len(tx_addrs) * weight
+        return AccessResult(now + 1, len(tx_addrs))
+
+    def shared(self, now: int, weight: float) -> int:
+        """Shared-memory access: fixed scratchpad latency."""
+        self.shared_accesses += weight
+        return now + self.lat_shared
+
+    def const(self, now: int, weight: float) -> tuple[int, bool]:
+        """Constant-bank access; returns (ready_cycle, was_miss)."""
+        self.const_accesses += weight
+        # The constant bank is tiny; model a single hot line per kernel.
+        hit = self.const_cache.access(0, weight)
+        if hit:
+            return now + self.lat_const, False
+        return now + self.lat_l2, True
+
+    def mshr_pressure(self) -> float:
+        """Fraction of MSHR entries in use (diagnostics/ablation)."""
+        return self.mshr.in_use / self.mshr.capacity

@@ -1,0 +1,20 @@
+"""Evaluation platforms (Tables II and IV).
+
+GPU configurations for the paper's three CUDA targets — the Pascal
+GP102 GPGPU-Sim model, the Kepler GK210 server GPU and the Maxwell
+Tegra X1 mobile GPU — plus the analytic Xilinx PynQ-Z1 FPGA model used
+for the OpenCL energy comparison (Figure 6).
+"""
+
+from repro.platforms.registry import GK210, GP102, TX1, get_platform, list_platforms
+from repro.platforms.pynq import PYNQ_Z1, PynqZ1Model
+
+__all__ = [
+    "GK210",
+    "GP102",
+    "PYNQ_Z1",
+    "PynqZ1Model",
+    "TX1",
+    "get_platform",
+    "list_platforms",
+]

@@ -1,0 +1,91 @@
+"""GPU platform configurations (the paper's Table II).
+
+Parameters follow the table plus the public specifications of each
+part:
+
+* **GK210** (server, Kepler): one die of a Tesla K80 — 13 SMX of 192
+  cores, 24 GB GDDR5, 128 KB shared/L1 per block group.
+* **Tegra X1** (mobile, Maxwell): 2 SMM of 128 cores, 4 GB LPDDR4,
+  48 KB L1/texture, 256 KB L2.
+* **GP102** (simulator, Pascal): 28 SMs of 128 cores (the development
+  GPGPU-Sim Pascal model the paper uses), 11 GB GDDR5X, 64 KB default
+  L1D (the Figure 2 sweep rescales it), 96 KB shared memory.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.config import GpuConfig
+
+KB = 1024
+MB = 1024 * 1024
+
+#: NVIDIA GK210 (one die of the Tesla K80 board the paper profiles).
+GK210 = GpuConfig(
+    name="GK210",
+    num_sms=13,
+    cores_per_sm=192,
+    clock_ghz=0.875,
+    registers_per_sm=65536 * 2,  # Kepler GK210 doubles the SMX register file
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    shared_mem_per_sm=112 * KB,
+    l1_size=48 * KB,
+    l2_size=1536 * KB,
+    dram_gb_per_s=240.0,
+    mshr_entries=44,  # Kepler's LSU tracks up to 44 in-flight loads per SMX
+    tdp_watts=150.0,
+    idle_watts=25.0,
+)
+
+#: NVIDIA Tegra X1 (Jetson TX1 board).
+TX1 = GpuConfig(
+    name="TX1",
+    num_sms=2,
+    cores_per_sm=128,
+    clock_ghz=0.998,
+    registers_per_sm=32768,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=48 * KB,
+    l1_size=24 * KB,
+    l2_size=256 * KB,
+    dram_gb_per_s=25.6,
+    mshr_entries=16,
+    tdp_watts=15.0,
+    idle_watts=2.0,
+)
+
+#: Pascal GP102 as modelled by the development branch of GPGPU-Sim.
+GP102 = GpuConfig(
+    name="GP102",
+    num_sms=28,
+    cores_per_sm=128,
+    clock_ghz=1.48,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * KB,
+    l1_size=64 * KB,  # Pascal default; Figure 2 sweeps 0/64K/128K/256K
+    l2_size=3 * MB,
+    dram_gb_per_s=484.0,
+    mshr_entries=32,
+    tdp_watts=250.0,
+    idle_watts=50.0,
+)
+
+_PLATFORMS = {"gk210": GK210, "tx1": TX1, "gp102": GP102}
+
+
+def list_platforms() -> tuple[str, ...]:
+    """Names of the registered GPU platforms."""
+    return tuple(_PLATFORMS)
+
+
+def get_platform(name: str) -> GpuConfig:
+    """Look up a GPU platform by (case-insensitive) name."""
+    try:
+        return _PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {', '.join(_PLATFORMS)}"
+        ) from None

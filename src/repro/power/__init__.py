@@ -1,0 +1,19 @@
+"""Power models: GPUWattch-style component energy plus a device meter.
+
+The paper measures power two ways (Section IV): GPUWattch on top of
+GPGPU-Sim for per-component and per-layer detail (Figures 3-5), and a
+Wattsup wall meter for device-level numbers on the embedded boards
+(Figure 6).  This package mirrors both:
+
+* :mod:`repro.power.energy_table` -- per-access energies and static
+  power parameters.
+* :mod:`repro.power.gpuwattch` -- activity x energy accounting over the
+  simulator's :class:`~repro.profiling.stats.KernelStats`.
+* :mod:`repro.power.wattsup` -- the board-level meter model used for the
+  TX1-vs-PynQ energy comparison.
+"""
+
+from repro.power.gpuwattch import ComponentPower, GpuWattchModel
+from repro.power.wattsup import WattsupMeter
+
+__all__ = ["ComponentPower", "GpuWattchModel", "WattsupMeter"]

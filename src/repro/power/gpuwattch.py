@@ -1,0 +1,135 @@
+"""GPUWattch-style activity/energy accounting.
+
+Converts the simulator's per-kernel activity counters into per-component
+energies and average/peak power, reproducing the paper's three power
+figures:
+
+* Figure 3 — peak power per network = the most power-hungry kernel's
+  average power (peak across layers), which tracks layer size because
+  larger layers light up more SMs concurrently (Observation 3).
+* Figure 4 — per-layer-type power shares, computed from each category's
+  average power (energy over that category's own time), which comes out
+  far more balanced than the execution-time split because every layer
+  type pays cache/memory energy (Observation 4).
+* Figure 5 — per-component breakdown, dominated by RF, L2C and
+  IDLE_CORE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.simulator import KernelResult, NetworkResult
+from repro.isa.opcodes import Pipe
+from repro.power.energy_table import DEFAULT_ENERGY, FIGURE5_ORDER, EnergyTable
+from repro.profiling.stats import KernelStats
+
+PJ = 1e-12
+
+
+@dataclass
+class ComponentPower:
+    """Average power in watts per Figure 5 component, over some window."""
+
+    watts: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """Total average power of the window."""
+        return sum(self.watts.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-component share of total power."""
+        total = self.total
+        if total <= 0:
+            return {key: 0.0 for key in self.watts}
+        return {key: value / total for key, value in self.watts.items()}
+
+
+class GpuWattchModel:
+    """Activity x energy power model over simulator statistics."""
+
+    def __init__(self, config: GpuConfig, energy: EnergyTable | None = None):
+        self.config = config
+        # The default table is calibrated for the 250W GP102 class;
+        # other platforms (the 15W TX1) get a TDP-scaled derivative.
+        self.energy = energy or DEFAULT_ENERGY.scaled_for_tdp(config.tdp_watts)
+
+    # ------------------------------------------------------------------
+    def component_energy_joules(self, stats: KernelStats) -> dict[str, float]:
+        """Total energy per component for the window *stats* covers."""
+        e = self.energy
+        issued = stats.issued
+        by_pipe = stats.issued_by_pipe
+        transactions = stats.load_transactions + stats.store_transactions
+        l2_traffic = stats.l2_accesses
+        dram_requests = stats.l2_misses
+
+        energy: dict[str, float] = {
+            "IB": issued * e.ib_pj,
+            "IC": issued * e.ic_pj,
+            "DC": stats.l1_accesses * e.dc_pj,
+            "TC": 0.0,
+            "CC": stats.const_accesses * e.cc_pj,
+            "SHRD": stats.shared_accesses * e.shrd_pj,
+            "RF": (stats.rf_reads + stats.rf_writes) * e.rf_pj,
+            "SP": by_pipe.get(Pipe.SP, 0.0) * e.sp_pj,
+            "SFU": by_pipe.get(Pipe.SFU, 0.0) * e.sfu_pj,
+            "FPU": by_pipe.get(Pipe.FPU, 0.0) * e.fpu_pj,
+            "SCHED": issued * e.sched_pj,
+            "L2C": l2_traffic * e.l2c_pj,
+            "MC": dram_requests * e.mc_pj,
+            "NOC": transactions * e.noc_pj,
+            "DRAM": stats.dram_bytes * e.dram_pj_per_byte,
+            "PIPE": issued * e.pipe_pj,
+        }
+        core_dynamic = sum(energy.values())
+        energy["CONST_DYNAMIC"] = core_dynamic * e.const_dynamic_fraction
+        # Static energy: every powered SM leaks for the whole window.
+        window_s = self.window_seconds(stats)
+        energy["IDLE_CORE"] = (
+            self.config.num_sms * e.idle_sm_watts + e.uncore_static_watts
+        ) * window_s
+        return {key: value * (PJ if key != "IDLE_CORE" else 1.0) for key, value in energy.items()}
+
+    def window_seconds(self, stats: KernelStats) -> float:
+        """Wall-clock duration of the window *stats* covers."""
+        return stats.cycles / (self.config.clock_ghz * 1e9)
+
+    # ------------------------------------------------------------------
+    def kernel_power(self, result: KernelResult) -> ComponentPower:
+        """Average power of one kernel launch."""
+        return self.stats_power(result.stats)
+
+    def stats_power(self, stats: KernelStats) -> ComponentPower:
+        """Average power of an arbitrary stats window."""
+        window = self.window_seconds(stats)
+        if window <= 0:
+            return ComponentPower({key: 0.0 for key in FIGURE5_ORDER})
+        energy = self.component_energy_joules(stats)
+        return ComponentPower({key: energy[key] / window for key in FIGURE5_ORDER})
+
+    # ------------------------------------------------------------------
+    def peak_power(self, result: NetworkResult) -> float:
+        """Figure 3: the highest per-kernel average power of the run."""
+        return max(self.kernel_power(k).total for k in result.kernels)
+
+    def peak_kernel(self, result: NetworkResult) -> KernelResult:
+        """The kernel that sets the network's peak power."""
+        return max(result.kernels, key=lambda k: self.kernel_power(k).total)
+
+    def category_power(self, result: NetworkResult) -> dict[str, float]:
+        """Figure 4: average power per layer-type category."""
+        out: dict[str, float] = {}
+        for category, stats in result.stats_by_category().items():
+            out[category] = self.stats_power(stats).total
+        return out
+
+    def network_breakdown(self, result: NetworkResult) -> ComponentPower:
+        """Figure 5: per-component average power over the whole run."""
+        return self.stats_power(result.aggregate())
+
+    def network_energy_joules(self, result: NetworkResult) -> float:
+        """Total energy of one inference run."""
+        return sum(self.component_energy_joules(result.aggregate()).values())

@@ -1,0 +1,16 @@
+"""Profiling containers and profiler front-ends.
+
+* :mod:`repro.profiling.stall` -- the nvprof stall-reason taxonomy of the
+  paper's Figure 7.
+* :mod:`repro.profiling.stats` -- weighted counter containers produced by
+  the simulator, per kernel and aggregated per layer type / network.
+* :mod:`repro.profiling.nvprof` -- an nvprof-like front-end reporting
+  stall breakdowns on a chosen platform.
+* :mod:`repro.profiling.memfootprint` -- device-memory footprint
+  analysis (Figure 11).
+"""
+
+from repro.profiling.stall import StallReason
+from repro.profiling.stats import KernelStats
+
+__all__ = ["KernelStats", "StallReason"]

@@ -1,0 +1,46 @@
+"""The nvprof stall-reason taxonomy (Figure 7 legend).
+
+The paper collects stall cycles with nvprof on a GK210 and breaks them
+into: ``not_selected``, ``memory_throttle``,
+``constant_memory_dependency``, ``pipe_busy``, ``other``, ``sync``,
+``texture``, ``memory_dependency``, ``exec_dependency`` and
+``inst_fetch``.  The simulator attributes every non-issue warp-cycle to
+one of these.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StallReason(enum.Enum):
+    """Why a resident warp did not issue in a given cycle."""
+
+    INST_FETCH = "inst_fetch"
+    EXEC_DEPENDENCY = "exec_dependency"
+    MEMORY_DEPENDENCY = "memory_dependency"
+    TEXTURE = "texture"
+    SYNC = "sync"
+    OTHER = "other"
+    PIPE_BUSY = "pipe_busy"
+    CONSTANT_MEMORY_DEPENDENCY = "constant_memory_dependency"
+    MEMORY_THROTTLE = "memory_throttle"
+    NOT_SELECTED = "not_selected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Plot/legend order used by the paper's Figure 7 (bottom to top).
+FIGURE7_ORDER = (
+    StallReason.INST_FETCH,
+    StallReason.EXEC_DEPENDENCY,
+    StallReason.MEMORY_DEPENDENCY,
+    StallReason.TEXTURE,
+    StallReason.SYNC,
+    StallReason.OTHER,
+    StallReason.PIPE_BUSY,
+    StallReason.CONSTANT_MEMORY_DEPENDENCY,
+    StallReason.MEMORY_THROTTLE,
+    StallReason.NOT_SELECTED,
+)

@@ -1,0 +1,223 @@
+"""Gradient checks for the training-phase (back-propagation) extension.
+
+Every backward pass is validated against central-difference numerical
+gradients of its forward counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.layers import backward as B
+from repro.core.layers import functional as F
+
+EPS = 1e-5
+
+
+def numerical_grad(fn, x, d_out):
+    """Central-difference gradient of ``sum(fn(x) * d_out)`` w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + EPS
+        up = float((fn(x) * d_out).sum())
+        flat[i] = orig - EPS
+        down = float((fn(x) * d_out).sum())
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * EPS)
+    return grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestConvBackward:
+    def test_input_gradient(self, rng):
+        x = rng.normal(size=(2, 6, 6))
+        w = rng.normal(size=(3, 2, 3, 3))
+        d_out = rng.normal(size=(3, 6, 6))
+        d_x, _, _ = B.conv2d_backward(d_out, x, w, stride=1, pad=1)
+        expected = numerical_grad(lambda v: F.conv2d(v, w, pad=1), x, d_out)
+        np.testing.assert_allclose(d_x, expected, rtol=1e-4, atol=1e-6)
+
+    def test_weight_gradient(self, rng):
+        x = rng.normal(size=(2, 5, 5))
+        w = rng.normal(size=(2, 2, 3, 3))
+        d_out = rng.normal(size=(2, 3, 3))
+        _, d_w, _ = B.conv2d_backward(d_out, x, w)
+        expected = numerical_grad(lambda v: F.conv2d(x, v), w, d_out)
+        np.testing.assert_allclose(d_w, expected, rtol=1e-4, atol=1e-6)
+
+    def test_bias_gradient(self, rng):
+        x = rng.normal(size=(1, 4, 4))
+        w = rng.normal(size=(2, 1, 1, 1))
+        d_out = rng.normal(size=(2, 4, 4))
+        _, _, d_b = B.conv2d_backward(d_out, x, w)
+        np.testing.assert_allclose(d_b, d_out.sum(axis=(1, 2)))
+
+    def test_strided_input_gradient(self, rng):
+        x = rng.normal(size=(1, 7, 7))
+        w = rng.normal(size=(2, 1, 3, 3))
+        d_out = rng.normal(size=(2, 3, 3))
+        d_x, _, _ = B.conv2d_backward(d_out, x, w, stride=2)
+        expected = numerical_grad(lambda v: F.conv2d(v, w, stride=2), x, d_out)
+        np.testing.assert_allclose(d_x, expected, rtol=1e-4, atol=1e-6)
+
+
+class TestFcBackward:
+    def test_all_gradients(self, rng):
+        x = rng.normal(size=(2, 3, 3))
+        w = rng.normal(size=(5, 18))
+        d_out = rng.normal(size=5)
+        d_x, d_w, d_b = B.fc_backward(d_out, x, w)
+        expected_x = numerical_grad(
+            lambda v: F.fully_connected(v, w), x, d_out
+        )
+        np.testing.assert_allclose(d_x, expected_x, rtol=1e-4, atol=1e-6)
+        expected_w = numerical_grad(
+            lambda v: F.fully_connected(x, v), w, d_out
+        )
+        np.testing.assert_allclose(d_w, expected_w, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(d_b, d_out)
+
+
+class TestActivationBackward:
+    def test_relu(self, rng):
+        x = rng.normal(size=32)
+        d_out = rng.normal(size=32)
+        np.testing.assert_allclose(
+            B.relu_backward(d_out, x), d_out * (x > 0)
+        )
+
+    def test_sigmoid_matches_numeric(self, rng):
+        x = rng.normal(size=16)
+        d_out = rng.normal(size=16)
+        s = F.sigmoid(x)
+        expected = numerical_grad(F.sigmoid, x, d_out)
+        np.testing.assert_allclose(B.sigmoid_backward(d_out, s), expected, rtol=1e-4)
+
+    def test_tanh_matches_numeric(self, rng):
+        x = rng.normal(size=16)
+        d_out = rng.normal(size=16)
+        expected = numerical_grad(np.tanh, x, d_out)
+        np.testing.assert_allclose(B.tanh_backward(d_out, np.tanh(x)), expected, rtol=1e-4)
+
+
+class TestPoolBackward:
+    def test_max_pool_routes_to_argmax(self, rng):
+        x = rng.normal(size=(1, 4, 4))
+        d_out = np.ones((1, 2, 2))
+        d_x = B.max_pool2d_backward(d_out, x, kernel=2, stride=2)
+        # Each window contributes its gradient only at its max.
+        assert d_x.sum() == pytest.approx(4.0)
+        assert (d_x != 0).sum() == 4
+
+    def test_max_pool_matches_numeric(self, rng):
+        x = rng.normal(size=(2, 6, 6))
+        d_out = rng.normal(size=(2, 3, 3))
+        d_x = B.max_pool2d_backward(d_out, x, kernel=2, stride=2)
+        expected = numerical_grad(lambda v: F.max_pool2d(v, 2, 2), x, d_out)
+        np.testing.assert_allclose(d_x, expected, rtol=1e-4, atol=1e-6)
+
+    def test_avg_pool_matches_numeric(self, rng):
+        x = rng.normal(size=(1, 4, 4))
+        d_out = rng.normal(size=(1, 2, 2))
+        d_x = B.avg_pool2d_backward(d_out, x.shape, kernel=2, stride=2)
+        expected = numerical_grad(lambda v: F.avg_pool2d(v, 2, 2), x, d_out)
+        np.testing.assert_allclose(d_x, expected, rtol=1e-4, atol=1e-6)
+
+
+class TestNormBackward:
+    def test_batch_norm_matches_numeric(self, rng):
+        x = rng.normal(size=(3, 4, 4))
+        mean = rng.normal(size=3)
+        var = rng.uniform(0.5, 1.5, size=3)
+        d_out = rng.normal(size=(3, 4, 4))
+        d_x = B.batch_norm_backward(d_out, x, mean, var)
+        expected = numerical_grad(lambda v: F.batch_norm(v, mean, var), x, d_out)
+        np.testing.assert_allclose(d_x, expected, rtol=1e-4, atol=1e-6)
+
+    def test_scale_gradients_match_numeric(self, rng):
+        x = rng.normal(size=(2, 3, 3))
+        gamma = rng.uniform(0.5, 1.5, size=2)
+        beta = rng.normal(size=2)
+        d_out = rng.normal(size=(2, 3, 3))
+        d_x, d_gamma, d_beta = B.scale_backward(d_out, x, gamma)
+        expected_x = numerical_grad(lambda v: F.scale(v, gamma, beta), x, d_out)
+        np.testing.assert_allclose(d_x, expected_x, rtol=1e-4, atol=1e-6)
+        expected_gamma = numerical_grad(lambda g: F.scale(x, g, beta), gamma, d_out)
+        np.testing.assert_allclose(d_gamma, expected_gamma, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(d_beta, d_out.sum(axis=(1, 2)))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_gradient_formula(self, rng):
+        logits = rng.normal(size=9)
+        probs = F.softmax(logits)
+        label = 3
+        grad = B.softmax_cross_entropy_backward(probs, label)
+
+        def loss(v):
+            p = F.softmax(v)
+            return np.array(-np.log(p[label]))
+
+        expected = numerical_grad(loss, logits, np.array(1.0))
+        np.testing.assert_allclose(grad, expected, rtol=1e-4, atol=1e-6)
+
+
+class TestGruBackward:
+    def test_parameter_gradients_match_numeric(self, rng):
+        hsize, isize = 5, 2
+        x = rng.normal(size=isize)
+        h = rng.normal(size=hsize)
+        weights = {}
+        for gate in ("z", "r", "h"):
+            weights[f"w_{gate}"] = rng.normal(size=(hsize, isize))
+            weights[f"u_{gate}"] = rng.normal(size=(hsize, hsize))
+            weights[f"b_{gate}"] = rng.normal(size=hsize)
+        d_out = rng.normal(size=hsize)
+        grads = B.gru_cell_backward(d_out, x, h, weights)
+
+        def forward_with(name, value):
+            w = dict(weights)
+            w[name] = value
+            return F.gru_cell(
+                x, h, w["w_z"], w["u_z"], w["b_z"], w["w_r"], w["u_r"], w["b_r"],
+                w["w_h"], w["u_h"], w["b_h"],
+            )
+
+        for name in ("u_z", "w_r", "b_h"):
+            expected = numerical_grad(
+                lambda v, n=name: forward_with(n, v), weights[name].copy(), d_out
+            )
+            np.testing.assert_allclose(
+                grads[f"d_{name}"], expected, rtol=1e-3, atol=1e-6
+            )
+
+    def test_hidden_state_gradient(self, rng):
+        hsize = 4
+        x = rng.normal(size=1)
+        h = rng.normal(size=hsize)
+        weights = {}
+        for gate in ("z", "r", "h"):
+            weights[f"w_{gate}"] = rng.normal(size=(hsize, 1))
+            weights[f"u_{gate}"] = rng.normal(size=(hsize, hsize))
+            weights[f"b_{gate}"] = rng.normal(size=hsize)
+        d_out = rng.normal(size=hsize)
+        grads = B.gru_cell_backward(d_out, x, h, weights)
+
+        def forward_h(hv):
+            return F.gru_cell(
+                x, hv,
+                weights["w_z"], weights["u_z"], weights["b_z"],
+                weights["w_r"], weights["u_r"], weights["b_r"],
+                weights["w_h"], weights["u_h"], weights["b_h"],
+            )
+
+        expected = numerical_grad(forward_h, h.copy(), d_out)
+        np.testing.assert_allclose(grads["d_h"], expected, rtol=1e-3, atol=1e-6)

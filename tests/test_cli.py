@@ -1,0 +1,29 @@
+"""Tests for the harness CLI (``python -m repro.harness.suite``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.suite import main, run_all
+
+
+class TestCli:
+    def test_selected_analytic_experiments(self, capsys):
+        exit_code = main(["table2", "fig09", "--no-cache"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "table2" in out and "fig09" in out
+        assert "0 failed" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_all(ids=["fig99"], cache_dir=None, verbose=False)
+
+    def test_run_all_returns_results(self):
+        results = run_all(ids=["table1", "table4"], cache_dir=None, verbose=False)
+        assert [r.exp_id for r in results] == ["table1", "table4"]
+        assert all(r.all_passed for r in results)
+
+    def test_notes_carry_timing(self):
+        results = run_all(ids=["table2"], cache_dir=None, verbose=False)
+        assert "s]" in results[0].notes

@@ -1,0 +1,105 @@
+"""Tests for the CUDA/OpenCL source emitters and the suite exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import (
+    OPENCL_NETWORKS,
+    cuda_network_source,
+    export_suite,
+    opencl_network_source,
+)
+from repro.core.suite import list_networks
+from repro.kernels.compile import compiled_network
+
+
+def _balanced(source: str) -> bool:
+    depth = 0
+    for ch in source:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestCudaEmission:
+    @pytest.mark.parametrize("name", list_networks())
+    def test_source_well_formed(self, name):
+        source = cuda_network_source(name)
+        assert _balanced(source), f"unbalanced braces in {name}"
+        assert 'extern "C" __global__ void' in source
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_one_kernel_per_distinct_launch(self, name):
+        source = cuda_network_source(name)
+        distinct = {
+            k.name.replace("/", "_").replace("-", "_").replace(" ", "_")
+            .replace("(", "_").replace(")", "_").replace("=", "_")
+            for k in compiled_network(name)
+        }
+        assert source.count("__global__ void") >= min(len(distinct), 1)
+
+    def test_conv_kernel_contains_real_math(self):
+        source = cuda_network_source("cifarnet")
+        assert "weight[((oc *" in source
+        assert "fmaxf" in source  # fused ReLU
+
+    def test_launch_geometry_documented(self):
+        source = cuda_network_source("alexnet")
+        assert "grid(96, 1, 1) block(32, 32, 1)" in source
+
+    def test_lstm_kernel_has_three_gates_plus_candidate(self):
+        source = cuda_network_source("lstm")
+        for gate in ("u_i", "u_f", "u_o", "u_g"):
+            assert gate in source
+
+    def test_no_cudnn_or_framework_calls(self):
+        for name in list_networks():
+            source = cuda_network_source(name)
+            for call in ("cudnnConvolutionForward", "cudnnCreate", "cublasSgemm",
+                         "cudnn.h", "cublas_v2.h"):
+                assert call not in source, call
+
+
+class TestOpenClEmission:
+    def test_coverage_matches_paper(self):
+        assert set(OPENCL_NETWORKS) == {"cifarnet", "alexnet"}
+
+    @pytest.mark.parametrize("name", OPENCL_NETWORKS)
+    def test_source_well_formed(self, name):
+        source = opencl_network_source(name)
+        assert _balanced(source)
+        assert "__kernel void" in source
+        assert "get_local_id(0)" in source
+
+    @pytest.mark.parametrize("name", OPENCL_NETWORKS)
+    def test_no_cuda_residue(self, name):
+        source = opencl_network_source(name)
+        for token in ("threadIdx", "blockIdx", "__global__", "fmaxf", "expf"):
+            assert token not in source, token
+
+    def test_unsupported_network_rejected(self):
+        with pytest.raises(ValueError, match="OpenCL only"):
+            opencl_network_source("resnet")
+
+
+class TestExporter:
+    def test_export_layout(self, tmp_path):
+        written = export_suite(tmp_path, names=("cifarnet", "gru"))
+        assert (tmp_path / "cifarnet" / "cifarnet.cu").exists()
+        assert (tmp_path / "cifarnet" / "cifarnet.cl").exists()
+        assert (tmp_path / "gru" / "gru.cu").exists()
+        assert not (tmp_path / "gru" / "gru.cl").exists()  # no OpenCL GRU
+        assert all(p.exists() for p in written)
+
+    def test_weight_manifest_lists_layer_files(self, tmp_path):
+        export_suite(tmp_path, names=("cifarnet",))
+        manifest = (tmp_path / "cifarnet" / "weights.manifest").read_text()
+        assert "conv1.bin" in manifest
+        assert "fc2.bin" in manifest
+        sizes = [int(line.split()[1]) for line in manifest.strip().splitlines()]
+        assert all(size > 0 for size in sizes)

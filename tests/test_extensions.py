@@ -1,0 +1,152 @@
+"""Tests for the paper's stated future-work extensions.
+
+The paper names three planned additions: more networks "such as
+MobileNet" (Section III), back-propagation for training (Section II-C,
+tested in ``test_backward.py``), and quantization (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import input_for
+from repro.core.quant import (
+    QMAX,
+    quantization_error,
+    quantize,
+    quantize_weights,
+    quantized_model_bytes,
+    run_quantized,
+)
+from repro.core.suite import (
+    EXTENSION_NETWORKS,
+    NETWORK_ORDER,
+    TangoSuite,
+    get_network,
+)
+from repro.core.weights import model_size_bytes, synthesize_weights
+from repro.kernels.compile import compiled_network
+
+
+class TestMobileNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return get_network("mobilenet")
+
+    def test_extension_not_in_paper_set(self):
+        assert "mobilenet" in EXTENSION_NETWORKS
+        assert "mobilenet" not in NETWORK_ORDER
+
+    def test_structure(self, graph):
+        from repro.core.layers import DepthwiseConv2D
+
+        depthwise = [n for n in graph.nodes if isinstance(n.layer, DepthwiseConv2D)]
+        assert len(depthwise) == 13  # thirteen separable blocks
+        assert graph.out_shape("conv13_pw") == (1024, 7, 7)
+        assert graph.out_shape("fc") == (1000,)
+
+    def test_inference(self):
+        suite = TangoSuite(names=("mobilenet",))
+        out = suite["mobilenet"].run()
+        assert out.shape == (1000,)
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_model_size_matches_reference(self, graph):
+        # MobileNet v1 (width 1.0): ~4.2M parameters ~= 17 MB in f32.
+        size_mb = model_size_bytes(graph) / 2**20
+        assert 14 <= size_mb <= 20, size_mb
+
+    def test_compiles_to_kernels(self, graph):
+        kernels = compiled_network("mobilenet")
+        assert len(kernels) == len(graph)  # one kernel per layer here
+        names = {k.node_name for k in kernels}
+        assert "conv2_dw" in names and "conv2_pw" in names
+
+    def test_depthwise_kernels_not_input_shared(self):
+        kernels = {k.node_name: k for k in compiled_network("mobilenet")}
+        # Depthwise blocks read channel-private planes; pointwise convs
+        # sweep the whole input from every block.
+        assert not kernels["conv2_dw"].shared_input
+        assert kernels["conv2_pw"].shared_input
+
+    def test_simulates(self):
+        from repro.gpu import SimOptions, simulate_network
+        from repro.platforms import GP102
+
+        result = simulate_network("mobilenet", GP102, SimOptions().light())
+        by_cat = result.cycles_by_category()
+        assert by_cat["Conv"] > 0
+
+
+class TestDepthwiseFunctional:
+    def test_matches_grouped_full_conv(self):
+        from repro.core.layers.functional import conv2d, depthwise_conv2d
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 9, 9))
+        w = rng.normal(size=(4, 3, 3))
+        out = depthwise_conv2d(x, w, stride=2, pad=1)
+        for c in range(4):
+            ref = conv2d(x[c : c + 1], w[c][None, None], stride=2, pad=1)
+            np.testing.assert_allclose(out[c], ref[0], rtol=1e-6)
+
+    def test_channel_mismatch_rejected(self):
+        from repro.core.layers.functional import depthwise_conv2d
+
+        with pytest.raises(ValueError, match="channels"):
+            depthwise_conv2d(np.zeros((2, 4, 4)), np.zeros((3, 3, 3)))
+
+
+class TestQuantization:
+    def test_roundtrip_error_small(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(64, 64)).astype(np.float32)
+        assert quantization_error(x) < 0.01
+
+    def test_values_in_symmetric_range(self):
+        rng = np.random.default_rng(2)
+        q = quantize(rng.normal(size=1000))
+        assert q.values.min() >= -QMAX and q.values.max() <= QMAX
+        assert q.values.dtype == np.int8
+
+    def test_zero_tensor_safe(self):
+        q = quantize(np.zeros(8))
+        assert (q.values == 0).all()
+        np.testing.assert_array_equal(q.dequantize(), np.zeros(8))
+
+    def test_qconv_close_to_float(self):
+        from repro.core.layers.functional import conv2d
+        from repro.core.quant import qconv2d
+
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(3, 12, 12)).astype(np.float32)
+        w = rng.normal(size=(8, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=8).astype(np.float32)
+        ref = conv2d(x, w, b, stride=1, pad=1)
+        out = qconv2d(x, quantize(w), b, stride=1, pad=1)
+        rel = np.abs(out - ref).max() / (np.abs(ref).max() + 1e-9)
+        assert rel < 0.05
+
+    def test_quantized_cifarnet_agrees_with_float(self):
+        graph = get_network("cifarnet")
+        weights = synthesize_weights(graph)
+        x = input_for(graph)
+        float_out = graph.run(x, weights)
+        quant_out = run_quantized(graph, x, weights)
+        # Same predicted class, probabilities within a few percent.
+        assert int(np.argmax(float_out)) == int(np.argmax(quant_out))
+        assert np.abs(float_out - quant_out).max() < 0.1
+
+    def test_model_size_shrinks_nearly_4x(self):
+        graph = get_network("cifarnet")
+        weights = synthesize_weights(graph)
+        full = model_size_bytes(graph)
+        quantized = quantized_model_bytes(graph, weights)
+        assert quantized < full / 3.2  # weights dominate; biases stay f32
+
+    def test_quantize_weights_covers_conv_and_fc(self):
+        graph = get_network("cifarnet")
+        weights = synthesize_weights(graph)
+        quantized = quantize_weights(graph, weights)
+        assert {"conv1", "conv2", "conv3", "fc1", "fc2"} <= set(quantized)

@@ -1,0 +1,118 @@
+"""Tests for the experiment harness: report, runner cache, experiments.
+
+Simulation-heavy experiments are exercised through the analytic ones
+plus the runner's caching machinery; the full figure set is regenerated
+by the benchmark harness (``pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.config import SimOptions
+from repro.harness.report import Check, ExperimentResult
+from repro.harness.runner import Runner, stats_from_dict, stats_to_dict
+from repro.harness import tables
+from repro.harness import fig08_op_breakdown, fig09_top_ops, fig10_dtype_breakdown
+from repro.harness import fig11_memfootprint, fig12_register_usage
+from repro.harness.suite import EXPERIMENTS
+from repro.isa.opcodes import Pipe
+from repro.platforms import GP102
+from repro.profiling.stall import StallReason
+from repro.profiling.stats import KernelStats
+
+
+class TestReport:
+    def test_check_renders_pass_fail(self):
+        assert "PASS" in str(Check("claim", True))
+        assert "FAIL" in str(Check("claim", False, "why"))
+
+    def test_experiment_all_passed(self):
+        result = ExperimentResult("x", "t", checks=[Check("a", True), Check("b", False)])
+        assert not result.all_passed
+
+    def test_format_includes_series_and_checks(self):
+        result = ExperimentResult(
+            "fig99", "Title", series={"s": {"a": 0.5}}, checks=[Check("c", True)]
+        )
+        text = result.format()
+        assert "fig99" in text and "a=0.5" in text and "PASS" in text
+
+    def test_series_json_serializable(self):
+        result = tables.run_table2(Runner(cache_dir=None))
+        json.dumps(result.series)  # must not raise
+
+
+class TestRunnerCache:
+    def test_stats_roundtrip(self):
+        stats = KernelStats()
+        stats.cycles = 123.0
+        stats.issued_by_pipe[Pipe.FPU] = 7.0
+        stats.stalls[StallReason.PIPE_BUSY] = 3.0
+        stats.l2_misses = 11.0
+        clone = stats_from_dict(stats_to_dict(stats))
+        assert clone.cycles == 123.0
+        assert clone.issued_by_pipe[Pipe.FPU] == 7.0
+        assert clone.stalls[StallReason.PIPE_BUSY] == 3.0
+        assert clone.l2_misses == 11.0
+
+    def test_disk_cache_hit(self, tmp_path):
+        options = SimOptions(max_trips=4, max_outer_trips=1, max_sim_blocks=1)
+        runner = Runner(cache_dir=tmp_path)
+        first = runner.run("gru", GP102, options)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        fresh_runner = Runner(cache_dir=tmp_path)
+        second = fresh_runner.run("gru", GP102, options)
+        assert second.total_cycles == first.total_cycles
+
+    def test_cache_key_differs_by_config(self, tmp_path):
+        options = SimOptions(max_trips=4, max_outer_trips=1, max_sim_blocks=1)
+        runner = Runner(cache_dir=tmp_path)
+        runner.run("gru", GP102, options)
+        runner.run("gru", GP102.with_l1(0), options)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_cached_result_api(self, tmp_path):
+        options = SimOptions(max_trips=4, max_outer_trips=1, max_sim_blocks=1)
+        result = Runner(cache_dir=tmp_path).run("gru", GP102, options)
+        assert result.network == "gru"
+        assert result.total_time_ms > 0
+        assert sum(result.cycles_by_category().values()) == pytest.approx(
+            result.total_cycles
+        )
+        assert result.aggregate().issued > 0
+
+
+class TestAnalyticExperiments:
+    """Experiments that need no simulation run fully in unit tests."""
+
+    @pytest.fixture(scope="class")
+    def runner(self):
+        return Runner(cache_dir=None)
+
+    @pytest.mark.parametrize(
+        "experiment",
+        [
+            tables.run_table1,
+            tables.run_table2,
+            tables.run_table3,
+            tables.run_table4,
+            fig08_op_breakdown.run,
+            fig09_top_ops.run,
+            fig10_dtype_breakdown.run,
+            fig11_memfootprint.run,
+            fig12_register_usage.run,
+        ],
+    )
+    def test_experiment_checks_pass(self, runner, experiment):
+        result = experiment(runner)
+        failed = [str(c) for c in result.checks if not c.passed]
+        assert not failed, failed
+
+    def test_registry_covers_all_tables_and_figures(self):
+        expected = {f"table{i}" for i in range(1, 5)} | {
+            f"fig{i:02d}" for i in range(1, 17)
+        }
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,164 @@
+"""Unit tests for the ISA: opcodes, programs, expansion, liveness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import DType, Instruction, Loop, Op, Pipe, Program, op_pipe
+from repro.isa.opcodes import op_latency
+from repro.isa.program import (
+    expand_program,
+    max_live_registers,
+    sample_trips,
+)
+from repro.isa.registers import RegisterAllocator
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_pipe(self):
+        for op in Op:
+            assert op_pipe(op) in Pipe
+
+    def test_figure8_legend_coverage(self):
+        # The paper's Figure 8 legend lists these opcodes exactly.
+        legend = {
+            "abs", "add", "and", "bar", "bra", "callp", "cvt", "ex2", "exit",
+            "ld", "mad", "mad24", "max", "min", "mov", "mul", "nop", "or",
+            "rcp", "retp", "rsqrt", "set", "shl", "shr", "ssy", "st", "xor",
+        }
+        assert {op.value for op in Op} == legend
+
+    def test_sfu_ops_slower_than_alu(self):
+        assert op_latency(Op.RSQRT) > op_latency(Op.ADD)
+
+    def test_memory_latency_deferred_to_hierarchy(self):
+        assert op_latency(Op.LD) == 0
+
+
+class TestRegisterAllocator:
+    def test_fresh_registers_are_distinct(self):
+        ra = RegisterAllocator()
+        regs = [ra.fresh() for _ in range(10)]
+        assert len({r.index for r in regs}) == 10
+        assert ra.count == 10
+
+    def test_specials_are_memoized(self):
+        ra = RegisterAllocator()
+        a = ra.special("%tid.x")
+        b = ra.special("%tid.x")
+        assert a is b
+        assert len(ra.specials) == 1
+
+
+def _simple_program(trips: int) -> Program:
+    ra = RegisterAllocator()
+    acc = ra.fresh()
+    tmp = ra.fresh()
+    body = (
+        Instruction(Op.LD, DType.F32, dst=tmp),
+        Instruction(Op.MAD, DType.F32, dst=acc, srcs=(tmp, acc)),
+    )
+    return Program(
+        items=(
+            Instruction(Op.MOV, DType.F32, dst=acc),
+            Loop("rc", trips, body),
+            Instruction(Op.ST, DType.F32, srcs=(acc,)),
+            Instruction(Op.EXIT),
+        ),
+        reg_count=ra.count,
+    )
+
+
+class TestProgramCounts:
+    def test_static_count_counts_loop_body_once(self):
+        assert _simple_program(100).static_count() == 5
+
+    def test_dynamic_count_multiplies_trips(self):
+        assert _simple_program(100).dynamic_count() == 3 + 2 * 100
+
+    def test_negative_trips_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Loop("x", -1, ())
+
+
+class TestSampling:
+    def test_small_loop_fully_expanded(self):
+        picks = sample_trips(10, 16)
+        assert picks == [(i, 1.0) for i in range(10)]
+
+    def test_unbudgeted_loop_fully_expanded(self):
+        assert len(sample_trips(50, None)) == 50
+
+    def test_sampled_weights_are_unbiased(self):
+        picks = sample_trips(1000, 64)
+        assert len(picks) == 64
+        assert sum(w for _, w in picks) == pytest.approx(1000)
+
+    def test_sampled_indices_valid_and_unique(self):
+        picks = sample_trips(997, 64)
+        indices = [i for i, _ in picks]
+        assert len(set(indices)) == len(indices)
+        assert min(indices) >= 0 and max(indices) < 997
+
+    def test_sampled_chunks_are_contiguous_runs(self):
+        # Chunked sampling must preserve >=line-length contiguous runs so
+        # streaming-loop cache behaviour survives (see module docstring).
+        picks = [i for i, _ in sample_trips(10_000, 64)]
+        runs = 1
+        for a, b in zip(picks, picks[1:]):
+            if b != a + 1:
+                runs += 1
+        assert runs <= 2
+        assert any(True for _ in picks)
+
+    def test_sampled_chunks_cover_the_range(self):
+        picks = [i for i, _ in sample_trips(10_000, 64)]
+        assert min(picks) < 1000 and max(picks) > 9000
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            sample_trips(100, 0)
+
+
+class TestExpansion:
+    def test_expansion_weight_matches_dynamic_count(self):
+        program = _simple_program(5000)
+        expanded = expand_program(program, max_trips=64)
+        assert sum(e.weight for e in expanded) == pytest.approx(program.dynamic_count())
+
+    def test_loop_env_carries_iteration_index(self):
+        program = _simple_program(4)
+        expanded = expand_program(program)
+        loads = [e for e in expanded if e.op is Op.LD]
+        assert [e.loop_env["rc"] for e in loads] == [0, 1, 2, 3]
+
+    def test_nested_outer_budget(self):
+        ra = RegisterAllocator()
+        inner = Loop("i", 100, (Instruction(Op.ADD, DType.U32, dst=ra.fresh()),))
+        outer = Loop("o", 50, (inner,))
+        program = Program(items=(outer,))
+        expanded = expand_program(program, max_trips=10, max_outer_trips=2)
+        outer_values = {e.loop_env["o"] for e in expanded}
+        assert len(outer_values) == 2
+        assert sum(e.weight for e in expanded) == pytest.approx(50 * 100)
+
+
+class TestLiveness:
+    def test_max_live_of_simple_program(self):
+        program = _simple_program(10)
+        result = max_live_registers(program)
+        # acc and tmp overlap inside the loop.
+        assert result.max_live == 2
+
+    def test_entry_regs_counted_live(self):
+        ra = RegisterAllocator()
+        a = ra.special("%tid.x")
+        b = ra.fresh()
+        program = Program(
+            items=(
+                Instruction(Op.ADD, DType.U32, dst=b, srcs=(a,)),
+                Instruction(Op.ST, DType.U32, srcs=(b,)),
+            ),
+            entry_regs=(a,),
+        )
+        assert max_live_registers(program).max_live >= 2

@@ -1,0 +1,221 @@
+"""Tests for the kernel IR: addressing, mapping (Table III), builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.suite import get_network, list_networks
+from repro.isa.opcodes import Op
+from repro.isa.program import expand_program
+from repro.kernels.addressing import AddrExpr, Term, affine
+from repro.kernels.compile import compiled_network
+from repro.kernels.launch import MAX_THREADS_PER_BLOCK
+from repro.kernels.mapping import plan_network
+from repro.kernels.memory_layout import MemLayout
+
+
+class _FakeWarp:
+    width = 4
+
+    def __init__(self):
+        self.lane_syms = {
+            "tx": np.array([0, 1, 2, 3], dtype=np.int64),
+            "ty": np.array([5, 5, 5, 5], dtype=np.int64),
+            "tz": np.zeros(4, dtype=np.int64),
+            "lin_tid": np.array([160, 161, 162, 163], dtype=np.int64),
+        }
+        self.block_syms = {"bx": 2, "by": 0, "bz": 1, "lin_bid": 7, "one": 1}
+
+
+class TestAddressing:
+    def test_affine_thread_terms(self):
+        expr = affine(100, tx=4)
+        out = expr.evaluate(_FakeWarp(), {})
+        np.testing.assert_array_equal(out, [100, 104, 108, 112])
+
+    def test_block_and_const_terms(self):
+        expr = AddrExpr(0, (Term("bx", 10), Term("one", 5)))
+        out = expr.evaluate(_FakeWarp(), {})
+        assert (out == 25).all()
+
+    def test_loop_env_terms(self):
+        expr = AddrExpr(0, (Term("rc", 8),))
+        out = expr.evaluate(_FakeWarp(), {"rc": 3})
+        assert (out == 24).all()
+
+    def test_divmod_decomposition(self):
+        # rc over a collapsed (c, kh, kw) = (x//9, (x//3)%3, x%3) space.
+        expr = AddrExpr(
+            0, (Term("rc", 100, div=9), Term("rc", 10, div=3, mod=3), Term("rc", 1, mod=3))
+        )
+        out = expr.evaluate(_FakeWarp(), {"rc": 17})  # c=1, kh=2, kw=2
+        assert (out == 122).all()
+
+    def test_pre_scaling_for_unrolled_loops(self):
+        expr = AddrExpr(0, (Term("rc", 1, pre=2, mod=6),))
+        out = expr.evaluate(_FakeWarp(), {"rc": 4})  # (4*2) % 6 = 2
+        assert (out == 2).all()
+
+    def test_shifted(self):
+        expr = affine(100, tx=4).shifted(28)
+        assert expr.base == 128
+
+
+class TestMemLayout:
+    def test_slots_never_collide(self):
+        layout = MemLayout()
+        a = layout.alloc("input", "in", 600 << 20)
+        b = layout.alloc("weight", "w", 600 << 20)
+        c = layout.alloc("output", "out", 4)
+        assert a + (600 << 20) <= b
+        assert b + (600 << 20) <= c
+
+    def test_alignment(self):
+        layout = MemLayout()
+        layout.alloc("input", "a", 3)
+        second = layout.alloc("input", "b", 8)
+        assert second % 256 == 0
+
+    def test_unknown_slot_rejected(self):
+        with pytest.raises(ValueError, match="slot"):
+            MemLayout().alloc("bogus", "x", 4)
+
+
+class TestTable3Geometry:
+    """The paper's Table III launch geometries, checked exactly."""
+
+    def _kernels(self, name):
+        return {k.name: k for k in compiled_network(name)}
+
+    def test_gru_lstm_blocks(self):
+        assert self._kernels("gru")["GRU Layer (t=0)"].block == (10, 10, 1)
+        assert self._kernels("lstm")["LSTM Layer (t=0)"].block == (100, 1, 1)
+
+    def test_cifarnet_single_block_kernels(self):
+        ks = self._kernels("cifarnet")
+        for name in ("conv1", "pool1", "conv2", "pool2", "conv3", "pool3"):
+            assert ks[name].grid == (1, 1, 1)
+            assert ks[name].block == (32, 32, 1)
+        assert ks["fc1"].block == (64, 1, 1)
+        assert ks["fc2"].block == (32, 1, 1)
+
+    def test_alexnet_conv1_four_tile_kernels(self):
+        ks = self._kernels("alexnet")
+        tiles = [ks[f"conv1-{i}"].block for i in range(1, 5)]
+        assert tiles == [(32, 32, 1), (32, 23, 1), (23, 32, 1), (23, 23, 1)]
+        assert all(ks[f"conv1-{i}"].grid == (96, 1, 1) for i in range(1, 5))
+
+    def test_alexnet_channel_splits(self):
+        ks = self._kernels("alexnet")
+        assert ks["conv2-1"].grid == (128, 1, 1)
+        assert ks["conv3"].grid == (384, 1, 1)
+        assert ks["conv4-1"].grid == (192, 1, 1)
+        assert ks["conv5-2"].grid == (128, 1, 1)
+        assert ks["fc6"].grid == (4096, 1, 1) and ks["fc6"].block == (1, 1, 1)
+
+    def test_squeezenet_row_kernels(self):
+        ks = self._kernels("squeezenet")
+        assert ks["conv1"].grid == (111, 1, 1) and ks["conv1"].block == (111, 1, 1)
+        assert ks["fire2/squeeze1x1"].block == (55, 1, 1)
+        assert ks["fire9/expand3x3"].block == (13, 1, 1)
+        assert ks["conv10"].grid == (15, 1, 1)
+        assert ks["pool10"].block == (1000, 1, 1)
+
+    def test_resnet_block_per_channel(self):
+        ks = self._kernels("resnet")
+        assert ks["conv1"].grid == (64, 1, 1) and ks["conv1"].block == (32, 32, 1)
+        assert ks["res2a_branch1"].grid == (256, 1, 1)
+        assert ks["bn_conv1"].block == (32, 32, 1)
+
+    def test_vggnet_3d_grids(self):
+        ks = self._kernels("vggnet")
+        assert ks["conv1_1"].grid == (16, 16, 64) and ks["conv1_1"].block == (14, 14, 1)
+        assert ks["conv3_1"].grid == (8, 8, 256) and ks["conv3_1"].block == (7, 7, 1)
+        assert ks["fc6"].grid == (4, 4, 4) and ks["fc6"].block == (8, 8, 1)
+        assert ks["fc8"].grid == (1, 1, 10) and ks["fc8"].block == (10, 10, 1)
+
+    def test_no_concat_kernels_for_squeezenet(self):
+        names = {k.node_name for k in compiled_network("squeezenet")}
+        assert not any("concat" in n for n in names)
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_thread_limit_respected(self, name):
+        for k in compiled_network(name):
+            assert k.threads_per_block <= MAX_THREADS_PER_BLOCK
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_register_counts_plausible(self, name):
+        for k in compiled_network(name):
+            assert 5 <= k.regs <= 48, k.name
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_smem_cmem_reported(self, name):
+        for k in compiled_network(name):
+            assert k.smem_bytes > 0
+            assert k.cmem_bytes >= 0
+
+    def test_rnn_smem_matches_table3(self):
+        assert self._kernels("gru")["GRU Layer (t=0)"].smem_bytes == 504
+        assert self._kernels("lstm")["LSTM Layer (t=0)"].smem_bytes == 936
+
+
+class TestPrograms:
+    def test_conv_program_reduction_size(self):
+        ks = {k.name: k for k in compiled_network("alexnet")}
+        conv1 = ks["conv1-1"]
+        # 3 * 11 * 11 = 363 reduction elements per output neuron; the
+        # builder unrolls by two so loop trips are halved (rounded up).
+        expanded = expand_program(conv1.program)
+        mads = sum(e.weight for e in expanded if e.op is Op.MAD)
+        assert mads >= 363  # at least one mad per reduction element
+
+    def test_rnn_program_has_barrier_and_shared(self):
+        ks = {k.name: k for k in compiled_network("lstm")}
+        expanded = expand_program(ks["LSTM Layer (t=0)"].program, 8)
+        assert any(e.op is Op.BAR for e in expanded)
+        from repro.isa.instruction import MemSpace
+
+        assert any(e.is_mem and e.space is MemSpace.SHARED for e in expanded)
+
+    def test_lstm_has_more_gate_loops_than_gru(self):
+        gru = {k.name: k for k in compiled_network("gru")}["GRU Layer (t=0)"]
+        lstm = {k.name: k for k in compiled_network("lstm")}["LSTM Layer (t=0)"]
+        assert lstm.program.dynamic_count() > gru.program.dynamic_count()
+
+    def test_dynamic_instructions_scale_with_threads(self):
+        for k in compiled_network("cifarnet"):
+            assert k.dynamic_instructions() == (
+                k.program.dynamic_count() * k.total_threads
+            )
+
+    def test_every_program_ends_with_exit(self):
+        for k in compiled_network("cifarnet"):
+            assert k.program.items[-1].op is Op.EXIT
+
+    def test_fc_weight_rows_are_thread_private(self):
+        """Each FC thread must stream its own weight row (no sharing)."""
+        ks = {k.name: k for k in compiled_network("cifarnet")}
+        expanded = expand_program(ks["fc1"].program, 4)
+        weight_loads = [
+            e for e in expanded
+            if e.is_load and e.addr is not None
+            and any(t.sym == "lin_tid" for t in e.addr.terms)
+        ]
+        assert weight_loads, "FC must index weights by thread id"
+
+    def test_signature_stable_across_identical_kernels(self):
+        kernels = compiled_network("resnet")
+        by_sig: dict[str, str] = {}
+        for k in kernels:
+            by_sig.setdefault(k.signature(), k.name)
+        # ResNet repeats bottleneck shapes: far fewer signatures than kernels.
+        assert len(by_sig) < len(kernels) / 2
+
+
+class TestPlanErrors:
+    def test_unknown_network_style_rejected(self):
+        from repro.core.graph import NetworkGraph
+
+        with pytest.raises(KeyError, match="mapping style"):
+            plan_network(NetworkGraph("mystery", (1, 2, 2)))

@@ -1,0 +1,231 @@
+"""Unit tests for the functional NumPy layer primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.core.layers import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConv2d:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.normal(size=(3, 12, 14))
+        w = rng.normal(size=(5, 3, 3, 3))
+        out = F.conv2d(x, w, stride=1, pad=0)
+        for oc in range(5):
+            expected = sum(
+                signal.correlate2d(x[c], w[oc, c], mode="valid") for c in range(3)
+            )
+            np.testing.assert_allclose(out[oc], expected, rtol=1e-5, atol=1e-6)
+
+    def test_stride_subsamples(self, rng):
+        x = rng.normal(size=(1, 8, 8))
+        w = rng.normal(size=(1, 1, 3, 3))
+        full = F.conv2d(x, w)
+        strided = F.conv2d(x, w, stride=2)
+        np.testing.assert_allclose(strided, full[:, ::2, ::2])
+
+    def test_padding_preserves_spatial_size(self, rng):
+        x = rng.normal(size=(2, 9, 9))
+        w = rng.normal(size=(4, 2, 3, 3))
+        out = F.conv2d(x, w, pad=1)
+        assert out.shape == (4, 9, 9)
+
+    def test_bias_adds_per_channel(self, rng):
+        x = rng.normal(size=(1, 5, 5))
+        w = rng.normal(size=(3, 1, 1, 1))
+        bias = np.array([1.0, -2.0, 0.5])
+        without = F.conv2d(x, w)
+        with_bias = F.conv2d(x, w, bias=bias)
+        np.testing.assert_allclose(
+            with_bias - without,
+            np.broadcast_to(bias[:, None, None], without.shape),
+            rtol=1e-6,
+        )
+
+    def test_identity_kernel(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        w = np.ones((1, 1, 1, 1))
+        np.testing.assert_allclose(F.conv2d(x, w), x)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(rng.normal(size=(2, 4, 4)), rng.normal(size=(1, 3, 3, 3)))
+
+    def test_window_too_large_raises(self, rng):
+        with pytest.raises(ValueError, match="does not fit"):
+            F.conv2d(rng.normal(size=(1, 2, 2)), rng.normal(size=(1, 1, 5, 5)))
+
+
+class TestPooling:
+    def test_max_pool_simple(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        out = F.max_pool2d(x, kernel=2, stride=2)
+        assert out.shape == (1, 1, 1)
+        assert out[0, 0, 0] == 4.0
+
+    def test_avg_pool_simple(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        out = F.avg_pool2d(x, kernel=2, stride=2)
+        assert out[0, 0, 0] == pytest.approx(2.5)
+
+    def test_max_pool_overlapping_windows(self, rng):
+        x = rng.normal(size=(2, 6, 6))
+        out = F.max_pool2d(x, kernel=3, stride=2)
+        assert out.shape == (2, 2, 2)
+        assert out[0, 0, 0] == x[0, :3, :3].max()
+        assert out[1, 1, 1] == x[1, 2:5, 2:5].max()
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(7, 4, 4))
+        np.testing.assert_allclose(F.global_avg_pool(x), x.mean(axis=(1, 2)))
+
+    def test_max_pool_dominates_avg(self, rng):
+        x = rng.normal(size=(1, 8, 8))
+        assert (F.max_pool2d(x, 2, 2) >= F.avg_pool2d(x, 2, 2) - 1e-9).all()
+
+
+class TestFullyConnectedAndActivations:
+    def test_fc_matches_matmul(self, rng):
+        x = rng.normal(size=(3, 4, 4))
+        w = rng.normal(size=(10, 48))
+        b = rng.normal(size=10)
+        np.testing.assert_allclose(
+            F.fully_connected(x, w, b), w @ x.reshape(-1) + b, rtol=1e-6
+        )
+
+    def test_fc_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="expects"):
+            F.fully_connected(rng.normal(size=5), rng.normal(size=(3, 6)))
+
+    def test_relu_zeroes_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_allclose(F.relu(x), [0.0, 0.0, 2.0])
+
+    def test_softmax_is_distribution(self, rng):
+        p = F.softmax(rng.normal(size=100))
+        assert p.sum() == pytest.approx(1.0)
+        assert (p > 0).all()
+
+    def test_softmax_shift_invariant(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), rtol=1e-6)
+
+    def test_softmax_handles_large_scores(self):
+        p = F.softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(p, [0.5, 0.5])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(size=50)
+        s = F.sigmoid(x)
+        assert ((s > 0) & (s < 1)).all()
+        np.testing.assert_allclose(F.sigmoid(-x), 1 - s, rtol=1e-6)
+
+
+class TestNormalization:
+    def test_lrn_reduces_magnitude(self, rng):
+        x = np.abs(rng.normal(size=(8, 5, 5))) + 0.1
+        out = F.lrn(x)
+        assert (np.abs(out) <= np.abs(x) + 1e-9).all()
+
+    def test_lrn_preserves_shape_and_sign(self, rng):
+        x = rng.normal(size=(16, 3, 3))
+        out = F.lrn(x)
+        assert out.shape == x.shape
+        assert (np.sign(out) == np.sign(x)).all()
+
+    def test_lrn_window_sums_channels(self):
+        # With huge alpha the denominator is dominated by the window sum,
+        # so a channel far from any energy passes through nearly intact.
+        x = np.zeros((10, 1, 1))
+        x[0] = 100.0
+        x[9] = 1.0
+        out = F.lrn(x, local_size=3, alpha=10.0, beta=1.0)
+        assert out[9, 0, 0] == pytest.approx(1.0 / (1 + 10.0 / 3), rel=1e-3)
+
+    def test_batch_norm_normalizes(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(4, 32, 32))
+        mean = x.mean(axis=(1, 2))
+        var = x.var(axis=(1, 2))
+        out = F.batch_norm(x, mean, var)
+        np.testing.assert_allclose(out.mean(axis=(1, 2)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(1, 2)), 1.0, atol=1e-3)
+
+    def test_scale_affine(self, rng):
+        x = rng.normal(size=(3, 4, 4))
+        gamma = np.array([1.0, 2.0, 0.5])
+        beta = np.array([0.0, 1.0, -1.0])
+        out = F.scale(x, gamma, beta)
+        np.testing.assert_allclose(out[1], x[1] * 2.0 + 1.0, rtol=1e-6)
+
+    def test_eltwise_add(self, rng):
+        a = rng.normal(size=(2, 3, 3))
+        b = rng.normal(size=(2, 3, 3))
+        np.testing.assert_allclose(F.eltwise_add(a, b), a + b)
+
+    def test_eltwise_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            F.eltwise_add(rng.normal(size=(2, 3, 3)), rng.normal(size=(2, 3, 4)))
+
+
+class TestRecurrentCells:
+    def _gru_weights(self, rng, h, i):
+        return {
+            f"{kind}_{gate}": rng.normal(size=(h, i if kind == "w" else h))
+            if kind != "b"
+            else rng.normal(size=h)
+            for gate in ("z", "r", "h")
+            for kind in ("w", "u", "b")
+        }
+
+    def test_gru_interpolates_between_old_and_candidate(self, rng):
+        h = rng.normal(size=10)
+        x = rng.normal(size=1)
+        w = self._gru_weights(rng, 10, 1)
+        out = F.gru_cell(
+            x, h, w["w_z"], w["u_z"], w["b_z"], w["w_r"], w["u_r"], w["b_r"],
+            w["w_h"], w["u_h"], w["b_h"],
+        )
+        # The new state is a convex combination of h and tanh-bounded
+        # candidate, so it cannot exceed max(|h|, 1).
+        assert (np.abs(out) <= np.maximum(np.abs(h), 1.0) + 1e-9).all()
+
+    def test_lstm_cell_state_and_output_bounded(self, rng):
+        h = np.zeros(8)
+        c = np.zeros(8)
+        x = rng.normal(size=1)
+        mats = {
+            f"{kind}_{gate}": rng.normal(size=(8, 1 if kind == "w" else 8))
+            if kind != "b"
+            else rng.normal(size=8)
+            for gate in ("i", "f", "o", "g")
+            for kind in ("w", "u", "b")
+        }
+        h1, c1 = F.lstm_cell(
+            x, h, c,
+            mats["w_i"], mats["u_i"], mats["b_i"],
+            mats["w_f"], mats["u_f"], mats["b_f"],
+            mats["w_o"], mats["u_o"], mats["b_o"],
+            mats["w_g"], mats["u_g"], mats["b_g"],
+        )
+        # |c1| <= |c| + 1 (forget/input gates are in (0,1), g in (-1,1)).
+        assert (np.abs(c1) <= np.abs(c) + 1.0 + 1e-9).all()
+        assert (np.abs(h1) < 1.0).all()  # o * tanh(c) is inside (-1, 1)
+
+    def test_lstm_forget_gate_decays_state(self):
+        # With weights at zero, i = f = o = 0.5, g = 0: the cell halves.
+        z = np.zeros((4, 4))
+        zb = np.zeros(4)
+        zi = np.zeros((4, 1))
+        c = np.ones(4)
+        _, c1 = F.lstm_cell(
+            np.zeros(1), np.zeros(4), c, zi, z, zb, zi, z, zb, zi, z, zb, zi, z, zb
+        )
+        np.testing.assert_allclose(c1, 0.5 * np.ones(4))

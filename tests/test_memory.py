@@ -1,0 +1,208 @@
+"""Unit tests for the memory system: coalescer, caches, MSHRs, DRAM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory import Cache, Dram, MemoryHierarchy, MshrFile, coalesce
+from repro.memory.coalescer import TRANSACTION_BYTES
+
+
+class TestCoalescer:
+    def test_contiguous_warp_access_is_one_transaction(self):
+        addrs = np.arange(32, dtype=np.int64) * 4 + 1024
+        assert len(coalesce(addrs)) == 1
+
+    def test_broadcast_is_one_transaction(self):
+        addrs = np.full(32, 4096, dtype=np.int64)
+        assert len(coalesce(addrs)) == 1
+
+    def test_fully_strided_access_is_32_transactions(self):
+        addrs = np.arange(32, dtype=np.int64) * 4096
+        assert len(coalesce(addrs)) == 32
+
+    def test_two_line_split(self):
+        addrs = np.arange(32, dtype=np.int64) * 8  # 256 bytes
+        assert len(coalesce(addrs)) == 2
+
+    def test_vector_load_straddles_boundary(self):
+        addrs = np.array([TRANSACTION_BYTES - 4], dtype=np.int64)
+        assert len(coalesce(addrs, width_bytes=8)) == 2
+
+    def test_empty_access(self):
+        assert coalesce(np.array([], dtype=np.int64)).size == 0
+
+    def test_transactions_are_line_aligned(self):
+        addrs = np.array([5, 200, 999], dtype=np.int64)
+        txs = coalesce(addrs)
+        assert all(t % TRANSACTION_BYTES == 0 for t in txs)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = Cache("t", 4096)
+        assert cache.access(0) is False
+        assert cache.access(64) is True  # same 128B line
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_zero_size_bypasses(self):
+        cache = Cache("t", 0)
+        assert not cache.enabled
+        for _ in range(4):
+            assert cache.access(0) is False
+        assert cache.stats.misses == 4
+
+    def test_lru_eviction(self):
+        # Direct-mapped-ish: 2 lines total, assoc 2 -> one set.
+        cache = Cache("t", 256, line_bytes=128, assoc=2)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)  # refresh line 0 -> line 128 is now LRU
+        cache.access(256)  # evicts 128
+        assert cache.access(0) is True
+        assert cache.access(128) is False
+
+    def test_no_allocate_on_store_probe(self):
+        cache = Cache("t", 4096)
+        cache.access(0, allocate=False)
+        assert cache.access(0) is False  # still not resident
+
+    def test_capacity_respected(self):
+        cache = Cache("t", 1024, line_bytes=128, assoc=2)
+        for i in range(64):
+            cache.access(i * 128)
+        assert cache.resident_lines() <= 1024 // 128
+
+    def test_hashed_index_spreads_power_of_two_strides(self):
+        # 4KB-strided rows (FC weight rows) must not all collide.
+        cache = Cache("t", 64 * 1024, line_bytes=128, assoc=4)
+        for lane in range(32):
+            cache.access(lane * 4096)
+        hits = sum(cache.access(lane * 4096) for lane in range(32))
+        assert hits >= 24  # nearly all resident despite the stride
+
+    def test_flush_clears_contents_but_keeps_stats(self):
+        cache = Cache("t", 4096)
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert cache.stats.accesses == 1
+
+    def test_weighted_stats(self):
+        cache = Cache("t", 4096)
+        cache.access(0, weight=10.0)
+        assert cache.stats.misses == 10.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("t", -1)
+        with pytest.raises(ValueError):
+            Cache("t", 1024, line_bytes=100)
+
+
+class TestMshr:
+    def test_reserve_and_drain(self):
+        mshr = MshrFile(entries=2)
+        assert mshr.reserve(1, ready_cycle=100, now=0)
+        assert mshr.reserve(2, ready_cycle=50, now=0)
+        assert mshr.in_use == 2
+        assert not mshr.reserve(3, ready_cycle=80, now=0)
+        mshr.drain(60)
+        assert mshr.in_use == 1
+        assert mshr.reserve(3, ready_cycle=80, now=60)
+
+    def test_merge_same_line(self):
+        mshr = MshrFile(entries=1, max_merges=2)
+        assert mshr.reserve(7, 100, 0)
+        assert mshr.reserve(7, 100, 0)  # merge
+        assert not mshr.reserve(7, 100, 0)  # merge limit
+        assert mshr.in_use == 1
+
+    def test_next_release_ordering(self):
+        mshr = MshrFile(entries=4)
+        mshr.reserve(1, 300, 0)
+        mshr.reserve(2, 100, 0)
+        assert mshr.next_release() == 100
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+
+class TestDram:
+    def test_latency_applied(self):
+        dram = Dram(latency=100, bytes_per_cycle=128.0)
+        assert dram.service(0) == 101
+
+    def test_bandwidth_queues_requests(self):
+        dram = Dram(latency=0, bytes_per_cycle=1.0)
+        first = dram.service(0, size_bytes=128)
+        second = dram.service(0, size_bytes=128)
+        assert second >= first + 128
+
+    def test_traffic_accounting(self):
+        dram = Dram()
+        dram.service(0, 128, weight=2.0)
+        assert dram.bytes_served == 256
+        assert dram.requests == 2.0
+
+
+class TestHierarchy:
+    def _hier(self, l1=32 * 1024, mshr=4):
+        return MemoryHierarchy(l1_size=l1, l2_size=256 * 1024, mshr_entries=mshr)
+
+    def test_l1_hit_faster_than_miss(self):
+        hier = self._hier()
+        addrs = np.array([0], dtype=np.int64)
+        first = hier.load(0, addrs, 1.0)
+        second = hier.load(0, addrs, 1.0)
+        assert second.ready_cycle < first.ready_cycle
+
+    def test_throttle_when_mshrs_full(self):
+        hier = self._hier(mshr=2)
+        # Two outstanding misses fill the file.
+        hier.load(0, np.array([0], dtype=np.int64), 1.0)
+        hier.load(0, np.array([128], dtype=np.int64), 1.0)
+        result = hier.load(0, np.array([256], dtype=np.int64), 1.0)
+        assert result.ready_cycle is None
+        assert hier.mshr.throttle_events == 1.0
+
+    def test_throttle_leaves_no_side_effects(self):
+        hier = self._hier(mshr=1)
+        hier.load(0, np.array([0], dtype=np.int64), 1.0)
+        before = hier.l2.stats.accesses
+        result = hier.load(0, np.array([128], dtype=np.int64), 1.0)
+        assert result.ready_cycle is None
+        assert hier.l2.stats.accesses == before
+
+    def test_wide_access_on_empty_file_proceeds(self):
+        # An access wider than the whole MSHR file must not deadlock.
+        hier = self._hier(mshr=2)
+        addrs = np.arange(8, dtype=np.int64) * 4096
+        result = hier.load(0, addrs, 1.0)
+        assert result.ready_cycle is not None
+
+    def test_no_l1_all_misses_counted(self):
+        hier = self._hier(l1=0)
+        addrs = np.array([0], dtype=np.int64)
+        hier.load(0, addrs, 1.0)
+        hier.load(1000, addrs, 1.0)
+        assert hier.l1.stats.misses == 2.0
+        assert hier.l2.stats.accesses == 2.0
+
+    def test_store_is_write_through_no_allocate(self):
+        hier = self._hier()
+        addrs = np.array([512], dtype=np.int64)
+        hier.store(0, addrs, 1.0)
+        assert not hier.l1.contains(512)
+        assert hier.l2.contains(512)
+
+    def test_shared_and_const_latencies(self):
+        hier = self._hier()
+        assert hier.shared(10, 1.0) == 10 + hier.lat_shared
+        ready, missed = hier.const(10, 1.0)
+        assert missed  # cold
+        ready2, missed2 = hier.const(ready, 1.0)
+        assert not missed2
+        assert ready2 - ready == hier.lat_const

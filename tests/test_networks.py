@@ -1,0 +1,169 @@
+"""Integration tests: the seven reference networks end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TangoSuite, get_network, list_networks
+from repro.core.graph import INPUT
+from repro.core.suite import BENCHMARK_INFO
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return TangoSuite()
+
+
+class TestArchitectures:
+    def test_suite_has_seven_networks(self):
+        assert len(list_networks()) == 7
+
+    def test_cifarnet_structure(self):
+        g = get_network("cifarnet")
+        convs = [n for n in g.nodes if n.layer.category == "Conv"]
+        fcs = [n for n in g.nodes if n.layer.category == "FC"]
+        assert len(convs) == 3 and len(fcs) == 2  # "3 conv + 2 FC"
+        assert g.out_shape("fc2") == (9,)  # nine traffic signals
+
+    def test_alexnet_structure(self):
+        g = get_network("alexnet")
+        convs = [n for n in g.nodes if n.layer.category == "Conv"]
+        fcs = [n for n in g.nodes if n.layer.category == "FC"]
+        norms = [n for n in g.nodes if n.layer.category == "Norm"]
+        assert len(convs) == 5 and len(fcs) == 3 and len(norms) == 2
+        assert g.out_shape("conv1") == (96, 55, 55)
+        assert g.out_shape("pool5") == (256, 6, 6)
+
+    def test_squeezenet_fire_modules(self):
+        g = get_network("squeezenet")
+        squeezes = [n for n in g.nodes if n.layer.category == "Fire_Squeeze"]
+        expands = [n for n in g.nodes if n.layer.category == "Fire_Expand"]
+        assert len(squeezes) == 8  # fire2..fire9
+        assert len(expands) == 16  # 1x1 + 3x3 each
+        assert g.out_shape("fire9/concat") == (512, 13, 13)
+        assert g.out_shape("conv10") == (1000, 15, 15)  # conv10 pad=1
+
+    def test_resnet50_has_49_convs_plus_projections_and_one_fc(self):
+        g = get_network("resnet")
+        convs = [n for n in g.nodes if n.layer.category == "Conv"]
+        fcs = [n for n in g.nodes if n.layer.category == "FC"]
+        # 49 convolutions on the main path plus 4 shortcut projections.
+        assert len(convs) == 53
+        assert len(fcs) == 1
+        eltwise = [n for n in g.nodes if n.layer.category == "Eltwise"]
+        assert len(eltwise) == 16  # 3 + 4 + 6 + 3 bottlenecks
+
+    def test_resnet_stage_shapes(self):
+        g = get_network("resnet")
+        assert g.out_shape("pool1") == (64, 56, 56)
+        assert g.out_shape("relu_res2c") == (256, 56, 56)
+        assert g.out_shape("relu_res3d") == (512, 28, 28)
+        assert g.out_shape("relu_res4f") == (1024, 14, 14)
+        assert g.out_shape("relu_res5c") == (2048, 7, 7)
+
+    def test_vggnet_structure(self):
+        g = get_network("vggnet")
+        convs = [n for n in g.nodes if n.layer.category == "Conv"]
+        pools = [n for n in g.nodes if n.layer.category == "Pooling"]
+        fcs = [n for n in g.nodes if n.layer.category == "FC"]
+        assert (len(convs), len(pools), len(fcs)) == (13, 5, 3)
+        assert g.out_shape("pool5") == (512, 7, 7)
+
+    def test_rnn_hidden_sizes(self):
+        assert get_network("gru").out_shape("gru_layer") == (100,)
+        assert get_network("lstm").out_shape("lstm_layer") == (100,)
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_weight_shapes_consistent(self, name):
+        g = get_network(name)
+        for node_name, tensors in g.weight_shapes().items():
+            for tensor_name, shape in tensors.items():
+                assert all(d > 0 for d in shape), f"{node_name}/{tensor_name}"
+
+
+class TestInference:
+    @pytest.mark.parametrize("name", list_networks())
+    def test_end_to_end_inference(self, suite, name):
+        bench = suite[name]
+        out = bench.run()
+        expected = bench.graph.out_shape(bench.graph.output_name)
+        assert out.shape == tuple(expected)
+        assert np.isfinite(out).all()
+
+    @pytest.mark.parametrize("name", ("cifarnet", "squeezenet"))
+    def test_cnn_output_is_probability_distribution(self, suite, name):
+        out = suite[name].run()
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+        assert (out >= 0).all()
+
+    def test_inference_is_deterministic(self, suite):
+        a = suite["cifarnet"].run()
+        b = suite["cifarnet"].run()
+        np.testing.assert_array_equal(a, b)
+
+    def test_wrong_input_shape_rejected(self, suite):
+        with pytest.raises(ValueError, match="input shape"):
+            suite["cifarnet"].run(np.zeros((3, 16, 16), dtype=np.float32))
+
+    def test_record_captures_every_layer(self, suite):
+        bench = suite["cifarnet"]
+        record = {}
+        bench.graph.run(bench.standard_input(), bench.weights, record=record)
+        assert set(record) == {n.name for n in bench.graph.nodes}
+
+    def test_rnn_projection_produces_scalar_price(self, suite):
+        out = suite["gru"].run()
+        assert out.shape == (1,)
+
+    def test_resnet_shortcut_changes_output(self, suite):
+        """The eltwise shortcut must actually contribute to the output."""
+        bench = suite["resnet"]
+        record = {}
+        bench.graph.run(bench.standard_input(), bench.weights, record=record)
+        eltwise_out = record["res2a_eltwise"]
+        branch_out = record["scale_res2a_branch2c"]
+        assert not np.allclose(eltwise_out, branch_out)
+
+
+class TestMetadata:
+    def test_table1_metadata_complete(self):
+        for name in list_networks():
+            info = BENCHMARK_INFO[name]
+            assert info.input_description and info.model_description
+            assert info.output_description
+
+    def test_opencl_coverage_matches_paper(self):
+        opencl = {n for n, i in BENCHMARK_INFO.items() if "opencl" in i.languages}
+        assert opencl == {"cifarnet", "alexnet"}
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError, match="unknown network"):
+            get_network("transformer")
+
+
+class TestGraphConstruction:
+    def test_duplicate_node_rejected(self):
+        from repro.core.graph import NetworkGraph
+        from repro.core.layers import ReLU
+
+        g = NetworkGraph("t", (1, 4, 4))
+        g.add("a", ReLU())
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("a", ReLU())
+
+    def test_unknown_input_rejected(self):
+        from repro.core.graph import NetworkGraph
+        from repro.core.layers import ReLU
+
+        g = NetworkGraph("t", (1, 4, 4))
+        with pytest.raises(ValueError, match="unknown node"):
+            g.add("a", ReLU(), "nonexistent")
+
+    def test_arity_mismatch_rejected(self):
+        from repro.core.graph import NetworkGraph
+        from repro.core.layers import Eltwise
+
+        g = NetworkGraph("t", (1, 4, 4))
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            g.add("add", Eltwise(), INPUT)

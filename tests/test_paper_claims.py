@@ -1,0 +1,102 @@
+"""Fast integration tests of the paper's headline claims.
+
+The full-fidelity versions run in the benchmark harness; these use light
+sampling to keep the unit suite quick while still checking that each
+claimed *mechanism* is present end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.gpu import SimOptions, simulate_network
+from repro.platforms import GK210, GP102, TX1
+from repro.profiling.instmix import f32_fraction, opcode_mix
+from repro.profiling.stall import StallReason
+
+
+@pytest.fixture(scope="module")
+def options():
+    return SimOptions().light()
+
+
+class TestObservation1:
+    """Convolution dominates CNN execution time."""
+
+    def test_cifarnet_conv_majority(self, options):
+        result = simulate_network("cifarnet", GP102, options)
+        by_cat = result.cycles_by_category()
+        assert by_cat["Conv"] > 0.5 * result.total_cycles
+
+
+class TestObservation2:
+    """L1D helps CNNs, not RNNs."""
+
+    def test_cnn_gains_rnn_does_not(self, options):
+        gains = {}
+        for name in ("cifarnet", "gru"):
+            with_l1 = simulate_network(name, GP102, options).total_cycles
+            without = simulate_network(name, GP102.with_l1(0), options).total_cycles
+            gains[name] = 1.0 - with_l1 / without
+        assert gains["cifarnet"] > 2 * max(gains["gru"], 0.01)
+
+    def test_rnn_flat_across_l1_sizes(self, options):
+        sizes = [64 * 1024, 256 * 1024]
+        cycles = [
+            simulate_network("gru", GP102.with_l1(size), options).total_cycles
+            for size in sizes
+        ]
+        assert abs(cycles[0] - cycles[1]) / cycles[0] < 0.02
+
+
+class TestObservation5:
+    """Stall breakdown is a signature of layer type."""
+
+    def test_fc_throttles_conv_does_not(self, options):
+        result = simulate_network("cifarnet", GP102, options)
+        by_cat = result.stats_by_category()
+        fc = by_cat["FC"].stall_fractions()
+        conv = by_cat["Conv"].stall_fractions()
+        assert fc.get(StallReason.MEMORY_THROTTLE, 0) > conv.get(
+            StallReason.MEMORY_THROTTLE, 0
+        )
+
+
+class TestObservations6to8:
+    """Instruction mixes distinguish CNNs from RNNs; integers dominate."""
+
+    def test_cnn_vs_rnn_mixes(self):
+        cnn = opcode_mix("cifarnet")
+        rnn = opcode_mix("gru")
+        assert cnn["shl"] > rnn.get("shl", 0.0)
+        assert rnn["add"] > 0.15 and rnn["ld"] > 0.15
+
+    def test_integer_instructions_dominate(self):
+        for name in ("alexnet", "resnet", "vggnet"):
+            assert f32_fraction(name) < 0.5
+
+
+class TestObservation12:
+    """LRR is good enough (better than GTO) on conv-heavy networks."""
+
+    def test_lrr_beats_gto_on_cifarnet(self, options):
+        gto = simulate_network("cifarnet", GP102, options).total_cycles
+        lrr = simulate_network(
+            "cifarnet", GP102, replace(options, scheduler="lrr")
+        ).total_cycles
+        assert lrr < gto
+
+
+class TestPlatformScaling:
+    """A mobile part must be slower than a server part on real work."""
+
+    def test_tx1_slower_than_gp102(self, options):
+        tx1 = simulate_network("squeezenet", TX1, options)
+        gp102 = simulate_network("squeezenet", GP102, options)
+        assert tx1.total_time_ms > gp102.total_time_ms
+
+    def test_gk210_profiles_cover_all_networks(self, options):
+        result = simulate_network("lstm", GK210, options)
+        assert result.total_cycles > 0

@@ -1,0 +1,84 @@
+"""Tests for the platform configurations and the PynQ FPGA model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.suite import get_network
+from repro.platforms import GK210, GP102, PYNQ_Z1, TX1, PynqZ1Model, get_platform, list_platforms
+
+
+class TestGpuConfigs:
+    def test_registry(self):
+        assert set(list_platforms()) == {"gk210", "tx1", "gp102"}
+        assert get_platform("GK210") is GK210
+        with pytest.raises(KeyError, match="unknown platform"):
+            get_platform("h100")
+
+    def test_table2_core_counts(self):
+        assert GK210.total_cuda_cores == 2880 - 384  # 13 of 15 SMX enabled
+        assert TX1.total_cuda_cores == 256
+        assert GP102.total_cuda_cores == 3584
+
+    def test_table2_register_files(self):
+        assert TX1.registers_per_sm == 32768
+        assert GP102.registers_per_sm == 65536
+
+    def test_l2_slice_divides_chip_l2(self):
+        assert GP102.l2_slice_size == GP102.l2_size // GP102.num_sms
+
+    def test_dram_share_positive(self):
+        for config in (GK210, TX1, GP102):
+            assert config.dram_bytes_per_cycle_per_sm > 0
+
+    def test_with_l1_override(self):
+        modified = GP102.with_l1(0)
+        assert modified.l1_size == 0
+        assert GP102.l1_size == 64 * 1024  # original untouched
+        assert modified.num_sms == GP102.num_sms
+
+    def test_mobile_vs_server_scale(self):
+        assert TX1.dram_gb_per_s < GK210.dram_gb_per_s
+        assert TX1.tdp_watts < GK210.tdp_watts
+
+
+class TestPynqModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return PynqZ1Model()
+
+    def test_table4_parameters(self):
+        assert PYNQ_Z1.logic_slices == 13300
+        assert PYNQ_Z1.bram_bytes == 630 * 1024
+        assert "Cortex-A9" in PYNQ_Z1.processor
+
+    def test_cifarnet_runs(self, model):
+        result = model.run_network(get_network("cifarnet"))
+        assert result.time_s > 0
+        assert PYNQ_Z1.static_watts <= result.peak_watts <= (
+            PYNQ_Z1.static_watts + PYNQ_Z1.dynamic_watts_max
+        )
+
+    def test_energy_is_peak_times_time(self, model):
+        result = model.run_network(get_network("cifarnet"))
+        assert result.energy_j == pytest.approx(result.peak_watts * result.time_s)
+
+    def test_large_layers_partition_into_subkernels(self, model):
+        result = model.run_network(get_network("squeezenet"))
+        assert any(layer.sub_kernels > 1 for layer in result.layers)
+
+    def test_small_rnn_fits_bram(self, model):
+        # The paper: GRU/LSTM fit on a PynQ-class device without splits.
+        result = model.run_network(get_network("gru"))
+        assert all(layer.sub_kernels == 1 for layer in result.layers)
+
+    def test_squeezenet_slower_than_cifarnet(self, model):
+        cifar = model.run_network(get_network("cifarnet"))
+        squeeze = model.run_network(get_network("squeezenet"))
+        assert squeeze.time_s > cifar.time_s
+
+    def test_layer_times_sum_to_total(self, model):
+        result = model.run_network(get_network("cifarnet"))
+        assert result.time_s == pytest.approx(
+            sum(layer.total_s for layer in result.layers)
+        )

@@ -1,0 +1,111 @@
+"""Tests for the GPUWattch power model and the Wattsup meter model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import SimOptions, simulate_network
+from repro.isa.opcodes import Pipe
+from repro.platforms import GP102, TX1
+from repro.power import GpuWattchModel, WattsupMeter
+from repro.power.energy_table import FIGURE5_ORDER, DEFAULT_ENERGY
+from repro.profiling.stats import KernelStats
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GpuWattchModel(GP102)
+
+
+@pytest.fixture(scope="module")
+def cifar(request):
+    return simulate_network("cifarnet", GP102, SimOptions().light())
+
+
+def _stats(cycles=1e6, issued=1e6, l1=1e5, l2=1e4, dram=1e6, rf=3e6):
+    s = KernelStats()
+    s.cycles = cycles
+    s.issued = issued
+    s.issued_by_pipe[Pipe.SP] = issued * 0.6
+    s.issued_by_pipe[Pipe.FPU] = issued * 0.3
+    s.issued_by_pipe[Pipe.LDST] = issued * 0.1
+    s.l1_accesses = l1
+    s.l2_accesses = l2
+    s.l2_misses = l2 / 10
+    s.dram_bytes = dram
+    s.load_transactions = l1
+    s.rf_reads = rf
+    s.rf_writes = rf / 3
+    s.active_sms = 10
+    return s
+
+
+class TestComponentModel:
+    def test_all_figure5_components_present(self, model):
+        power = model.stats_power(_stats())
+        assert set(power.watts) == set(FIGURE5_ORDER)
+
+    def test_fractions_sum_to_one(self, model):
+        fractions = model.stats_power(_stats()).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_window_yields_zero_power(self, model):
+        power = model.stats_power(KernelStats())
+        assert power.total == 0.0
+
+    def test_more_activity_more_power(self, model):
+        low = model.stats_power(_stats(issued=1e5, rf=3e5)).total
+        high = model.stats_power(_stats(issued=1e7, rf=3e7)).total
+        assert high > low
+
+    def test_idle_floor_present(self, model):
+        # A nearly idle window still burns static power.
+        power = model.stats_power(_stats(issued=1.0, l1=0, l2=0, dram=0, rf=1.0))
+        floor = (
+            GP102.num_sms * DEFAULT_ENERGY.idle_sm_watts
+            + DEFAULT_ENERGY.uncore_static_watts
+        )
+        assert power.total == pytest.approx(floor, rel=0.05)
+
+    def test_rf_energy_counts_reads_and_writes(self, model):
+        base = _stats(rf=0)
+        base.rf_reads = 0
+        base.rf_writes = 0
+        with_rf = _stats(rf=3e6)
+        assert (
+            model.component_energy_joules(with_rf)["RF"]
+            > model.component_energy_joules(base)["RF"]
+        )
+
+    def test_peak_power_bounded_by_envelope(self, model, cifar):
+        peak = model.peak_power(cifar)
+        assert 0 < peak < 2 * GP102.tdp_watts
+
+    def test_peak_kernel_consistent(self, model, cifar):
+        peak_kernel = model.peak_kernel(cifar)
+        assert model.kernel_power(peak_kernel).total == pytest.approx(
+            model.peak_power(cifar)
+        )
+
+    def test_category_power_covers_all_categories(self, model, cifar):
+        watts = model.category_power(cifar)
+        assert set(watts) == set(cifar.cycles_by_category())
+        assert all(w > 0 for w in watts.values())
+
+    def test_network_energy_positive(self, model, cifar):
+        assert model.network_energy_joules(cifar) > 0
+
+
+class TestWattsup:
+    def test_measurement_fields(self, cifar):
+        meter = WattsupMeter(GP102)
+        m = meter.measure(cifar)
+        assert m.platform == "GP102"
+        assert m.time_s > 0 and m.peak_watts > 0
+        assert m.energy_j == pytest.approx(m.peak_watts * m.time_s)
+
+    def test_board_floor_respected(self):
+        meter = WattsupMeter(TX1)
+        result = simulate_network("gru", TX1, SimOptions().light())
+        m = meter.measure(result)
+        assert m.peak_watts >= TX1.idle_watts

@@ -1,0 +1,109 @@
+"""Tests for the synthetic pre-trained models and benchmark inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inputs import bitcoin_prices, input_for, synthetic_image
+from repro.core.suite import get_network, list_networks
+from repro.core.weights import (
+    model_size_bytes,
+    per_layer_weight_bytes,
+    synthesize_weights,
+)
+
+
+class TestWeights:
+    def test_deterministic_across_calls(self):
+        graph = get_network("cifarnet")
+        a = synthesize_weights(graph)
+        b = synthesize_weights(graph)
+        np.testing.assert_array_equal(a["conv1"]["weight"], b["conv1"]["weight"])
+
+    def test_distinct_layers_get_distinct_weights(self):
+        weights = synthesize_weights(get_network("cifarnet"))
+        assert not np.array_equal(
+            weights["conv1"]["weight"].ravel()[:100],
+            weights["conv2"]["weight"].ravel()[:100],
+        )
+
+    def test_distinct_networks_get_distinct_weights(self):
+        a = synthesize_weights(get_network("gru"))["gru_layer"]["u_z"]
+        b = synthesize_weights(get_network("lstm"))["lstm_layer"]["u_i"]
+        assert a.shape == b.shape
+        assert not np.array_equal(a, b)
+
+    def test_batchnorm_variances_positive(self):
+        weights = synthesize_weights(get_network("resnet"))
+        for node_name, tensors in weights.items():
+            if "var" in tensors:
+                assert (tensors["var"] > 0).all(), node_name
+
+    def test_fan_in_scaling_keeps_activations_sane(self):
+        # He-scaled weights: a deep stack must not explode or vanish.
+        graph = get_network("vggnet")
+        weights = synthesize_weights(graph)
+        record = {}
+        graph.run(input_for(graph), weights, record=record)
+        mid = record["conv4_3"]
+        assert np.isfinite(mid).all()
+        assert 1e-6 < np.abs(mid).mean() < 1e4
+
+    def test_all_weights_float32(self):
+        weights = synthesize_weights(get_network("gru"))
+        for tensors in weights.values():
+            for array in tensors.values():
+                assert array.dtype == np.float32
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_model_size_matches_weight_store(self, name):
+        graph = get_network(name)
+        weights = synthesize_weights(graph)
+        stored = sum(
+            arr.nbytes for tensors in weights.values() for arr in tensors.values()
+        )
+        assert stored == model_size_bytes(graph)
+
+    def test_per_layer_files_cover_model(self):
+        graph = get_network("alexnet")
+        files = per_layer_weight_bytes(graph)
+        assert sum(files.values()) == model_size_bytes(graph)
+        assert "conv1" in files and "fc8" in files
+
+
+class TestInputs:
+    def test_image_shape_and_range(self):
+        image = synthetic_image((3, 227, 227), seed=1)
+        assert image.shape == (3, 227, 227)
+        assert image.dtype == np.float32
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_image_deterministic_per_seed(self):
+        a = synthetic_image((3, 32, 32), seed=5)
+        b = synthetic_image((3, 32, 32), seed=5)
+        c = synthetic_image((3, 32, 32), seed=6)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_image_is_smooth_not_white_noise(self):
+        image = synthetic_image((1, 64, 64), seed=3)
+        horizontal_diff = np.abs(np.diff(image[0], axis=1)).mean()
+        assert horizontal_diff < 0.2  # neighbouring pixels correlate
+
+    def test_bitcoin_prices_scaled(self):
+        prices = bitcoin_prices(seq_len=2)
+        assert prices.shape == (2, 1)
+        assert (prices >= 0).all() and (prices <= 1).all()
+
+    @pytest.mark.parametrize("name", list_networks())
+    def test_input_for_every_network(self, name):
+        graph = get_network(name)
+        x = input_for(graph)
+        assert tuple(x.shape) == tuple(graph.input_shape)
+
+    def test_unknown_shape_rejected(self):
+        from repro.core.graph import NetworkGraph
+
+        with pytest.raises(ValueError, match="no input synthesizer"):
+            input_for(NetworkGraph("odd", (2, 3, 4, 5)))
