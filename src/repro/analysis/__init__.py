@@ -1,0 +1,65 @@
+"""Static kernel-IR verification and linting.
+
+Every figure the reproduction emits is a function of the instruction
+and address streams of the compiled kernels, so a silently malformed
+thread program — an out-of-bounds affine address, a read of a register
+nothing wrote, a missing barrier between shared-memory phases —
+corrupts downstream results without failing any runtime test.  This
+package gates against that with four static passes that run over every
+:class:`~repro.kernels.launch.KernelLaunch` of a compiled network,
+without executing the simulator:
+
+1. :mod:`repro.analysis.defuse` — register def-use over expanded-loop
+   dataflow (unwritten reads, dead writes, max-live vs. declared regs);
+2. :mod:`repro.analysis.addresses` — conservative interval evaluation
+   of every affine address against the declared memory regions;
+3. :mod:`repro.analysis.races` — shared-memory race detection between
+   barrier phases plus footprint checking against ``smem_bytes``;
+4. :mod:`repro.analysis.lints` — performance/plausibility lints
+   (uncoalesced warps, degenerate loops, dtype mixing, stranded
+   geometry).
+
+Entry points::
+
+    from repro.analysis import analyze_network
+    report = analyze_network("alexnet")     # LintReport
+    report.has_errors                       # gate condition
+    print(report.format())                  # per-kernel grouped text
+    report.to_json()                        # machine-readable
+
+    python -m repro lint --all              # CLI over the whole suite
+
+The compiler integrates the strict form: ``compile_network(graph,
+verify=True)`` raises :class:`KernelVerificationError` when any
+error-severity diagnostic is found.
+"""
+
+from repro.analysis.addresses import check_addresses
+from repro.analysis.defuse import check_defuse
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.driver import (
+    KernelVerificationError,
+    analyze_launch,
+    analyze_launches,
+    analyze_network,
+    verify_launches,
+)
+from repro.analysis.intervals import Interval
+from repro.analysis.lints import check_lints
+from repro.analysis.races import check_shared
+
+__all__ = [
+    "Diagnostic",
+    "Interval",
+    "KernelVerificationError",
+    "LintReport",
+    "Severity",
+    "analyze_launch",
+    "analyze_launches",
+    "analyze_network",
+    "check_addresses",
+    "check_defuse",
+    "check_lints",
+    "check_shared",
+    "verify_launches",
+]

@@ -1,0 +1,171 @@
+"""Pass 2 — address interval analysis against declared memory regions.
+
+For every global/local load and store the pass bounds the symbolic
+:class:`~repro.kernels.addressing.AddrExpr` over the launch's
+thread/block ranges and the enclosing loop-variable ranges
+(``[0, trips-1]``, pre-scaled exactly as the evaluator scales them) to a
+byte interval ``[lo, hi + width - 1]``, then classifies it against the
+launch's declared :class:`~repro.kernels.launch.MemRegion` list:
+
+* **unbound-symbol** (error): the expression references a loop variable
+  no enclosing loop binds — at simulation time this is a ``KeyError``
+  deep inside address evaluation (the compiler also rejects it up
+  front, see :mod:`repro.kernels.validate`).
+* **negative-address** / **address-overflow** (error): the interval
+  reaches below zero or past the 1 TiB canonical address space.
+* **out-of-regions** (error): the interval misses every declared
+  region — the access streams bytes the kernel never allocated.
+* **region-alias** (error): the interval spans more than one declared
+  region — distinct tensors would alias in the cache model.
+* **region-overhang** (note): the interval intersects exactly one
+  region but pokes past its edge.  Padded convolution windows do this
+  by design (border windows start before the tensor; the 1 GiB slot
+  gaps of :mod:`repro.kernels.memory_layout` keep the overhang in empty
+  space), so it is reported as a note with the overhang extent.
+
+The interval arithmetic is conservative over affine terms (see
+:mod:`repro.analysis.intervals`): a clean report guarantees no thread
+can form an out-of-space address, while an overhang note may bound a
+slightly wider window than any thread actually touches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.intervals import (
+    Interval,
+    addr_interval,
+    launch_symbol_ranges,
+)
+from repro.analysis.walk import Site, iter_sites
+from repro.isa.instruction import MemSpace
+from repro.kernels.launch import KernelLaunch
+
+PASS = "address"
+
+#: Canonical address-space ceiling: the slot layout places the last slot
+#: base at 4 GiB and no tensor approaches 1 TiB.
+ADDRESS_SPACE_LIMIT = 1 << 40
+
+#: Memory spaces whose addresses live in the canonical global layout.
+_GLOBAL_SPACES = (MemSpace.GLOBAL, MemSpace.LOCAL)
+
+
+def _loop_ranges(site: Site) -> dict[str, Interval]:
+    """Value ranges of the loop variables enclosing *site*."""
+    ranges: dict[str, Interval] = {}
+    for loop in site.loops:
+        # Zero-trip loops never execute their body; analysing the body
+        # against an empty range would be vacuous, so pin the variable
+        # to 0 (the lint pass reports the loop itself separately).
+        ranges[loop.var] = Interval(0, max(0, loop.trips - 1))
+    return ranges
+
+
+def check_addresses(launch: KernelLaunch) -> list[Diagnostic]:
+    """Run the address interval checks on one launch."""
+    diags: list[Diagnostic] = []
+    base_ranges = launch_symbol_ranges(launch)
+    regions = sorted(launch.regions, key=lambda r: r.base)
+    region_spans = [
+        (r, Interval(r.base, r.base + max(0, r.size_bytes - 1))) for r in regions
+    ]
+
+    for site in iter_sites(launch.program):
+        instr = site.instr
+        if not instr.is_mem or instr.addr is None or instr.space not in _GLOBAL_SPACES:
+            continue
+        sym_ranges = {**base_ranges, **_loop_ranges(site)}
+        interval, unbound = addr_interval(instr.addr, sym_ranges)
+        for sym in unbound:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "unbound-symbol",
+                    PASS,
+                    launch.name,
+                    f"address references loop variable {sym!r} which no "
+                    f"enclosing loop binds (enclosing: {list(site.loop_vars)})",
+                    instr=instr.describe(),
+                    data={"symbol": sym},
+                )
+            )
+        if unbound:
+            continue  # the interval without the unbound term is meaningless
+        access = Interval(interval.lo, interval.hi + max(1, instr.width_bytes) - 1)
+        if access.lo < 0:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "negative-address",
+                    PASS,
+                    launch.name,
+                    f"access interval [{access.lo}, {access.hi}] reaches below "
+                    f"address 0",
+                    instr=instr.describe(),
+                    data={"lo": access.lo, "hi": access.hi},
+                )
+            )
+            continue
+        if access.hi >= ADDRESS_SPACE_LIMIT:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "address-overflow",
+                    PASS,
+                    launch.name,
+                    f"access interval [{access.lo}, {access.hi}] overflows the "
+                    f"{ADDRESS_SPACE_LIMIT}-byte canonical address space",
+                    instr=instr.describe(),
+                    data={"lo": access.lo, "hi": access.hi},
+                )
+            )
+            continue
+        touching = [(r, span) for r, span in region_spans if span.intersects(access)]
+        if not touching:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "out-of-regions",
+                    PASS,
+                    launch.name,
+                    f"access interval [{access.lo}, {access.hi}] lies outside "
+                    f"every declared region "
+                    f"({', '.join(r.name for r in regions) or 'none declared'})",
+                    instr=instr.describe(),
+                    data={"lo": access.lo, "hi": access.hi},
+                )
+            )
+        elif len(touching) > 1:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "region-alias",
+                    PASS,
+                    launch.name,
+                    f"access interval [{access.lo}, {access.hi}] spans "
+                    f"{len(touching)} regions "
+                    f"({', '.join(r.name for r, _ in touching)})",
+                    instr=instr.describe(),
+                    data={"regions": [r.name for r, _ in touching]},
+                )
+            )
+        else:
+            region, span = touching[0]
+            if not span.contains(access):
+                before = max(0, span.lo - access.lo)
+                after = max(0, access.hi - span.hi)
+                diags.append(
+                    Diagnostic(
+                        Severity.NOTE,
+                        "region-overhang",
+                        PASS,
+                        launch.name,
+                        f"access overhangs region {region.name!r} by "
+                        f"{before} byte(s) before / {after} byte(s) after "
+                        f"(padding windows land in the canonical slot gap)",
+                        instr=instr.describe(),
+                        data={"region": region.name, "before": before, "after": after},
+                    )
+                )
+    return diags

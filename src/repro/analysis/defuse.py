@@ -1,0 +1,93 @@
+"""Pass 1 — register def-use analysis over expanded-loop dataflow.
+
+Three checks, all per launch:
+
+* **unwritten-read** (error): an instruction reads a virtual register
+  that is neither entry-live (thread ids, parameter pointers) nor
+  written by any earlier instruction — in the simulator such a register
+  silently scores as ready-at-0, so the dependence structure (and every
+  stall figure derived from it) is wrong.  Loop bodies are scanned twice
+  (:func:`repro.analysis.walk.linearize_twice`) so loop-carried
+  definitions do not false-positive, while a genuine iteration-0 read of
+  a never-initialized accumulator still fires.
+* **dead-write** (note): a register is written but never read anywhere,
+  not even as a store operand.  The builders emit some of these on
+  purpose — nvcc's warp-index ``shl``/``shr`` pair is part of the
+  paper's observed op mix whether or not the kernel uses both — so this
+  is informational.
+* **reg-count-exceeded** (error): the liveness high-water mark
+  (:func:`repro.isa.program.max_live_registers`, the paper's Figure 12
+  "Max Live Registers") exceeds the launch's declared Table III ``regs``
+  — the declared register file could not actually hold the program.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.walk import linearize_twice
+from repro.isa.program import max_live_registers
+from repro.kernels.launch import KernelLaunch
+
+PASS = "defuse"
+
+
+def check_defuse(launch: KernelLaunch) -> list[Diagnostic]:
+    """Run the def-use checks on one launch."""
+    program = launch.program
+    diags: list[Diagnostic] = []
+    linear = linearize_twice(program)
+
+    defined = {reg.index for reg in program.entry_regs}
+    flagged: set[int] = set()
+    read: set[int] = set()
+    for instr in linear:
+        for src in instr.srcs:
+            read.add(src.index)
+            if src.index not in defined and src.index not in flagged:
+                flagged.add(src.index)
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "unwritten-read",
+                        PASS,
+                        launch.name,
+                        f"register {src} is read but never written before use",
+                        instr=instr.describe(),
+                        data={"register": src.index},
+                    )
+                )
+        if instr.dst is not None:
+            defined.add(instr.dst.index)
+
+    seen_dead: set[int] = set()
+    for instr in linear:
+        dst = instr.dst
+        if dst is None or dst.index in read or dst.index in seen_dead:
+            continue
+        seen_dead.add(dst.index)
+        diags.append(
+            Diagnostic(
+                Severity.NOTE,
+                "dead-write",
+                PASS,
+                launch.name,
+                f"register {dst} is written but never read",
+                instr=instr.describe(),
+                data={"register": dst.index},
+            )
+        )
+
+    live = max_live_registers(program)
+    if live.max_live > launch.regs:
+        diags.append(
+            Diagnostic(
+                Severity.ERROR,
+                "reg-count-exceeded",
+                PASS,
+                launch.name,
+                f"max live registers {live.max_live} exceeds the declared "
+                f"per-thread allocation of {launch.regs}",
+                data={"max_live": live.max_live, "declared": launch.regs},
+            )
+        )
+    return diags

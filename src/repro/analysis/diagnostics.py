@@ -1,0 +1,144 @@
+"""Diagnostic records and reports for the static kernel-IR verifier.
+
+Every analysis pass in :mod:`repro.analysis` reports findings as
+:class:`Diagnostic` values — severity, a stable machine-readable code,
+the kernel and instruction involved, and a human message that embeds the
+PTX-like rendering of :meth:`repro.isa.instruction.Instruction.describe`.
+A :class:`LintReport` aggregates the diagnostics of one or more kernels
+and renders them grouped per kernel (the CLI's default) or as JSON (for
+CI and tooling).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally.
+
+    ``ERROR`` means the kernel IR is unfaithful (the simulated
+    instruction/address stream would corrupt downstream figures);
+    ``WARNING`` flags suspicious-but-possibly-intended patterns (e.g.
+    uncoalesced FC weight streams, which the paper itself observes);
+    ``NOTE`` records expected-but-worth-knowing facts such as padding
+    overhang into the canonical slot gaps.
+    """
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass on one kernel.
+
+    Attributes:
+        severity: :class:`Severity` of the finding.
+        code: Stable kebab-case identifier (e.g. ``out-of-regions``).
+        pass_name: Analysis pass that produced it (``defuse``,
+            ``address``, ``race``, ``lint``).
+        kernel: Kernel launch name (Table III style, e.g. ``Conv 1-2``).
+        message: Human-readable description.
+        instr: PTX-like rendering of the offending instruction, or ``""``
+            for kernel-level findings (geometry, footprint totals).
+        data: Extra machine-readable fields for the JSON report.
+    """
+
+    severity: Severity
+    code: str
+    pass_name: str
+    kernel: str
+    message: str
+    instr: str = ""
+    data: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One-line rendering: ``error[out-of-regions] message``."""
+        line = f"{self.severity}[{self.code}] {self.message}"
+        if self.instr:
+            line += f"\n      at: {self.instr}"
+        return line
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form."""
+        return {
+            "severity": str(self.severity),
+            "code": self.code,
+            "pass": self.pass_name,
+            "kernel": self.kernel,
+            "message": self.message,
+            "instr": self.instr,
+            **({"data": self.data} if self.data else {}),
+        }
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one verification run, with rendering helpers."""
+
+    network: str
+    kernel_count: int = 0
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        """Append *diags* to the report."""
+        self.diagnostics.extend(diags)
+
+    def count(self, severity: Severity) -> int:
+        """Number of diagnostics at exactly *severity*."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Error-severity diagnostics only."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        """True when any error-severity diagnostic is present."""
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def by_kernel(self) -> dict[str, list[Diagnostic]]:
+        """Diagnostics grouped by kernel name, insertion-ordered."""
+        groups: dict[str, list[Diagnostic]] = {}
+        for diag in self.diagnostics:
+            groups.setdefault(diag.kernel, []).append(diag)
+        return groups
+
+    def format(self, min_severity: Severity = Severity.NOTE) -> str:
+        """Per-kernel grouped report at or above *min_severity*."""
+        lines = [
+            f"{self.network}: {self.kernel_count} kernels — "
+            f"{self.count(Severity.ERROR)} errors, "
+            f"{self.count(Severity.WARNING)} warnings, "
+            f"{self.count(Severity.NOTE)} notes"
+        ]
+        for kernel, diags in self.by_kernel().items():
+            shown = [d for d in diags if d.severity >= min_severity]
+            if not shown:
+                continue
+            lines.append(f"  {kernel}:")
+            for diag in sorted(shown, key=lambda d: -d.severity):
+                lines.append(f"    {diag.format()}")
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable report for CI and tooling."""
+        payload = {
+            "network": self.network,
+            "kernels": self.kernel_count,
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "note": self.count(Severity.NOTE),
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+        return json.dumps(payload, indent=indent)

@@ -1,0 +1,84 @@
+"""Pass orchestration: run every analysis over launches or networks.
+
+:func:`analyze_launch` runs the four passes (def-use, address intervals,
+shared-memory races, lints) over one :class:`KernelLaunch` without
+executing the simulator; :func:`analyze_launches` aggregates a launch
+sequence into a :class:`LintReport`; :func:`analyze_network` compiles a
+suite network by name and verifies it.  :func:`verify_launches` is the
+strict form the compiler's ``verify=`` flag calls: it raises
+:class:`KernelVerificationError` when any error-severity diagnostic is
+found, with the formatted report as the exception message.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.addresses import check_addresses
+from repro.analysis.defuse import check_defuse
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.lints import check_lints
+from repro.analysis.races import check_shared
+from repro.kernels.launch import KernelLaunch
+
+#: The passes, in reporting order.
+PASSES = (check_defuse, check_addresses, check_shared, check_lints)
+
+
+class KernelVerificationError(ValueError):
+    """A compiled network failed static verification with errors."""
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        errors = report.errors
+        super().__init__(
+            f"{report.network}: static verification found {len(errors)} "
+            f"error(s)\n{report.format(min_severity=Severity.ERROR)}"
+        )
+
+
+def analyze_launch(launch: KernelLaunch) -> list[Diagnostic]:
+    """Run every analysis pass over one launch."""
+    diags: list[Diagnostic] = []
+    for check in PASSES:
+        diags.extend(check(launch))
+    return diags
+
+
+def analyze_launches(
+    launches: Iterable[KernelLaunch], network: str = "<launches>"
+) -> LintReport:
+    """Run every analysis pass over a launch sequence.
+
+    Launches sharing a :meth:`~repro.kernels.launch.KernelLaunch.signature`
+    are analysed once (repeated RNN timesteps and ResNet's repeated
+    bottleneck kernels behave identically), mirroring the simulator's
+    own result caching.
+    """
+    report = LintReport(network=network)
+    seen: set[str] = set()
+    for launch in launches:
+        report.kernel_count += 1
+        sig = launch.signature()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        report.extend(analyze_launch(launch))
+    return report
+
+
+def analyze_network(name: str) -> LintReport:
+    """Compile (cached) and verify one suite network by name."""
+    from repro.kernels.compile import compiled_network
+
+    return analyze_launches(compiled_network(name), network=name)
+
+
+def verify_launches(
+    launches: Iterable[KernelLaunch], network: str = "<launches>"
+) -> LintReport:
+    """Analyse *launches*; raise :class:`KernelVerificationError` on errors."""
+    report = analyze_launches(launches, network=network)
+    if report.has_errors:
+        raise KernelVerificationError(report)
+    return report

@@ -1,0 +1,137 @@
+"""Conservative integer interval arithmetic over address expressions.
+
+The address-interval pass bounds each :class:`~repro.kernels.addressing.AddrExpr`
+without enumerating threads: every symbol (thread coordinate, block
+coordinate, loop variable) is mapped to its inclusive value range, each
+affine :class:`~repro.kernels.addressing.Term` is pushed through the
+same ``pre``/``//div``/``%mod``/``*coef`` pipeline the evaluator applies
+to concrete values, and the term intervals are summed.  All operations
+are *conservative*: the resulting interval always contains every address
+any thread can form, but may be wider than the exact reachable set
+(notably across ``%`` when the operand range wraps the modulus — see
+DESIGN.md's analysis section for the guarantee statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels.addressing import AddrExpr, Term
+from repro.kernels.launch import KernelLaunch
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """An inclusive integer interval ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def shift(self, k: int) -> "Interval":
+        """Interval of ``v + k``."""
+        return Interval(self.lo + k, self.hi + k)
+
+    def scale(self, k: int) -> "Interval":
+        """Interval of ``v * k`` (exact; handles negative *k*)."""
+        a, b = self.lo * k, self.hi * k
+        return Interval(min(a, b), max(a, b))
+
+    def floordiv(self, d: int) -> "Interval":
+        """Interval of ``v // d`` for ``d >= 1`` (exact: // is monotonic)."""
+        if d < 1:
+            raise ValueError("floordiv requires d >= 1")
+        return Interval(self.lo // d, self.hi // d)
+
+    def mod(self, m: int) -> "Interval":
+        """Interval of ``v % m`` for ``m >= 1`` (conservative on wrap).
+
+        When the operand range spans a multiple of *m* the result wraps
+        and the whole ``[0, m-1]`` residue range is returned; otherwise
+        the exact ``[lo % m, hi % m]`` window is.
+        """
+        if m < 1:
+            raise ValueError("mod requires m >= 1")
+        if self.hi - self.lo + 1 >= m:
+            return Interval(0, m - 1)
+        a, b = self.lo % m, self.hi % m
+        if a <= b:
+            return Interval(a, b)
+        return Interval(0, m - 1)
+
+    def contains(self, other: "Interval") -> bool:
+        """True when *other* lies entirely inside this interval."""
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one value."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+
+def term_interval(term: Term, sym_range: Interval) -> Interval:
+    """Interval of one affine term given its symbol's value range.
+
+    Mirrors :meth:`repro.kernels.addressing.Term.apply` step for step so
+    the static bound and the dynamic evaluator can never disagree on
+    the operation order.
+    """
+    v = sym_range
+    if term.pre != 1:
+        v = v.scale(term.pre)
+    if term.div != 1:
+        v = v.floordiv(term.div)
+    if term.mod is not None:
+        v = v.mod(term.mod)
+    return v.scale(term.coef)
+
+
+def launch_symbol_ranges(launch: KernelLaunch) -> dict[str, Interval]:
+    """Value ranges of the thread/block symbols for one launch.
+
+    ``lin_tid`` is clipped to the launch's *active* thread count: the
+    prologue guard masks trailing threads off memory, so their (larger)
+    linear ids never reach an address unit.  The per-axis ``tx``/``ty``/
+    ``tz`` coordinates keep their full block extent — a masked thread
+    still has in-range coordinates.
+    """
+    bx, by, bz = launch.block
+    gx, gy, gz = launch.grid
+    active = min(launch.active_threads, launch.threads_per_block)
+    return {
+        "tx": Interval(0, bx - 1),
+        "ty": Interval(0, by - 1),
+        "tz": Interval(0, bz - 1),
+        "lin_tid": Interval(0, max(0, active - 1)),
+        "bx": Interval(0, gx - 1),
+        "by": Interval(0, gy - 1),
+        "bz": Interval(0, gz - 1),
+        "lin_bid": Interval(0, launch.total_blocks - 1),
+        "one": Interval(1, 1),
+    }
+
+
+def addr_interval(
+    expr: AddrExpr,
+    sym_ranges: dict[str, Interval],
+) -> tuple[Interval, list[str]]:
+    """Interval of *expr* plus any symbols missing from *sym_ranges*.
+
+    Unbound symbols contribute nothing to the interval (the evaluator
+    would raise on them at runtime); callers report them as their own
+    diagnostic rather than folding an arbitrary range into the bound.
+    """
+    total = Interval(expr.base, expr.base)
+    unbound: list[str] = []
+    for term in expr.terms:
+        rng = sym_ranges.get(term.sym)
+        if rng is None:
+            unbound.append(term.sym)
+            continue
+        total = total + term_interval(term, rng)
+    return total, unbound

@@ -1,0 +1,208 @@
+"""Pass 4 — lint diagnostics: performance and plausibility checks.
+
+Unlike passes 1-3 these do not prove the IR wrong; they flag patterns
+that are either performance hazards the paper discusses or smells that
+usually indicate a builder slip:
+
+* **uncoalesced-access** (warning): a warp's 32 lanes touch ≥ half a
+  line each — evaluated concretely on the first warp of block (0,0,0)
+  at the loop-start environment.  Fully-connected weight streams do
+  this *by design* (each thread owns a row ``in_features`` apart; the
+  paper's Figure 14 links this to FC's ~10% L2 miss ratio), hence a
+  warning, not an error.
+* **zero-trip-loop** (error): a loop with ``trips == 0`` and a
+  non-empty body — :func:`repro.isa.program.expand_program` skips it
+  explicitly, so the body silently contributes no dynamic records.
+* **single-trip-loop** (note): a 1-trip loop buys its body nothing but
+  per-iteration ``add``/``set``/``bra`` bookkeeping.
+* **dtype-mismatch** (warning): an arithmetic instruction consumes a
+  register whose producer declared the opposite numeric class (float
+  fed by an integer def or vice versa) without a ``cvt`` in between.
+* **stranded-threads** (warning): launch geometry leaves more than half
+  of each block's threads inactive — the block does bookkeeping for
+  threads that only ever run the prologue guard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.walk import iter_sites
+from repro.isa.dtypes import DType
+from repro.isa.instruction import MemSpace
+from repro.isa.opcodes import Op
+from repro.isa.program import Loop, Program, ProgramItem
+from repro.kernels.launch import WARP_SIZE, KernelLaunch
+
+PASS = "lint"
+
+#: Cache-line size used for the coalescing check; matches the default of
+#: :class:`repro.memory.cache.Cache`.
+LINE_BYTES = 128
+
+#: A warp whose lanes touch at least this many distinct lines is
+#: reported as uncoalesced (fully coalesced 4-byte lanes fit in one).
+_UNCOALESCED_LINES = WARP_SIZE // 2
+
+#: Opcodes excluded from the dtype-mismatch check: data movement and
+#: explicit conversions legitimately bridge numeric classes, and
+#: memory/control operands are addresses or predicates, not data.
+_DTYPE_EXEMPT = (Op.MOV, Op.CVT, Op.LD, Op.ST, Op.SET, Op.BRA, Op.BAR,
+                 Op.SSY, Op.NOP, Op.EXIT, Op.CALLP, Op.RETP)
+
+
+class _FirstWarp:
+    """Concrete symbol values for the first warp of block (0, 0, 0)."""
+
+    def __init__(self, launch: KernelLaunch):
+        bx_dim, by_dim, _ = launch.block
+        n = min(WARP_SIZE, launch.threads_per_block, max(1, launch.active_threads))
+        lanes = np.arange(n, dtype=np.int64)
+        self.width = n
+        self.lane_syms = {
+            "tx": lanes % bx_dim,
+            "ty": (lanes // bx_dim) % by_dim,
+            "tz": lanes // (bx_dim * by_dim),
+            "lin_tid": lanes,
+        }
+        self.block_syms = {"bx": 0, "by": 0, "bz": 0, "lin_bid": 0, "one": 1}
+
+
+def _iter_loops(program: Program):
+    """All loop nodes in program order."""
+
+    def walk(items: tuple[ProgramItem, ...]):
+        for item in items:
+            if isinstance(item, Loop):
+                yield item
+                yield from walk(item.body)
+
+    yield from walk(program.items)
+
+
+def check_lints(launch: KernelLaunch) -> list[Diagnostic]:
+    """Run all lint checks on one launch."""
+    diags: list[Diagnostic] = []
+    diags.extend(_check_loops(launch))
+    diags.extend(_check_coalescing(launch))
+    diags.extend(_check_dtypes(launch))
+    diags.extend(_check_geometry(launch))
+    return diags
+
+
+def _check_loops(launch: KernelLaunch) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for loop in _iter_loops(launch.program):
+        if loop.trips == 0 and loop.body:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "zero-trip-loop",
+                    PASS,
+                    launch.name,
+                    f"loop {loop.var!r} has 0 trips but a {len(loop.body)}-"
+                    f"instruction body: the body silently produces no "
+                    f"dynamic records",
+                    data={"var": loop.var, "body_len": len(loop.body)},
+                )
+            )
+        elif loop.trips == 1:
+            diags.append(
+                Diagnostic(
+                    Severity.NOTE,
+                    "single-trip-loop",
+                    PASS,
+                    launch.name,
+                    f"loop {loop.var!r} runs exactly once; its add/set/bra "
+                    f"bookkeeping is pure overhead",
+                    data={"var": loop.var},
+                )
+            )
+    return diags
+
+
+def _check_coalescing(launch: KernelLaunch) -> list[Diagnostic]:
+    warp = _FirstWarp(launch)
+    if warp.width < WARP_SIZE:
+        return []  # sub-warp blocks cannot produce a full uncoalesced wavefront
+    diags: list[Diagnostic] = []
+    for site in iter_sites(launch.program):
+        instr = site.instr
+        if not instr.is_mem or instr.addr is None or instr.space is not MemSpace.GLOBAL:
+            continue
+        if not any(t.sym in warp.lane_syms for t in instr.addr.terms):
+            continue  # warp-uniform broadcast: one line, trivially coalesced
+        env = {loop.var: 0 for loop in site.loops}
+        addrs = np.asarray(instr.addr.evaluate(warp, env))
+        width = max(1, instr.width_bytes)
+        lines = np.unique(
+            np.concatenate([addrs // LINE_BYTES, (addrs + width - 1) // LINE_BYTES])
+        )
+        if len(lines) >= _UNCOALESCED_LINES:
+            stride = int(np.median(np.abs(np.diff(addrs)))) if len(addrs) > 1 else 0
+            diags.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "uncoalesced-access",
+                    PASS,
+                    launch.name,
+                    f"one warp touches {len(lines)} distinct {LINE_BYTES}-byte "
+                    f"lines (median lane stride {stride} bytes)",
+                    instr=instr.describe(),
+                    data={"lines": int(len(lines)), "stride": stride},
+                )
+            )
+    return diags
+
+
+def _check_dtypes(launch: KernelLaunch) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    producer: dict[int, DType] = {}
+    for site in iter_sites(launch.program):
+        instr = site.instr
+        if instr.op not in _DTYPE_EXEMPT and (
+            instr.dtype.is_float or instr.dtype.is_integer
+        ):
+            for src in instr.srcs:
+                src_dtype = producer.get(src.index)
+                if src_dtype is None:
+                    continue  # entry register or untracked producer
+                mismatch = (instr.dtype.is_float and src_dtype.is_integer) or (
+                    instr.dtype.is_integer and src_dtype.is_float
+                )
+                if mismatch:
+                    diags.append(
+                        Diagnostic(
+                            Severity.WARNING,
+                            "dtype-mismatch",
+                            PASS,
+                            launch.name,
+                            f"{instr.dtype} instruction consumes {src} produced "
+                            f"as {src_dtype} with no cvt in between",
+                            instr=instr.describe(),
+                            data={"register": src.index, "src_dtype": str(src_dtype)},
+                        )
+                    )
+        if instr.dst is not None:
+            producer[instr.dst.index] = instr.dtype
+    return diags
+
+
+def _check_geometry(launch: KernelLaunch) -> list[Diagnostic]:
+    threads = launch.threads_per_block
+    active = min(launch.active_threads, threads)
+    if active * 2 < threads:
+        return [
+            Diagnostic(
+                Severity.WARNING,
+                "stranded-threads",
+                PASS,
+                launch.name,
+                f"only {active}/{threads} threads per block are active "
+                f"({100 * active / threads:.0f}%): the launch geometry strands "
+                f"a majority of each block behind the prologue guard",
+                data={"active": active, "threads": threads},
+            )
+        ]
+    return []

@@ -1,0 +1,202 @@
+"""Pass 3 — shared-memory race detection and footprint checking.
+
+Shared memory is per-block scratchpad, so races are intra-block: two
+threads of one block touching the same ``SHARED`` address with at least
+one write and no intervening ``bar`` between the accesses.  The pass
+splits the program at barriers into *phases* (program order; a barrier
+inside a loop body conservatively splits only the body's straight-line
+order — see the limitations note in DESIGN.md), then evaluates every
+addressed shared access *concretely* over all active threads of a block
+— block sizes are bounded by 1024, so exact per-thread address vectors
+are cheap — at sampled loop-environment points (every enclosing loop
+variable at its first and last trip):
+
+* **smem-race** (error): within one phase, one address is written by one
+  thread and touched by a different thread (write-write included).
+* **smem-overflow** (error): the interval bound of a shared access ends
+  past the launch's declared ``smem_bytes``.
+* **smem-negative** (error): a shared access interval reaches below 0.
+
+Shared accesses with no address expression (``addr=None``) model the
+builders' implicit one-slot-per-thread hidden-state convention — each
+thread touches its own ``lin_tid``-indexed cell — and are skipped; the
+RNN kernels rely on this, and DESIGN.md records it as an analysis limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.intervals import Interval, addr_interval, launch_symbol_ranges
+from repro.analysis.walk import Site, iter_sites
+from repro.isa.instruction import MemSpace
+from repro.isa.opcodes import Op
+from repro.kernels.launch import KernelLaunch
+
+PASS = "race"
+
+
+class _BlockContext:
+    """Concrete lane/block symbol values for one whole block.
+
+    Mimics the interface of :class:`repro.gpu.warp.Warp` that
+    :meth:`AddrExpr.evaluate` consumes, but spans every active thread of
+    the block instead of one 32-lane warp.
+    """
+
+    def __init__(self, launch: KernelLaunch):
+        bx_dim, by_dim, _ = launch.block
+        n = min(launch.threads_per_block, max(1, launch.active_threads))
+        lanes = np.arange(n, dtype=np.int64)
+        self.width = n
+        self.lane_syms = {
+            "tx": lanes % bx_dim,
+            "ty": (lanes // bx_dim) % by_dim,
+            "tz": lanes // (bx_dim * by_dim),
+            "lin_tid": lanes,
+        }
+        self.block_syms = {"bx": 0, "by": 0, "bz": 0, "lin_bid": 0, "one": 1}
+
+
+def _env_samples(site: Site) -> list[dict[str, int]]:
+    """Loop-environment corner samples for *site* (first/last trips)."""
+    if not site.loops:
+        return [{}]
+    corners = [
+        {loop.var: 0 for loop in site.loops},
+        {loop.var: max(0, loop.trips - 1) for loop in site.loops},
+    ]
+    return corners if corners[0] != corners[1] else corners[:1]
+
+
+def check_shared(launch: KernelLaunch) -> list[Diagnostic]:
+    """Run shared-memory race and footprint checks on one launch."""
+    diags: list[Diagnostic] = []
+    sites = iter_sites(launch.program)
+    shared = [
+        (site, site.instr.op is Op.ST)
+        for site in sites
+        if site.instr.is_mem and site.instr.space is MemSpace.SHARED
+    ]
+    if not any(site.instr.op is Op.BAR for site in sites) and not shared:
+        return diags
+
+    # Footprint: interval bound of every addressed shared access.
+    sym_ranges = launch_symbol_ranges(launch)
+    for site, _ in shared:
+        if site.instr.addr is None:
+            continue
+        loop_ranges = {
+            loop.var: Interval(0, max(0, loop.trips - 1)) for loop in site.loops
+        }
+        interval, unbound = addr_interval(site.instr.addr, {**sym_ranges, **loop_ranges})
+        if unbound:
+            continue  # reported by the address pass as unbound-symbol
+        hi = interval.hi + max(1, site.instr.width_bytes) - 1
+        if interval.lo < 0:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "smem-negative",
+                    PASS,
+                    launch.name,
+                    f"shared access interval [{interval.lo}, {hi}] reaches "
+                    f"below shared address 0",
+                    instr=site.instr.describe(),
+                    data={"lo": interval.lo, "hi": hi},
+                )
+            )
+        elif hi >= launch.smem_bytes:
+            diags.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "smem-overflow",
+                    PASS,
+                    launch.name,
+                    f"shared access interval [{interval.lo}, {hi}] exceeds the "
+                    f"declared {launch.smem_bytes}-byte shared allocation",
+                    instr=site.instr.describe(),
+                    data={"lo": interval.lo, "hi": hi, "smem_bytes": launch.smem_bytes},
+                )
+            )
+
+    # Races: concrete per-thread addresses, phase-split at barriers.
+    block = _BlockContext(launch)
+    if block.width < 2:
+        return diags
+    phase = 0
+    phase_of: dict[int, int] = {}
+    for site in sites:
+        if site.instr.op is Op.BAR:
+            phase += 1
+        phase_of[site.index] = phase
+
+    addressed = [(s, w) for s, w in shared if s.instr.addr is not None]
+    by_phase: dict[int, list[tuple[Site, bool]]] = {}
+    for site, is_write in addressed:
+        by_phase.setdefault(phase_of[site.index], []).append((site, is_write))
+
+    reported: set[tuple[int, int]] = set()
+    for accesses in by_phase.values():
+        if not any(is_write for _, is_write in accesses):
+            continue
+        for (a, a_write), (b, b_write) in itertools.combinations_with_replacement(
+            accesses, 2
+        ):
+            if not (a_write or b_write):
+                continue
+            key = (a.index, b.index)
+            if key in reported:
+                continue
+            conflict = _conflicting_threads(a, b, block)
+            if conflict is not None:
+                reported.add(key)
+                addr_value, threads = conflict
+                writer = a if a_write else b
+                diags.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "smem-race",
+                        PASS,
+                        launch.name,
+                        f"threads {threads[0]} and {threads[1]} touch shared "
+                        f"address {addr_value} with at least one write and no "
+                        f"intervening bar "
+                        f"(`{a.instr.describe()}` vs `{b.instr.describe()}`)",
+                        instr=writer.instr.describe(),
+                        data={"address": int(addr_value), "threads": list(threads)},
+                    )
+                )
+    return diags
+
+
+def _conflicting_threads(a: Site, b: Site, block: _BlockContext):
+    """First (address, (thread, thread)) conflict between two accesses.
+
+    Two distinct threads conflict when they form the same address in any
+    sampled loop environment; a thread revisiting its own slot does not.
+    For the diagonal case (``a is b``) this detects one instruction whose
+    address map is non-injective across threads.
+    """
+    for env_a in _env_samples(a):
+        addrs_a = np.asarray(a.instr.addr.evaluate(block, env_a))
+        envs_b = [env_a] if a is b else _env_samples(b)
+        for env_b in envs_b:
+            addrs_b = (
+                addrs_a if a is b and env_b is env_a
+                else np.asarray(b.instr.addr.evaluate(block, env_b))
+            )
+            common = np.intersect1d(addrs_a, addrs_b)
+            for value in common:
+                threads_a = np.flatnonzero(addrs_a == value)
+                threads_b = np.flatnonzero(addrs_b == value)
+                if len(threads_a) > 1:
+                    return int(value), (int(threads_a[0]), int(threads_a[1]))
+                if len(threads_b) > 1:
+                    return int(value), (int(threads_b[0]), int(threads_b[1]))
+                if threads_a[0] != threads_b[0]:
+                    return int(value), (int(threads_a[0]), int(threads_b[0]))
+    return None

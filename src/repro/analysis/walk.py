@@ -1,0 +1,74 @@
+"""Shared structural walks over thread programs.
+
+Analysis passes need the same two traversals again and again: the
+instruction stream in program order with the enclosing loop nest
+attached (:func:`iter_sites`), and a straight-line order in which every
+loop body appears twice (:func:`linearize_twice`) so loop-carried
+definitions — a register written in iteration *i* and read in *i+1* —
+are visible to a single forward scan, exactly as the liveness pass of
+:mod:`repro.isa.program` walks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Loop, Program, ProgramItem
+
+
+@dataclass(frozen=True)
+class Site:
+    """One static instruction plus its structural context.
+
+    Attributes:
+        instr: The instruction itself.
+        loops: Enclosing loop nest, outermost first.
+        index: Position in the program-order walk (loops counted once).
+    """
+
+    instr: Instruction
+    loops: tuple[Loop, ...]
+    index: int
+
+    @property
+    def loop_vars(self) -> tuple[str, ...]:
+        """Names of the enclosing loop variables, outermost first."""
+        return tuple(loop.var for loop in self.loops)
+
+
+def iter_sites(program: Program) -> list[Site]:
+    """All instructions in program order, each with its loop nest."""
+    sites: list[Site] = []
+
+    def walk(items: tuple[ProgramItem, ...], loops: tuple[Loop, ...]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                walk(item.body, loops + (item,))
+            else:
+                sites.append(Site(item, loops, len(sites)))
+
+    walk(program.items, ())
+    return sites
+
+
+def linearize_twice(program: Program) -> list[Instruction]:
+    """Straight-line instruction order with every loop body duplicated.
+
+    The first copy of a body sees only definitions made before or inside
+    the loop so far (a genuine iteration-0 read-before-write stays
+    visible); the second copy sees the first copy's definitions, which
+    models the loop back-edge for loop-carried values.
+    """
+    linear: list[Instruction] = []
+
+    def walk(items: tuple[ProgramItem, ...]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                walk(item.body)
+                walk(item.body)
+            else:
+                linear.append(item)
+
+    walk(program.items)
+    return linear

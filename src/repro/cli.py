@@ -1,0 +1,98 @@
+"""The ``repro`` command-line interface.
+
+Subcommands:
+
+``repro lint [networks...]``
+    Compile the named suite networks (default: all seven) and run the
+    :mod:`repro.analysis` static verifier over every kernel launch,
+    printing a per-kernel grouped diagnostics report.  ``--json`` emits
+    the machine-readable form instead; ``--strict`` promotes warnings to
+    the failure condition; ``--quiet`` hides note-severity diagnostics.
+    Exit status: 0 when clean, 1 when the failure condition is met, 2 on
+    usage errors (argparse's convention).
+
+``repro networks``
+    List the benchmark suite (paper networks plus extensions).
+
+Also invocable as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Severity, analyze_network
+from repro.core.suite import BENCHMARK_INFO, EXTENSION_NETWORKS, NETWORK_ORDER
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    names = args.networks or list(NETWORK_ORDER)
+    known = set(NETWORK_ORDER) | set(EXTENSION_NETWORKS)
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"unknown network(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+    min_severity = Severity.WARNING if args.quiet else Severity.NOTE
+    failed = False
+    json_reports = []
+    for name in names:
+        report = analyze_network(name)
+        failed |= report.has_errors or (
+            args.strict and report.count(Severity.WARNING) > 0
+        )
+        if args.json:
+            json_reports.append(report.to_json())
+        else:
+            print(report.format(min_severity=min_severity))
+    if args.json:
+        print("[" + ",\n".join(json_reports) + "]")
+    return 1 if failed else 0
+
+
+def _cmd_networks(args: argparse.Namespace) -> int:
+    for name in NETWORK_ORDER + EXTENSION_NETWORKS:
+        info = BENCHMARK_INFO[name]
+        extra = " (extension)" if name in EXTENSION_NETWORKS else ""
+        print(f"{name:12s} {info.display_name} [{info.kind}]{extra}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify the compiled kernels of suite networks",
+        description="Run the static kernel-IR verifier (def-use, address "
+        "intervals, shared-memory races, lints) over compiled networks.",
+    )
+    lint.add_argument("networks", nargs="*",
+                      help="network names (default: the paper's seven)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of text")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as failures too")
+    lint.add_argument("--quiet", action="store_true",
+                      help="hide note-severity diagnostics in text output")
+    lint.set_defaults(func=_cmd_lint)
+
+    networks = sub.add_parser("networks", help="list the benchmark suite")
+    networks.set_defaults(func=_cmd_networks)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

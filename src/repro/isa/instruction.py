@@ -67,10 +67,20 @@ class Instruction:
         """True for loads."""
         return self.op is Op.LD
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def describe(self) -> str:
+        """PTX-like rendering, e.g. ``ld.global.f32 r3, [0x40000000 + 4*lin_tid]``.
+
+        Lint diagnostics and debugging output embed this; memory
+        operations render their symbolic address in brackets (with a
+        ``.vN`` vector suffix for multi-element accesses).
+        """
         parts = [self.op.value]
         if self.space is not None:
             parts.append(self.space.value)
+        if self.is_mem and self.width_bytes not in (0, 4):
+            lanes = max(1, self.width_bytes // 4)
+            if lanes > 1:
+                parts.append(f"v{lanes}")
         if self.dtype is not DType.NONE:
             parts.append(self.dtype.value)
         head = ".".join(parts)
@@ -78,4 +88,13 @@ class Instruction:
         if self.dst is not None:
             ops.append(str(self.dst))
         ops.extend(str(s) for s in self.srcs)
+        if self.is_mem:
+            addr = self.addr.describe() if hasattr(self.addr, "describe") else "implicit"
+            ops.append(f"[{addr}]")
         return f"{head} {', '.join(ops)}".strip()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+    def __repr__(self) -> str:
+        return f"<Instruction {self.describe()}>"

@@ -201,6 +201,12 @@ def expand_program(
     def walk(items: tuple[ProgramItem, ...], weight: float, env: dict[str, int]) -> None:
         for item in items:
             if isinstance(item, Loop):
+                if item.trips == 0:
+                    # A zero-trip loop contributes no dynamic records;
+                    # repro.analysis flags it (code ``zero-trip-loop``)
+                    # because a builder almost never means to emit dead
+                    # code, but expansion itself must stay total.
+                    continue
                 budget = max_outer_trips if _contains_loop(item.body) else max_trips
                 for index, trip_weight in sample_trips(item.trips, budget):
                     inner = dict(env)

@@ -63,6 +63,22 @@ class Term:
             v = v % self.mod
         return v * self.coef
 
+    def describe(self) -> str:
+        """PTX-comment-like rendering, e.g. ``4*(rc*2//9%3)``."""
+        inner = self.sym
+        if self.pre != 1:
+            inner += f"*{self.pre}"
+        if self.div != 1:
+            inner += f"//{self.div}"
+        if self.mod is not None:
+            inner += f"%{self.mod}"
+        if self.pre != 1 or self.div != 1 or self.mod is not None:
+            inner = f"({inner})"
+        return inner if self.coef == 1 else f"{self.coef}*{inner}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
 
 @dataclass(frozen=True)
 class AddrExpr:
@@ -109,6 +125,20 @@ class AddrExpr:
     def shifted(self, offset: int) -> "AddrExpr":
         """A copy of this expression with *offset* added to the base."""
         return AddrExpr(self.base + offset, self.terms)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``0x40000000 + 4*lin_tid + 16*rc``.
+
+        Lint diagnostics embed this so a flagged access reads like the
+        PTX it models; the base is rendered in hex because canonical
+        region bases are large power-of-two slot addresses.
+        """
+        parts = [hex(self.base) if abs(self.base) >= 4096 else str(self.base)]
+        parts.extend(t.describe() for t in self.terms)
+        return " + ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
 
 
 def affine(base: int, **coefs: int) -> AddrExpr:

@@ -499,9 +499,15 @@ def build_rnn_cell(layer: GRUCell | LSTMCell) -> BuiltKernel:
     """
     hidden = layer.hidden_size
     gates = ("z", "r", "h") if isinstance(layer, GRUCell) else ("i", "f", "o", "g")
+    # The recurrent matrices are stored transposed with rows padded to a
+    # cache-line multiple (the cudaMallocPitch layout, see below), so
+    # each u_* tensor really occupies hidden * row_stride elements — the
+    # static verifier flags the loads of the last rows as out-of-region
+    # if only hidden * hidden are declared.
+    row_stride = -(-hidden // 32) * 32
     layout = MemLayout()
     x_base = layout.alloc("input", "x", 4 * layer.input_size)
-    u_bases = {g: layout.alloc("weight", f"u_{g}", 4 * hidden * hidden) for g in gates}
+    u_bases = {g: layout.alloc("weight", f"u_{g}", 4 * hidden * row_stride) for g in gates}
     w_bases = {g: layout.alloc("weight", f"w_{g}", 4 * hidden * layer.input_size) for g in gates}
     b_bases = {g: layout.alloc("weight", f"b_{g}", 4 * hidden) for g in gates}
     out_base = layout.alloc("output", "h_out", 4 * hidden)
@@ -524,7 +530,6 @@ def build_rnn_cell(layer: GRUCell | LSTMCell) -> BuiltKernel:
     # lane n's load at step j is coalesced with its neighbours and every
     # iteration touches fresh cache lines exactly once — which is why
     # RNNs are insensitive to L1 capacity (Figure 2 / Observation 2).
-    row_stride = -(-hidden // 32) * 32
     u_terms = (Term(REDUCE_VAR, row_stride),) + n_terms
 
     def gate_epilogue(acc):

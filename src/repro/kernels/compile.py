@@ -33,6 +33,7 @@ from repro.core.suite import get_network
 from repro.kernels import builders
 from repro.kernels.launch import KernelLaunch
 from repro.kernels.mapping import KernelPlan, plan_network
+from repro.kernels.validate import validate_launch_symbols
 
 
 def _lower(plan: KernelPlan, graph: NetworkGraph) -> builders.BuiltKernel:
@@ -87,15 +88,25 @@ def _input_shared_across_blocks(plan: KernelPlan) -> bool:
     return False
 
 
-def compile_network(graph: NetworkGraph) -> list[KernelLaunch]:
+def compile_network(graph: NetworkGraph, verify: bool = False) -> list[KernelLaunch]:
     """Compile *graph* into its ordered kernel launch sequence.
 
     RNN cells are replicated once per sequence timestep, mirroring the
     repeated layer invocations of the released suite.
+
+    Every built program is structurally validated up front (an address
+    expression referencing a loop variable no enclosing loop binds
+    raises :class:`~repro.kernels.validate.KernelValidationError` here,
+    instead of a ``KeyError`` deep inside the simulator).  With
+    ``verify=True`` the full :mod:`repro.analysis` pass suite also runs
+    over the compiled launches and raises
+    :class:`~repro.analysis.KernelVerificationError` on any
+    error-severity diagnostic.
     """
     launches: list[KernelLaunch] = []
     for plan in plan_network(graph):
         built = _lower(plan, graph)
+        validate_launch_symbols(plan.kernel_name, built.program)
         active = plan.tmap.active_threads_per_block
         threads = plan.block[0] * plan.block[1] * plan.block[2]
         if active <= 0 or active > threads:
@@ -134,10 +145,16 @@ def compile_network(graph: NetworkGraph) -> list[KernelLaunch]:
                         shared_input=base.shared_input,
                     )
                 )
+    if verify:
+        # Imported lazily: repro.analysis depends on repro.kernels, so a
+        # top-level import here would be circular.
+        from repro.analysis import verify_launches
+
+        verify_launches(launches, network=graph.name)
     return launches
 
 
 @lru_cache(maxsize=None)
-def compiled_network(name: str) -> tuple[KernelLaunch, ...]:
+def compiled_network(name: str, verify: bool = False) -> tuple[KernelLaunch, ...]:
     """Compile (and cache) the named suite network."""
-    return tuple(compile_network(get_network(name)))
+    return tuple(compile_network(get_network(name), verify=verify))

@@ -22,6 +22,14 @@ from repro.kernels.launch import MemRegion
 _SLOT_STRIDE = 1 << 30
 #: Region alignment in bytes.
 _ALIGN = 256
+#: Red-zone gap between consecutive regions of one slot.  Vectorized
+#: unroll tails and stride-sweep outer loops legitimately over-read a
+#: few KB past their tensor (real kernels do the same past a
+#: cudaMalloc'd buffer); the guard keeps those bytes in empty canonical
+#: space instead of aliasing the next tensor, so the static verifier
+#: (:mod:`repro.analysis`) can report them as overhang notes rather
+#: than cross-region errors.
+_GUARD_BYTES = 1 << 20
 
 
 @dataclass
@@ -42,7 +50,7 @@ class MemLayout:
         base_of_slot = self._SLOTS[slot] * _SLOT_STRIDE
         cursor = self._cursors.get(slot, base_of_slot)
         aligned = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
-        self._cursors[slot] = aligned + size_bytes
+        self._cursors[slot] = aligned + size_bytes + _GUARD_BYTES
         region = MemRegion(name, aligned, size_bytes)
         self._regions.append(region)
         return aligned

@@ -1,0 +1,62 @@
+"""Structural validation of compiled thread programs.
+
+The cheapest class of kernel-IR defect — an address expression that
+references a loop variable no enclosing loop binds — used to surface as
+a ``KeyError`` deep inside the timing simulator's address evaluation,
+long after the builder bug that caused it.  :func:`unbound_symbols`
+finds these statically by walking the program structure, and
+:func:`validate_launch_symbols` turns them into a
+:class:`KernelValidationError` naming the kernel, the instruction and
+the symbol.  :func:`repro.kernels.compile.compile_network` runs this on
+every launch it produces, so a malformed program never reaches the
+simulator; the fuller :mod:`repro.analysis` passes report the same
+defect as an ``unbound-symbol`` diagnostic.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.program import Loop, Program, ProgramItem
+from repro.kernels.addressing import BLOCK_SYMBOLS, THREAD_SYMBOLS
+
+#: Symbols an address expression may always reference, independent of
+#: any loop nest.
+_AMBIENT_SYMBOLS = frozenset(THREAD_SYMBOLS) | frozenset(BLOCK_SYMBOLS)
+
+
+class KernelValidationError(ValueError):
+    """A compiled kernel's thread program is structurally malformed."""
+
+
+def unbound_symbols(program: Program) -> list[tuple[Instruction, str]]:
+    """Find address-expression symbols no enclosing loop binds.
+
+    Returns ``(instruction, symbol)`` pairs in program order; a symbol
+    is bound when it is a thread/block symbol or the variable of a loop
+    enclosing the instruction that references it.
+    """
+    found: list[tuple[Instruction, str]] = []
+
+    def walk(items: tuple[ProgramItem, ...], bound: frozenset[str]) -> None:
+        for item in items:
+            if isinstance(item, Loop):
+                walk(item.body, bound | {item.var})
+            elif item.addr is not None:
+                for term in item.addr.terms:
+                    if term.sym not in _AMBIENT_SYMBOLS and term.sym not in bound:
+                        found.append((item, term.sym))
+
+    walk(program.items, frozenset())
+    return found
+
+
+def validate_launch_symbols(kernel_name: str, program: Program) -> None:
+    """Raise :class:`KernelValidationError` on any unbound address symbol."""
+    bad = unbound_symbols(program)
+    if bad:
+        instr, sym = bad[0]
+        raise KernelValidationError(
+            f"kernel {kernel_name!r}: address of `{instr.describe()}` references "
+            f"loop variable {sym!r} which no enclosing loop binds "
+            f"({len(bad)} unbound reference(s) total)"
+        )

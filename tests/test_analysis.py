@@ -1,0 +1,530 @@
+"""Tests for the static kernel-IR verifier (:mod:`repro.analysis`).
+
+Each analysis pass gets at least one test that plants a synthetic
+defect — an out-of-bounds affine address, a read of a register nothing
+wrote, a missing barrier between shared-memory phases, a shared-memory
+footprint overflow — and asserts it is detected with the right severity,
+code and kernel attribution.  A second set of tests pins the clean-path
+behaviour: the benign patterns the suite's builders emit on purpose
+(padding overhang, broadcast loads, barrier-separated phases) must NOT
+be errors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Interval,
+    KernelVerificationError,
+    LintReport,
+    Severity,
+    analyze_launch,
+    analyze_launches,
+    check_addresses,
+    check_defuse,
+    check_lints,
+    check_shared,
+    verify_launches,
+)
+from repro.analysis.intervals import addr_interval, launch_symbol_ranges, term_interval
+from repro.isa.dtypes import DType
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op
+from repro.isa.program import Loop, Program
+from repro.isa.registers import Reg, RegisterAllocator
+from repro.kernels.addressing import AddrExpr, Term
+from repro.kernels.launch import KernelLaunch, MemRegion
+
+
+def make_launch(
+    program: Program,
+    *,
+    name: str = "Synthetic 1",
+    grid: tuple[int, int, int] = (1, 1, 1),
+    block: tuple[int, int, int] = (32, 1, 1),
+    regs: int | None = None,
+    smem_bytes: int = 0,
+    regions: tuple[MemRegion, ...] = (),
+    active: int | None = None,
+) -> KernelLaunch:
+    """A minimal launch wrapping *program* for single-pass tests."""
+    threads = block[0] * block[1] * block[2]
+    return KernelLaunch(
+        name=name,
+        node_name="synthetic",
+        category="Conv",
+        grid=grid,
+        block=block,
+        program=program,
+        regs=program.reg_count if regs is None else regs,
+        smem_bytes=smem_bytes,
+        cmem_bytes=0,
+        active_threads=threads if active is None else active,
+        regions=regions,
+    )
+
+
+def codes(diags: list[Diagnostic], severity: Severity | None = None) -> set[str]:
+    """Diagnostic codes, optionally filtered to one severity."""
+    return {
+        d.code for d in diags if severity is None or d.severity is severity
+    }
+
+
+class TestIntervals:
+    def test_add_and_scale(self):
+        assert Interval(1, 3) + Interval(10, 20) == Interval(11, 23)
+        assert Interval(1, 3).scale(-2) == Interval(-6, -2)
+
+    def test_floordiv_monotonic(self):
+        assert Interval(5, 17).floordiv(4) == Interval(1, 4)
+
+    def test_mod_exact_window(self):
+        assert Interval(10, 12).mod(8) == Interval(2, 4)
+
+    def test_mod_wraps_to_full_residue_range(self):
+        assert Interval(6, 10).mod(8) == Interval(0, 7)
+        assert Interval(0, 100).mod(8) == Interval(0, 7)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2, 1)
+
+    def test_term_interval_matches_apply_pointwise(self):
+        term = Term("rc", 7, div=3, mod=5, pre=2)
+        rng = Interval(0, 40)
+        values = [term.apply(v) for v in range(rng.lo, rng.hi + 1)]
+        bound = term_interval(term, rng)
+        assert bound.lo <= min(values) and max(values) <= bound.hi
+
+    def test_launch_ranges_clip_lin_tid_to_active(self):
+        launch = make_launch(Program(items=()), block=(32, 2, 1), active=40)
+        ranges = launch_symbol_ranges(launch)
+        assert ranges["lin_tid"] == Interval(0, 39)
+        assert ranges["ty"] == Interval(0, 1)
+
+    def test_addr_interval_reports_unbound(self):
+        expr = AddrExpr(0, (Term("mystery", 4),))
+        _, unbound = addr_interval(expr, {})
+        assert unbound == ["mystery"]
+
+
+class TestDefusePass:
+    def test_unwritten_register_read_is_error(self):
+        ra = RegisterAllocator()
+        ghost = ra.fresh()
+        dst = ra.fresh()
+        program = Program(
+            items=(Instruction(Op.ADD, DType.U32, dst=dst, srcs=(ghost,)),),
+            reg_count=ra.count,
+        )
+        launch = make_launch(program, name="Ghost 1")
+        diags = check_defuse(launch)
+        errors = [d for d in diags if d.code == "unwritten-read"]
+        assert len(errors) == 1
+        assert errors[0].severity is Severity.ERROR
+        assert errors[0].kernel == "Ghost 1"
+
+    def test_loop_carried_definition_is_not_flagged(self):
+        # acc is written before the loop and updated inside it; the
+        # in-loop read of acc must not count as unwritten.
+        ra = RegisterAllocator()
+        acc = ra.fresh()
+        v = ra.fresh()
+        program = Program(
+            items=(
+                Instruction(Op.MOV, DType.F32, dst=acc),
+                Loop(
+                    "rc",
+                    8,
+                    (
+                        Instruction(Op.LD, DType.F32, dst=v),
+                        Instruction(Op.MAD, DType.F32, dst=acc, srcs=(v, acc)),
+                    ),
+                ),
+            ),
+            reg_count=ra.count,
+        )
+        assert "unwritten-read" not in codes(check_defuse(make_launch(program)))
+
+    def test_iteration_zero_read_before_write_is_flagged(self):
+        # The register is only defined later in the same loop body, so
+        # iteration 0 genuinely reads garbage.
+        ra = RegisterAllocator()
+        late = ra.fresh()
+        out = ra.fresh()
+        program = Program(
+            items=(
+                Loop(
+                    "rc",
+                    8,
+                    (
+                        Instruction(Op.ADD, DType.U32, dst=out, srcs=(late,)),
+                        Instruction(Op.MOV, DType.U32, dst=late),
+                    ),
+                ),
+            ),
+            reg_count=ra.count,
+        )
+        assert "unwritten-read" in codes(check_defuse(make_launch(program)), Severity.ERROR)
+
+    def test_entry_registers_are_predefined(self):
+        ra = RegisterAllocator()
+        tid = ra.special("%tid.x")
+        dst = ra.fresh()
+        program = Program(
+            items=(Instruction(Op.MOV, DType.U32, dst=dst, srcs=(tid,)),),
+            reg_count=ra.count,
+            entry_regs=ra.specials,
+        )
+        assert "unwritten-read" not in codes(check_defuse(make_launch(program)))
+
+    def test_dead_write_is_note(self):
+        ra = RegisterAllocator()
+        unused = ra.fresh()
+        program = Program(
+            items=(Instruction(Op.SHL, DType.U32, dst=unused),),
+            reg_count=ra.count,
+        )
+        diags = check_defuse(make_launch(program))
+        dead = [d for d in diags if d.code == "dead-write"]
+        assert len(dead) == 1 and dead[0].severity is Severity.NOTE
+
+    def test_max_live_above_declared_regs_is_error(self):
+        ra = RegisterAllocator()
+        a, b, c = ra.fresh(), ra.fresh(), ra.fresh()
+        program = Program(
+            items=(
+                Instruction(Op.MOV, DType.U32, dst=a),
+                Instruction(Op.MOV, DType.U32, dst=b),
+                Instruction(Op.ADD, DType.U32, dst=c, srcs=(a, b)),
+                Instruction(Op.ST, DType.U32, srcs=(c,)),
+            ),
+            reg_count=ra.count,
+        )
+        launch = make_launch(program, regs=1)
+        assert "reg-count-exceeded" in codes(check_defuse(launch), Severity.ERROR)
+
+
+def _mem_program(instrs: tuple[Instruction, ...]) -> Program:
+    return Program(items=instrs, reg_count=8)
+
+
+def _ld(expr: AddrExpr, space: MemSpace = MemSpace.GLOBAL, width: int = 4) -> Instruction:
+    return Instruction(Op.LD, DType.F32, dst=Reg(0), space=space, addr=expr,
+                       width_bytes=width)
+
+
+def _st(expr: AddrExpr | None, space: MemSpace = MemSpace.GLOBAL) -> Instruction:
+    return Instruction(Op.ST, DType.F32, srcs=(Reg(0),), space=space, addr=expr)
+
+
+class TestAddressPass:
+    REGION = MemRegion("in", 4096, 1024)
+
+    def test_contained_access_is_clean(self):
+        program = _mem_program((_ld(AddrExpr(4096, (Term("lin_tid", 4),))),))
+        launch = make_launch(program, regions=(self.REGION,))
+        assert check_addresses(launch) == []
+
+    def test_out_of_regions_is_error_with_kernel_attribution(self):
+        program = _mem_program((_ld(AddrExpr(1 << 22, (Term("lin_tid", 4),))),))
+        launch = make_launch(program, name="OOB 7", regions=(self.REGION,))
+        diags = check_addresses(launch)
+        assert codes(diags, Severity.ERROR) == {"out-of-regions"}
+        assert diags[0].kernel == "OOB 7"
+        assert "ld.global" in diags[0].instr
+
+    def test_negative_address_is_error(self):
+        program = _mem_program((_ld(AddrExpr(64, (Term("lin_tid", -8),))),))
+        launch = make_launch(program, regions=(self.REGION,))
+        assert "negative-address" in codes(check_addresses(launch), Severity.ERROR)
+
+    def test_overflowing_address_is_error(self):
+        program = _mem_program((_ld(AddrExpr(1 << 41)),))
+        launch = make_launch(program, regions=(self.REGION,))
+        assert "address-overflow" in codes(check_addresses(launch), Severity.ERROR)
+
+    def test_padding_overhang_is_note_not_error(self):
+        # Starts 8 bytes before the region, as padded conv windows do.
+        program = _mem_program((_ld(AddrExpr(4088, (Term("lin_tid", 4),))),))
+        launch = make_launch(program, regions=(self.REGION,))
+        diags = check_addresses(launch)
+        assert codes(diags) == {"region-overhang"}
+        assert diags[0].severity is Severity.NOTE
+        assert diags[0].data["before"] == 8
+
+    def test_spanning_two_regions_is_error(self):
+        flush = (MemRegion("a", 0, 256), MemRegion("b", 256, 256))
+        program = _mem_program((_ld(AddrExpr(128, (Term("lin_tid", 8),))),))
+        launch = make_launch(program, regions=flush)
+        assert "region-alias" in codes(check_addresses(launch), Severity.ERROR)
+
+    def test_unbound_loop_variable_is_error(self):
+        program = _mem_program((_ld(AddrExpr(4096, (Term("rc", 4),))),))
+        launch = make_launch(program, regions=(self.REGION,))
+        diags = check_addresses(launch)
+        assert codes(diags, Severity.ERROR) == {"unbound-symbol"}
+        assert diags[0].data["symbol"] == "rc"
+
+    def test_bound_loop_variable_uses_trip_range(self):
+        # rc in [0, 199]: 200 * 4 = 800 bytes, within the 1024-byte region.
+        inner = _ld(AddrExpr(4096, (Term("rc", 4),)))
+        program = _mem_program((Loop("rc", 200, (inner,)),))
+        launch = make_launch(program, regions=(self.REGION,))
+        assert check_addresses(launch) == []
+        # rc in [0, 499] walks 2000 bytes: past the region end.
+        program = _mem_program((Loop("rc", 500, (inner,)),))
+        launch = make_launch(program, regions=(self.REGION,))
+        assert "region-overhang" in codes(check_addresses(launch))
+
+
+class TestSharedMemoryPass:
+    def test_missing_barrier_race_is_error(self):
+        # Every thread stores to shared address 0, then loads it back:
+        # a classic reduce-without-barrier defect.
+        uniform = AddrExpr(0)
+        program = _mem_program((
+            _st(uniform, space=MemSpace.SHARED),
+            _ld(uniform, space=MemSpace.SHARED),
+        ))
+        launch = make_launch(program, name="Racy 3", smem_bytes=64)
+        diags = check_shared(launch)
+        races = [d for d in diags if d.code == "smem-race"]
+        assert races and races[0].severity is Severity.ERROR
+        assert races[0].kernel == "Racy 3"
+
+    def test_barrier_separates_phases(self):
+        # Each thread fills its own slot, barriers, then every thread
+        # reads slot 0 — the canonical reduce staging pattern.  Without
+        # the BAR the cross-phase write/read pair would race.
+        slot = AddrExpr(0, (Term("lin_tid", 4),))
+        uniform = AddrExpr(0)
+        program = _mem_program((
+            _st(slot, space=MemSpace.SHARED),
+            Instruction(Op.BAR, DType.NONE),
+            _ld(uniform, space=MemSpace.SHARED),
+        ))
+        launch = make_launch(program, smem_bytes=256)
+        assert "smem-race" not in codes(check_shared(launch))
+        without_bar = _mem_program((
+            _st(slot, space=MemSpace.SHARED),
+            _ld(uniform, space=MemSpace.SHARED),
+        ))
+        launch = make_launch(without_bar, smem_bytes=256)
+        assert "smem-race" in codes(check_shared(launch), Severity.ERROR)
+
+    def test_per_thread_slots_do_not_race(self):
+        slot = AddrExpr(0, (Term("lin_tid", 4),))
+        program = _mem_program((
+            _st(slot, space=MemSpace.SHARED),
+            _ld(slot, space=MemSpace.SHARED),
+        ))
+        launch = make_launch(program, smem_bytes=256)
+        assert "smem-race" not in codes(check_shared(launch))
+
+    def test_write_write_collision_within_one_instruction(self):
+        # Threads 0 and 8 map to the same shared cell: lin_tid % 8.
+        folded = AddrExpr(0, (Term("lin_tid", 4, mod=8),))
+        program = _mem_program((_st(folded, space=MemSpace.SHARED),))
+        launch = make_launch(program, smem_bytes=64)
+        assert "smem-race" in codes(check_shared(launch), Severity.ERROR)
+
+    def test_smem_footprint_overflow_is_error(self):
+        slot = AddrExpr(0, (Term("lin_tid", 4),))
+        program = _mem_program((_st(slot, space=MemSpace.SHARED),))
+        launch = make_launch(program, name="Fat 9", smem_bytes=64)  # needs 128
+        diags = check_shared(launch)
+        overflows = [d for d in diags if d.code == "smem-overflow"]
+        assert overflows and overflows[0].severity is Severity.ERROR
+        assert overflows[0].kernel == "Fat 9"
+
+    def test_implicit_address_shared_accesses_are_skipped(self):
+        program = _mem_program((
+            _st(None, space=MemSpace.SHARED),
+            _ld(None, space=MemSpace.SHARED),  # type: ignore[arg-type]
+        ))
+        launch = make_launch(program, smem_bytes=64)
+        assert check_shared(launch) == []
+
+
+class TestLintPass:
+    def test_zero_trip_loop_with_body_is_error(self):
+        body = (Instruction(Op.ADD, DType.U32, dst=Reg(0)),)
+        program = Program(items=(Loop("rc", 0, body),), reg_count=2)
+        diags = check_lints(make_launch(program))
+        assert "zero-trip-loop" in codes(diags, Severity.ERROR)
+
+    def test_single_trip_loop_is_note(self):
+        body = (Instruction(Op.ADD, DType.U32, dst=Reg(0)),)
+        program = Program(items=(Loop("rc", 1, body),), reg_count=2)
+        assert "single-trip-loop" in codes(check_lints(make_launch(program)), Severity.NOTE)
+
+    def test_uncoalesced_stride_is_warning(self):
+        # Each lane strides 512 bytes: 32 lanes -> 32 distinct lines.
+        region = MemRegion("w", 0, 1 << 20)
+        program = _mem_program((_ld(AddrExpr(0, (Term("lin_tid", 512),))),))
+        launch = make_launch(program, regions=(region,))
+        diags = check_lints(launch)
+        warns = [d for d in diags if d.code == "uncoalesced-access"]
+        assert warns and warns[0].severity is Severity.WARNING
+        assert warns[0].data["lines"] >= 16
+
+    def test_unit_stride_and_broadcast_are_coalesced(self):
+        region = MemRegion("in", 0, 1 << 20)
+        program = _mem_program((
+            _ld(AddrExpr(0, (Term("lin_tid", 4),))),
+            _ld(AddrExpr(64)),  # warp-uniform broadcast
+        ))
+        launch = make_launch(program, regions=(region,))
+        assert "uncoalesced-access" not in codes(check_lints(launch))
+
+    def test_dtype_mismatch_is_warning(self):
+        ra = RegisterAllocator()
+        idx = ra.fresh()
+        acc = ra.fresh()
+        program = Program(
+            items=(
+                Instruction(Op.SHL, DType.U32, dst=idx),
+                Instruction(Op.MAD, DType.F32, dst=acc, srcs=(idx,)),
+            ),
+            reg_count=ra.count,
+        )
+        diags = check_lints(make_launch(program))
+        assert "dtype-mismatch" in codes(diags, Severity.WARNING)
+
+    def test_cvt_bridges_dtypes_cleanly(self):
+        ra = RegisterAllocator()
+        idx = ra.fresh()
+        as_f = ra.fresh()
+        acc = ra.fresh()
+        program = Program(
+            items=(
+                Instruction(Op.SHL, DType.U32, dst=idx),
+                Instruction(Op.CVT, DType.F32, dst=as_f, srcs=(idx,)),
+                Instruction(Op.MAD, DType.F32, dst=acc, srcs=(as_f,)),
+            ),
+            reg_count=ra.count,
+        )
+        assert "dtype-mismatch" not in codes(check_lints(make_launch(program)))
+
+    def test_stranded_geometry_is_warning(self):
+        program = Program(items=(), reg_count=0)
+        launch = make_launch(program, block=(64, 1, 1), active=10)
+        diags = check_lints(launch)
+        assert "stranded-threads" in codes(diags, Severity.WARNING)
+
+    def test_majority_active_geometry_is_clean(self):
+        program = Program(items=(), reg_count=0)
+        launch = make_launch(program, block=(64, 1, 1), active=40)
+        assert "stranded-threads" not in codes(check_lints(launch))
+
+
+class TestDriverAndReport:
+    def _defective_launch(self) -> KernelLaunch:
+        ra = RegisterAllocator()
+        ghost = ra.fresh()
+        dst = ra.fresh()
+        program = Program(
+            items=(Instruction(Op.ADD, DType.U32, dst=dst, srcs=(ghost,)),),
+            reg_count=ra.count,
+        )
+        return make_launch(program, name="Bad 1")
+
+    def test_analyze_launch_runs_all_passes(self):
+        diags = analyze_launch(self._defective_launch())
+        assert "unwritten-read" in codes(diags)
+
+    def test_report_groups_by_kernel_and_counts(self):
+        report = analyze_launches([self._defective_launch()], network="synthetic")
+        assert report.kernel_count == 1
+        assert report.has_errors
+        assert "Bad 1" in report.by_kernel()
+        text = report.format()
+        assert "synthetic" in text and "error[unwritten-read]" in text
+
+    def test_identical_signatures_analysed_once(self):
+        launch = self._defective_launch()
+        report = analyze_launches([launch, launch], network="dup")
+        assert report.kernel_count == 2
+        assert len(report.errors) == 1
+
+    def test_json_report_is_machine_readable(self):
+        report = analyze_launches([self._defective_launch()], network="synthetic")
+        payload = json.loads(report.to_json())
+        assert payload["network"] == "synthetic"
+        assert payload["counts"]["error"] == 1
+        diag = payload["diagnostics"][0]
+        assert diag["severity"] == "error" and diag["kernel"] == "Bad 1"
+
+    def test_verify_launches_raises_on_errors(self):
+        with pytest.raises(KernelVerificationError) as exc:
+            verify_launches([self._defective_launch()], network="synthetic")
+        assert "unwritten-read" in str(exc.value)
+        assert exc.value.report.has_errors
+
+    def test_verify_launches_passes_clean_sequence(self):
+        program = _mem_program(
+            (_ld(AddrExpr(4096, (Term("lin_tid", 4),))),)
+        )
+        launch = make_launch(program, regions=(MemRegion("in", 4096, 1024),))
+        report = verify_launches([launch], network="clean")
+        assert isinstance(report, LintReport) and not report.has_errors
+
+
+class TestCompileIntegration:
+    def test_compile_network_verify_flag_passes_on_suite_network(self):
+        from repro.core.suite import get_network
+        from repro.kernels.compile import compile_network
+
+        launches = compile_network(get_network("cifarnet"), verify=True)
+        assert launches
+
+    def test_compile_rejects_unbound_loop_variable_clearly(self, monkeypatch):
+        # A builder that references a loop variable no loop binds must be
+        # rejected at compile time with the kernel and symbol named —
+        # not crash the simulator later with a KeyError.
+        from repro.core.suite import get_network
+        from repro.kernels import builders
+        from repro.kernels.compile import compile_network
+        from repro.kernels.validate import KernelValidationError
+
+        real_build_softmax = builders.build_softmax
+
+        def broken_build_softmax(classes, tmap):
+            built = real_build_softmax(classes, tmap)
+            bad = Instruction(
+                Op.LD, DType.F32, dst=Reg(999),
+                space=MemSpace.GLOBAL,
+                addr=AddrExpr(0, (Term("phantom_var", 4),)),
+            )
+            program = Program(
+                items=built.program.items[:-1] + (bad, built.program.items[-1]),
+                reg_count=built.program.reg_count,
+                entry_regs=built.program.entry_regs,
+            )
+            return builders.BuiltKernel(
+                program=program,
+                smem_bytes=built.smem_bytes,
+                cmem_bytes=built.cmem_bytes,
+                regions=built.regions,
+            )
+
+        monkeypatch.setattr(builders, "build_softmax", broken_build_softmax)
+        with pytest.raises(KernelValidationError, match="phantom_var"):
+            compile_network(get_network("cifarnet"))
+
+
+class TestValidate:
+    def test_unbound_symbols_found_with_instruction(self):
+        from repro.kernels.validate import unbound_symbols
+
+        bad = _ld(AddrExpr(0, (Term("ghost", 4),)))
+        good = _ld(AddrExpr(0, (Term("rc", 4), Term("lin_tid", 1))))
+        program = Program(items=(bad, Loop("rc", 4, (good,))), reg_count=4)
+        found = unbound_symbols(program)
+        assert [(i is bad, s) for i, s in found] == [(True, "ghost")]

@@ -142,6 +142,61 @@ class TestExpansion:
         assert len(outer_values) == 2
         assert sum(e.weight for e in expanded) == pytest.approx(50 * 100)
 
+    def test_zero_trip_loop_expands_to_nothing(self):
+        # A trips=0 loop contributes no expanded records (and no
+        # weight), even with a non-empty body; the static linter
+        # (repro.analysis, code `zero-trip-loop`) flags the dead body.
+        program = _simple_program(0)
+        expanded = expand_program(program)
+        assert [e.op for e in expanded] == [Op.MOV, Op.ST, Op.EXIT]
+        assert sum(e.weight for e in expanded) == 3
+        assert program.dynamic_count() == 3
+
+    def test_zero_trip_nested_inside_live_loop(self):
+        ra = RegisterAllocator()
+        dead = Loop("i", 0, (Instruction(Op.ADD, DType.U32, dst=ra.fresh()),))
+        live_body = (Instruction(Op.MOV, DType.U32, dst=ra.fresh()), dead)
+        program = Program(items=(Loop("o", 3, live_body),), reg_count=ra.count)
+        expanded = expand_program(program)
+        assert [e.op for e in expanded] == [Op.MOV] * 3
+        assert all("i" not in e.loop_env for e in expanded)
+
+
+class TestDescribe:
+    def test_alu_instruction_renders_ptx_like(self):
+        from repro.isa.registers import Reg
+
+        instr = Instruction(Op.MAD, DType.F32, dst=Reg(5), srcs=(Reg(1), Reg(2)))
+        assert instr.describe() == "mad.f32 r5, r1, r2"
+        assert repr(instr) == "<Instruction mad.f32 r5, r1, r2>"
+        assert str(instr) == instr.describe()
+
+    def test_special_register_renders_by_name(self):
+        ra = RegisterAllocator()
+        tid = ra.special("%tid.x")
+        instr = Instruction(Op.MOV, DType.U32, dst=ra.fresh(), srcs=(tid,))
+        assert "%tid.x" in instr.describe()
+
+    def test_memory_instruction_without_expr_is_implicit(self):
+        from repro.isa.instruction import MemSpace
+        from repro.isa.registers import Reg
+
+        instr = Instruction(Op.LD, DType.F32, dst=Reg(3), space=MemSpace.SHARED)
+        assert instr.describe() == "ld.shared.f32 r3, [implicit]"
+
+    def test_vector_width_gets_suffix(self):
+        from repro.isa.instruction import MemSpace
+        from repro.isa.registers import Reg
+
+        instr = Instruction(
+            Op.LD, DType.F32, dst=Reg(0), space=MemSpace.GLOBAL, width_bytes=8
+        )
+        assert instr.describe().startswith("ld.global.v2.f32 ")
+
+    def test_bare_control_flow_renders(self):
+        assert Instruction(Op.EXIT).describe() == "exit"
+        assert Instruction(Op.BAR, DType.NONE).describe() == "bar"
+
 
 class TestLiveness:
     def test_max_live_of_simple_program(self):

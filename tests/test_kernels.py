@@ -62,6 +62,93 @@ class TestAddressing:
         assert expr.base == 128
 
 
+class TestAddrDescribe:
+    def test_plain_affine_expression(self):
+        expr = AddrExpr(256, (Term("lin_tid", 4),))
+        assert expr.describe() == "256 + 4*lin_tid"
+
+    def test_large_bases_render_hex(self):
+        expr = AddrExpr(1 << 30, (Term("tx", 4),))
+        assert expr.describe() == "0x40000000 + 4*tx"
+
+    def test_divmod_pipeline_rendering(self):
+        term = Term("rc", 4, div=9, mod=3, pre=2)
+        assert term.describe() == "4*(rc*2//9%3)"
+        assert Term("rc", 1, mod=3).describe() == "(rc%3)"
+        assert Term("bx", 10).describe() == "10*bx"
+        assert str(term) == term.describe()
+
+    def test_bare_base(self):
+        assert AddrExpr(64).describe() == "64"
+
+
+class TestAddressingEdgeCases:
+    """Brute-force checks of Term's pre//div%mod pipeline corners."""
+
+    def test_pre_scale_composes_before_div_and_mod(self):
+        # Unrolled-by-3 counter walking a (kh, kw) = (v*3//5, v*3%5)
+        # space; the reference applies the operations in Term's
+        # documented order for every value.
+        term = Term("rc", 7, div=5, mod=4, pre=3)
+        for v in range(0, 50):
+            expected = ((v * 3) // 5 % 4) * 7
+            assert term.apply(v) == expected, v
+
+    def test_negative_pre_matches_python_floor_semantics(self):
+        # Mirrored walk (pre < 0) must follow Python's floor-division
+        # and non-negative-mod rules, matching the numpy evaluation.
+        term = Term("rc", 4, div=3, mod=5, pre=-2)
+        for v in range(0, 20):
+            expected = ((v * -2) // 3 % 5) * 4
+            assert term.apply(v) == expected, v
+            vec = term.apply(np.array([v], dtype=np.int64))
+            assert int(vec[0]) == expected, v
+
+    def test_mod_smaller_than_div_quotient_range(self):
+        # div=4 over lin_tid in [0, 1023] yields quotients up to 255,
+        # but mod=3 folds them to {0,1,2}: the term must wrap rather
+        # than track the quotient.
+        term = Term("lin_tid", 1, div=4, mod=3)
+        values = np.arange(1024, dtype=np.int64)
+        out = term.apply(values)
+        np.testing.assert_array_equal(out, (values // 4) % 3)
+        assert set(np.unique(out)) == {0, 1, 2}
+
+    def test_one_symbol_scales_as_constant_offset(self):
+        # `one` is the canonical way mappings express constant tile
+        # origins; coef and the pre//div%mod pipeline still apply.
+        expr = AddrExpr(1000, (Term("one", 36), Term("one", 5, pre=7, div=2, mod=3)))
+        out = expr.evaluate(_FakeWarp(), {})
+        # 1000 + 36*1 + 5*((1*7)//2 % 3) = 1000 + 36 + 5*0
+        assert (out == 1036).all()
+
+    def test_lane_vector_matches_per_lane_scalar_reference(self):
+        # Full AddrExpr evaluation over the fake warp must equal the
+        # brute-force per-lane scalar computation.
+        expr = AddrExpr(
+            64,
+            (
+                Term("lin_tid", 4, div=8, mod=16, pre=2),
+                Term("tx", -12, mod=3),
+                Term("bx", 100),
+                Term("rc", 1, pre=5, div=2),
+            ),
+        )
+        warp = _FakeWarp()
+        out = expr.evaluate(warp, {"rc": 9})
+        for lane in range(warp.width):
+            lin = int(warp.lane_syms["lin_tid"][lane])
+            tx = int(warp.lane_syms["tx"][lane])
+            expected = (
+                64
+                + ((lin * 2) // 8 % 16) * 4
+                + (tx % 3) * -12
+                + warp.block_syms["bx"] * 100
+                + ((9 * 5) // 2) * 1
+            )
+            assert int(out[lane]) == expected, lane
+
+
 class TestMemLayout:
     def test_slots_never_collide(self):
         layout = MemLayout()

@@ -1,0 +1,68 @@
+"""Tests for the ``repro`` CLI (``repro lint`` / ``repro networks``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_clean_network_exits_zero(self, capsys):
+        assert main(["lint", "cifarnet"]) == 0
+        out = capsys.readouterr().out
+        assert "cifarnet" in out
+        assert "error[" not in out
+
+    def test_report_has_summary_header(self, capsys):
+        main(["lint", "cifarnet"])
+        out = capsys.readouterr().out
+        # Header line: "cifarnet: N kernels — E errors, W warnings, ..."
+        assert "kernels" in out and "0 errors" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        assert main(["lint", "--json", "cifarnet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload[0]["network"] == "cifarnet"
+        assert payload[0]["counts"]["error"] == 0
+        assert payload[0]["kernels"] > 0
+
+    def test_strict_promotes_warnings_to_failure(self, capsys):
+        # CifarNet carries paper-faithful warnings (uncoalesced FC rows),
+        # so --strict must flip the exit status to 1.
+        assert main(["lint", "--strict", "cifarnet"]) == 1
+
+    def test_quiet_hides_notes(self, capsys):
+        main(["lint", "cifarnet"])
+        noisy = capsys.readouterr().out
+        main(["lint", "--quiet", "cifarnet"])
+        quiet = capsys.readouterr().out
+        assert "note[" in noisy
+        assert "note[" not in quiet
+
+    def test_unknown_network_exits_two(self, capsys):
+        assert main(["lint", "nosuchnet"]) == 2
+        err = capsys.readouterr().err
+        assert "nosuchnet" in err and "available" in err
+
+    def test_multiple_networks_in_one_run(self, capsys):
+        assert main(["lint", "cifarnet", "gru"]) == 0
+        out = capsys.readouterr().out
+        assert "cifarnet" in out and "gru" in out
+
+
+class TestNetworksCommand:
+    def test_lists_all_seven_paper_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cifarnet", "alexnet", "squeezenet", "resnet",
+                     "vggnet", "gru", "lstm"):
+            assert name in out
+
+
+def test_missing_subcommand_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        main([])
+    assert exc.value.code == 2
