@@ -11,6 +11,18 @@ Subcommands:
     Exit status: 0 when clean, 1 when the failure condition is met, 2 on
     usage errors (argparse's convention).
 
+``repro simulate [networks...]``
+    Run whole-network GPU simulations and print per-network cycle and
+    time totals.  Results persist in the cross-run kernel cache
+    (``.repro-cache/`` or ``$REPRO_CACHE_DIR``; ``--no-cache``
+    disables).  ``--jobs N`` fans networks out across N worker
+    processes; output order stays the input order.
+
+``repro bench [networks...]``
+    Time cold vs warm-cache simulations per network and write
+    ``BENCH_sim.json`` (``--seed`` also times the frozen reference
+    engine for speedup ratios).
+
 ``repro networks``
     List the benchmark suite (paper networks plus extensions).
 
@@ -26,8 +38,8 @@ from repro.analysis import Severity, analyze_network
 from repro.core.suite import BENCHMARK_INFO, EXTENSION_NETWORKS, NETWORK_ORDER
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    names = args.networks or list(NETWORK_ORDER)
+def _check_networks(names: list[str]) -> int | None:
+    """Exit code 2 and a message on unknown names, else None."""
     known = set(NETWORK_ORDER) | set(EXTENSION_NETWORKS)
     unknown = [n for n in names if n not in known]
     if unknown:
@@ -37,6 +49,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    names = args.networks or list(NETWORK_ORDER)
+    err = _check_networks(names)
+    if err is not None:
+        return err
     min_severity = Severity.WARNING if args.quiet else Severity.NOTE
     failed = False
     json_reports = []
@@ -52,6 +72,96 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.json:
         print("[" + ",\n".join(json_reports) + "]")
     return 1 if failed else 0
+
+
+def _sim_options(args: argparse.Namespace):
+    from repro.gpu.config import SimOptions
+
+    options = SimOptions(scheduler=args.scheduler)
+    if getattr(args, "light", False):
+        options = options.light()
+    return options
+
+
+def _simulate_one(name: str, config, options, cache_dir):
+    """Module-level (picklable) worker for ``repro simulate --jobs``."""
+    from repro.gpu.simulator import simulate_network
+    from repro.perf.cache import KernelResultCache
+
+    cache = KernelResultCache(cache_dir) if cache_dir is not None else None
+    result = simulate_network(name, config, options, cache=cache)
+    return {
+        "network": name,
+        "platform": config.name,
+        "kernels": len(result.kernels),
+        "total_cycles": result.total_cycles,
+        "total_time_ms": result.total_time_ms,
+    }
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.perf.cache import default_cache_dir
+    from repro.platforms import get_platform
+
+    names = args.networks or list(NETWORK_ORDER)
+    err = _check_networks(names)
+    if err is not None:
+        return err
+    config = get_platform(args.platform)
+    options = _sim_options(args)
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir if args.cache_dir else str(default_cache_dir())
+
+    if args.jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
+            futures = [
+                pool.submit(_simulate_one, name, config, options, cache_dir)
+                for name in names
+            ]
+            # Collect in submission order: deterministic output.
+            rows = [future.result() for future in futures]
+    else:
+        rows = [_simulate_one(name, config, options, cache_dir) for name in names]
+
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        print(f"{'network':12s} {'platform':8s} {'kernels':>7s} "
+              f"{'cycles':>16s} {'time_ms':>10s}")
+        for row in rows:
+            print(f"{row['network']:12s} {row['platform']:8s} "
+                  f"{row['kernels']:7d} {row['total_cycles']:16.0f} "
+                  f"{row['total_time_ms']:10.3f}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_bench, write_bench
+    from repro.platforms import get_platform
+
+    names = args.networks or list(NETWORK_ORDER)
+    err = _check_networks(names)
+    if err is not None:
+        return err
+    config = get_platform(args.platform)
+    options = _sim_options(args)
+    payload = run_bench(
+        names,
+        config,
+        options,
+        cache_dir=args.cache_dir,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    write_bench(payload, args.output)
+    print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_networks(args: argparse.Namespace) -> int:
@@ -83,9 +193,60 @@ def build_parser() -> argparse.ArgumentParser:
                       help="hide note-severity diagnostics in text output")
     lint.set_defaults(func=_cmd_lint)
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="run whole-network GPU simulations (cached, parallelizable)",
+        description="Simulate suite networks on a platform model, using "
+        "the persistent cross-run kernel-result cache.",
+    )
+    simulate.add_argument("networks", nargs="*",
+                          help="network names (default: the paper's seven)")
+    _add_sim_args(simulate)
+    simulate.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="simulate networks across N worker processes")
+    simulate.add_argument("--no-cache", action="store_true",
+                          help="skip the persistent kernel-result cache")
+    simulate.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache directory (default: $REPRO_CACHE_DIR "
+                               "or .repro-cache)")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit per-network results as JSON")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time cold vs warm-cache simulations (writes BENCH_sim.json)",
+        description="Benchmark the simulation engine per network and emit "
+        "a JSON timing report.",
+    )
+    bench.add_argument("networks", nargs="*",
+                       help="network names (default: the paper's seven)")
+    _add_sim_args(bench)
+    bench.add_argument("--output", default="BENCH_sim.json", metavar="PATH",
+                       help="output JSON path (default: BENCH_sim.json)")
+    bench.add_argument("--repeats", type=int, default=1, metavar="N",
+                       help="best-of-N timing repeats (default: 1)")
+    bench.add_argument("--seed", action="store_true",
+                       help="also time the frozen reference engine")
+    bench.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="warm-cache directory (default: a temp dir)")
+    bench.set_defaults(func=_cmd_bench)
+
     networks = sub.add_parser("networks", help="list the benchmark suite")
     networks.set_defaults(func=_cmd_networks)
     return parser
+
+
+def _add_sim_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``simulate`` and ``bench``."""
+    sub_parser.add_argument("--platform", default="gp102",
+                            help="platform model (default: gp102)")
+    sub_parser.add_argument("--scheduler", default="gto",
+                            choices=("gto", "lrr", "tlv"),
+                            help="warp scheduler (default: gto)")
+    sub_parser.add_argument("--light", action="store_true",
+                            help="light sampling options (fast, for smoke "
+                                 "tests; not comparable to default runs)")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.decode import decode_program
 from repro.gpu.occupancy import Occupancy, compute_occupancy
 from repro.gpu.sm import SmWave
 from repro.isa.program import expand_program
@@ -31,8 +32,14 @@ from repro.kernels.program_builder import build_guard_program
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.profiling.stats import KernelStats
 
-#: Guard program shared by all kernels (fully-inactive warps).
+#: Guard program shared by all kernels (fully-inactive warps),
+#: expanded and decoded once at module scope (the seed engine
+#: re-expanded it on every simulate_kernel call).  Sharing one decoded
+#: guard across kernels is safe because it contains no addressed
+#: global/local accesses, so no per-kernel-geometry state is cached on it.
 _GUARD_PROGRAM = build_guard_program()
+_GUARD_EXPANDED = expand_program(_GUARD_PROGRAM)
+_GUARD_DECODED = decode_program(_GUARD_EXPANDED)
 
 
 @dataclass
@@ -119,36 +126,10 @@ def _make_hierarchy(config: GpuConfig) -> MemoryHierarchy:
     )
 
 
-#: Address range of the canonical "input" slot (repro.kernels.memory_layout).
+#: Address range of the canonical "input" slot (repro.kernels.memory_layout);
+#: decode.WARM_LO/WARM_HI mirror it (padded convolutions shift their base
+#: a little below the slot start).
 _INPUT_SLOT = (1 << 30, 2 << 30)
-
-
-def _warm_shared_input(wave, hierarchy, expanded) -> None:
-    """Pre-touch shared input lines in L2 on behalf of unsimulated blocks.
-
-    When every block of a grid reads the same input tensor
-    (``KernelLaunch.shared_input``), the blocks running on the other SMs
-    — which the one-SM simulation does not execute — would have brought
-    those lines into the shared L2 already.  This replays the simulated
-    warps' input-slot loads against the L2 tag store with zero statistic
-    weight, so the measured wave sees the sharing without the counters
-    being polluted.
-    """
-    from repro.memory.coalescer import coalesce
-
-    # Padded convolutions shift their base a little below the slot start.
-    lo, hi = _INPUT_SLOT[0] - (1 << 24), _INPUT_SLOT[1]
-    for warp in wave.warps:
-        for instr in warp.instrs:
-            if not (instr.is_load and instr.addr is not None):
-                continue
-            if not (lo <= instr.addr.base < hi):
-                continue
-            addrs = instr.addr.evaluate(warp, instr.loop_env)
-            addrs = addrs[warp.active_lanes]
-            if addrs.size:
-                for tx in coalesce(addrs, instr.width_bytes):
-                    hierarchy.l2.access(int(tx), weight=0.0)
 
 
 def simulate_kernel(
@@ -162,11 +143,11 @@ def simulate_kernel(
         sim_blocks = max(1, min(sim_blocks, options.max_sim_blocks))
 
     expanded = expand_program(kernel.program, options.max_trips, options.max_outer_trips)
-    guard_expanded = expand_program(_GUARD_PROGRAM)
+    decoded = decode_program(expanded)
     hierarchy = _make_hierarchy(config)
-    wave = SmWave(kernel, expanded, guard_expanded, sim_blocks, config, options, hierarchy)
+    wave = SmWave(kernel, decoded, _GUARD_DECODED, sim_blocks, config, options, hierarchy)
     if kernel.shared_input and kernel.total_blocks > sim_blocks:
-        _warm_shared_input(wave, hierarchy, expanded)
+        wave.warm_shared_input()
     stats = wave.run()
 
     # --- scaling ------------------------------------------------------
@@ -209,7 +190,10 @@ def simulate_kernel(
 
 
 def simulate_network(
-    name: str, config: GpuConfig, options: SimOptions | None = None
+    name: str,
+    config: GpuConfig,
+    options: SimOptions | None = None,
+    cache=None,
 ) -> NetworkResult:
     """Simulate every kernel of the named suite network, in order.
 
@@ -217,16 +201,38 @@ def simulate_network(
     canonical addresses) reuse one simulation; each occurrence still
     contributes its own entry — and its own launch overhead — to the
     result.
+
+    *cache*, when given, is a
+    :class:`repro.perf.cache.KernelResultCache`: unique-signature
+    kernels are looked up there before simulating and stored after.
+    The default (no persistent cache) leaves library behaviour
+    unchanged; the ``repro simulate`` CLI and the harness runner opt in.
     """
     options = options or SimOptions()
     result = NetworkResult(network=name, config=config, options=options)
-    cache: dict[str, KernelResult] = {}
+    local: dict[str, KernelResult] = {}
     for kernel in compiled_network(name):
         signature = kernel.signature()
-        hit = cache.get(signature)
+        hit = local.get(signature)
         if hit is None:
-            hit = simulate_kernel(kernel, config, options)
-            cache[signature] = hit
+            entry = cache.get(signature, config, options) if cache is not None else None
+            if entry is not None:
+                hit = KernelResult(
+                    kernel=kernel,
+                    stats=entry.stats,
+                    occupancy=entry.occupancy,
+                    sample_factor=entry.sample_factor,
+                    block_factor=entry.block_factor,
+                )
+            else:
+                hit = simulate_kernel(kernel, config, options)
+                if cache is not None:
+                    cache.put(
+                        signature, config, options,
+                        hit.stats, hit.occupancy,
+                        hit.sample_factor, hit.block_factor,
+                    )
+            local[signature] = hit
         else:
             hit = KernelResult(
                 kernel=kernel,

@@ -1,4 +1,4 @@
-"""The streaming-multiprocessor issue loop.
+"""The streaming-multiprocessor issue loop (fast engine).
 
 Simulates one SM running one resident wave of a kernel: warps issue in
 scheduler order through scoreboard, pipeline-port and memory-system
@@ -6,51 +6,86 @@ checks, and every non-issue warp-cycle is attributed to an nvprof stall
 reason (Figure 7).  The loop is event-driven — when no warp can issue it
 jumps to the next wake-up — and stall attribution is sampled every
 ``SimOptions.stall_sample`` cycles, exactly as nvprof itself samples.
+
+This is a performance rewrite of the original loop (kept verbatim in
+:mod:`repro.gpu.seed_engine`) and is **bit-identical** to it:
+
+* The per-cycle ``for warp in warps`` wake/stall sweeps are replaced by
+  an incremental ready set (a bitmask over warp ids), a ``nxt`` list for
+  warps waking exactly one cycle out (the overwhelmingly common case)
+  and a min-heap of ``(wake, warp_id)`` events for longer sleeps.
+  Barrier-parked warps live in none of these; the releasing arrival
+  re-inserts them.  Heap entries are never stale: a sleeping warp's wake
+  can only be rewritten by its own issue or by a barrier release, and
+  parked warps are never pushed.
+* Instructions come pre-decoded (:mod:`repro.gpu.decode`) as flat
+  tuples, so an issue attempt does no attribute/enum/dict lookups.
+* The sampled stall sweep reads per-reason counts of sleeping warps
+  (``bcnt``) plus the ready-set population instead of scanning warps.
+* The GTO policy (current warp first, then oldest ready) is inlined as
+  bitmask iteration.  LRR/TLV keep the seed scheduler objects: their
+  generators' lazy consumption and live state reads are part of the
+  modelled policy, and they only run in the Fig 15/16 sweeps.
+* Fetch and scoreboard checks are skipped on replay (``Warp.chk``):
+  programs are straight-line and a warp's scoreboard only changes on
+  its own issues, so both checks are monotonic while the warp sleeps.
 """
 
 from __future__ import annotations
 
-import math
+from heapq import heappop, heappush
 
 from repro.gpu.config import GpuConfig, SimOptions
-from repro.gpu.scheduler import make_scheduler
-from repro.gpu.warp import KIND_ALU, KIND_CONST, KIND_MEM, Warp
-from repro.isa.instruction import MemSpace
-from repro.isa.opcodes import Op, Pipe
+from repro.gpu.decode import (
+    DecodedProgram,
+    K_ALU,
+    K_CMEM,
+    K_CTRL,
+    K_GMEM,
+    K_MEMLOAD,
+    K_SMEM,
+    PIPES,
+)
+from repro.gpu.scheduler import GtoScheduler, make_scheduler
+from repro.gpu.warp import Warp
 from repro.kernels.launch import KernelLaunch, WARP_SIZE
-from repro.memory.coalescer import coalesce
+from repro.memory.coalescer import TRANSACTION_BYTES
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.profiling.stall import StallReason
 from repro.profiling.stats import KernelStats
 
-#: Instruction-buffer refill period (instructions per fetch bubble).
-_FETCH_PERIOD = 32
-_FETCH_BUBBLE = 2
+#: Bumped whenever an engine change could alter simulated numbers; part
+#: of the persistent result-cache key (:mod:`repro.perf.cache`).
+ENGINE_VERSION = "fast-2"
 
-#: Issue interval per pipeline (cycles between issues to the same port).
-#: The SM front-end issues up to ``_ISSUE_WIDTH`` instructions per cycle
-#: (four scheduler sub-partitions), but each execution port accepts one
-#: warp instruction per interval — so same-pipe pressure (the mad-heavy
-#: inner loops of convolution and normalization) saturates a single port
-#: and shows up as pipe_busy stalls (Figure 7), while the latency of
-#: memory instructions can no longer hide behind an issue bottleneck
-#: (which is what makes the L1 sweep of Figure 2 bite).
-_PIPE_INTERVAL = {Pipe.SP: 1, Pipe.FPU: 1, Pipe.SFU: 4, Pipe.LDST: 1, Pipe.CTRL: 0}
+#: Cycles lost to an instruction-buffer refill.
+_FETCH_BUBBLE = 2
 
 #: Instructions the SM front-end can issue per cycle.
 _ISSUE_WIDTH = 4
-
-_KIND_REASON = {
-    KIND_ALU: StallReason.EXEC_DEPENDENCY,
-    KIND_MEM: StallReason.MEMORY_DEPENDENCY,
-    KIND_CONST: StallReason.CONSTANT_MEMORY_DEPENDENCY,
-}
 
 #: Wake value for warps parked at a barrier (released explicitly).
 _FAR_FUTURE = 1 << 40
 
 #: Safety valve: a wave longer than this indicates a simulator bug.
 _MAX_CYCLES = 50_000_000
+
+#: log2 of the coalescing granularity (128-byte transactions -> 7).
+_TX_SHIFT = TRANSACTION_BYTES.bit_length() - 1
+
+_REASONS = tuple(StallReason)
+_RI = {reason: i for i, reason in enumerate(_REASONS)}
+_R_INST_FETCH = _RI[StallReason.INST_FETCH]
+_R_SYNC = _RI[StallReason.SYNC]
+_R_PIPE_BUSY = _RI[StallReason.PIPE_BUSY]
+_R_THROTTLE = _RI[StallReason.MEMORY_THROTTLE]
+_R_NOT_SELECTED = _RI[StallReason.NOT_SELECTED]
+#: Scoreboard producer kind (KIND_ALU/KIND_MEM/KIND_CONST) -> reason index.
+_KIND_REASON_I = (
+    _RI[StallReason.EXEC_DEPENDENCY],
+    _RI[StallReason.MEMORY_DEPENDENCY],
+    _RI[StallReason.CONSTANT_MEMORY_DEPENDENCY],
+)
 
 
 class _BlockCtx:
@@ -64,14 +99,55 @@ class _BlockCtx:
         self.warps: list[Warp] = []
 
 
+def _gmem_txs(warp: Warp, pc: int, gmem) -> "list[int] | tuple | None":
+    """Coalesced transaction addresses for one global/local access.
+
+    Pure-int reimplementation of ``AddrExpr.evaluate`` +
+    ``coalesce``: the decode-time constant plus the per-warp scalar
+    terms gives one scalar; the cached, deduplicated thread parts give
+    the lane spread; line numbers are collected as a set (union of
+    first and straddle-last lines, exactly the coalescer's unique of
+    concatenated first/last arrays) and returned sorted.  ``None`` when
+    the warp has no active lanes (the seed skipped memory entirely but
+    still issued the instruction).
+    """
+    if warp.n_active == 0:
+        return None
+    scalar = gmem.const
+    for term in gmem.bterms:
+        scalar += int(term.apply(warp.block_syms[term.sym]))
+    w1 = gmem.w1
+    if gmem.tterms:
+        # Line sets are translation-invariant in whole lines: resolve
+        # the cached relative pattern for scalar's in-line offset, then
+        # translate by the whole-line part.
+        q = scalar >> _TX_SHIFT
+        rem = scalar - (q << _TX_SHIFT)
+        dprog = warp.dprog
+        lines = dprog._tlines.get((pc, warp.lane_start, rem))
+        if lines is None:
+            lines = dprog.tx_lines(pc, gmem, warp, rem)
+        if q:
+            base = q << _TX_SHIFT
+            return [line + base for line in lines]
+        # The cached tuple is already in bytes; callers only read it.
+        return lines
+    first = scalar >> _TX_SHIFT
+    if w1:
+        last = (scalar + w1) >> _TX_SHIFT
+        if last != first:
+            return [first << _TX_SHIFT, last << _TX_SHIFT]
+    return [first << _TX_SHIFT]
+
+
 class SmWave:
     """One SM executing one resident wave of a kernel."""
 
     def __init__(
         self,
         kernel: KernelLaunch,
-        expanded: list,
-        guard_expanded: list,
+        dprog: DecodedProgram,
+        guard_dprog: DecodedProgram,
         sim_blocks: int,
         config: GpuConfig,
         options: SimOptions,
@@ -84,10 +160,13 @@ class SmWave:
         self.stats = KernelStats()
         self.warps: list[Warp] = []
         self.blocks: list[_BlockCtx] = []
+        #: (warp_id, pc) -> transactions computed by warm_shared_input,
+        #: reused (and popped) when the load actually issues.
+        self._warm_txs: dict = {}
 
         gx, gy, gz = kernel.grid
         warps_per_block = kernel.warps_per_block
-        has_barrier = any(e.op is Op.BAR for e in expanded)
+        has_barrier = dprog.has_barrier
         for block_index in range(sim_blocks):
             coords = (block_index % gx, (block_index // gx) % gy, block_index // (gx * gy))
             block = _BlockCtx()
@@ -98,18 +177,41 @@ class SmWave:
                 warp = Warp(
                     warp_id=len(self.warps),
                     block=block,
-                    instrs=guard_expanded if fully_inactive else expanded,
+                    dprog=guard_dprog if fully_inactive else dprog,
                     lane_start=lane_start,
                     block_dims=kernel.block,
                     block_coords=coords,
                     grid_dims=kernel.grid,
                     active_threads=kernel.active_threads,
-                    entry_regs=kernel.program.entry_regs,
                 )
                 block.warps.append(warp)
                 self.warps.append(warp)
                 if has_barrier and not fully_inactive:
                     block.expected += 1
+
+    # ------------------------------------------------------------------
+    def warm_shared_input(self) -> None:
+        """Pre-touch shared input lines in L2 on behalf of unsimulated blocks.
+
+        When every block of a grid reads the same input tensor
+        (``KernelLaunch.shared_input``), the blocks running on the other
+        SMs — which the one-SM simulation does not execute — would have
+        brought those lines into the shared L2 already.  This replays
+        the simulated warps' input-slot loads against the L2 tag store
+        with zero statistic weight, so the measured wave sees the
+        sharing without the counters being polluted.  The computed
+        transactions are kept for reuse at issue time.
+        """
+        l2_access = self.hier.l2.access
+        wtx = self._warm_txs
+        for w in self.warps:
+            dec = w.dec
+            for pc in w.dprog.warm_pcs:
+                txs = _gmem_txs(w, pc, dec[pc][4])
+                if txs:
+                    for tx in txs:
+                        l2_access(tx, weight=0.0)
+                    wtx[(w.warp_id, pc)] = txs
 
     # ------------------------------------------------------------------
     def run(self) -> KernelStats:
@@ -119,11 +221,64 @@ class SmWave:
         if live == 0:
             self.stats.wave_cycles = 0
             return self.stats
+
         scheduler = make_scheduler(self.options.scheduler, warps, self.options.tlv_group)
-        pipe_free = {pipe: 0 for pipe in _PIPE_INTERVAL}
+        gto = type(scheduler) is GtoScheduler
+        notify = scheduler.notify_issue
         queue_penalty = self.options.queue_penalty if scheduler.manages_queues else 0
         sample = max(1, self.options.stall_sample)
-        stalls = self.stats.stalls
+
+        hier = self.hier
+        hier_load = hier.load
+        hier_store = hier.store
+        hier_shared = hier.shared
+        hier_const = hier.const
+        mshr_release = hier.mshr.next_release
+        lat_l1 = hier.lat_l1
+        wtx = self._warm_txs
+        kernel_name = self.kernel.name
+
+        # Per-pipe next-free cycle, indexed like decode.PIPES.
+        pf = [0, 0, 0, 0, 0]
+        # Per-pipe bitmask of warps whose fetch/scoreboard checks passed
+        # for their current pc and whose instruction needs that issue
+        # port (Warp.cm tracks membership).  When a port is busy, every
+        # ready member would fail the pipe gate with wake == cycle + 1
+        # and no state change — so on non-sampled GTO cycles whole
+        # cohorts are herded with one mask operation instead of being
+        # tried warp by warp.
+        cmask = [0, 0, 0, 0, 0]
+        # Ready set: bit i set <=> warps[i] is awake, not done and not
+        # yet considered this cycle.  A warp leaves on try (re-entering
+        # via `nxt` or the heap when it fails, sleeps or issues) and on
+        # barrier parking (re-entering on release).  Warps in the mask
+        # always have bucket == -1.
+        mask = 0
+        for w in warps:
+            if not w.done:
+                mask |= 1 << w.warp_id
+        heap: list = []  # (wake, warp_id) for wakes beyond cycle + 1
+        nxt: list = []   # barrier-released warps waking at cycle + 1
+        imask = 0        # warps that issued this cycle (ready again next
+        #                  cycle; their buckets are already -1, so they
+        #                  rejoin `mask` with no bucket bookkeeping)
+        nreasons = len(_REASONS)
+        bcnt = [0] * nreasons      # sleeping warps per stall reason
+        sacc = [0] * nreasons      # sampled stall accumulators
+        pacc = [0.0] * len(PIPES)  # issued weight per pipe
+        issued_acc = 0.0
+        rf_reads = 0.0
+        rf_writes = 0.0
+
+        cur = None       # GTO: warp that issued most recently
+        parked = 0       # non-done warps parked at a barrier
+        sync_parked = 0  # of those, parked this very cycle (the seed
+        #                  sweep treats same-cycle parkers as issued)
+        herd = 0         # warps that failed with wake == cycle + 1 on a
+        #                  cycle with no stall sweep: nothing can observe
+        #                  their bucket/wake before they retry next
+        #                  cycle, so all bookkeeping is skipped and the
+        #                  bit rejoins `mask` right after the advance.
         cycle = 0
         next_sample = 0
         bubble_until = 0
@@ -131,171 +286,388 @@ class SmWave:
         while live > 0:
             if cycle > _MAX_CYCLES:
                 raise RuntimeError(
-                    f"{self.kernel.name}: wave exceeded {_MAX_CYCLES} cycles"
+                    f"{kernel_name}: wave exceeded {_MAX_CYCLES} cycles"
                 )
-            issued: list[Warp] = []
+            sampling = cycle >= next_sample
+            nissued = 0
             if cycle >= bubble_until:
-                for warp in scheduler.order(cycle):
-                    if warp.done or warp.wake > cycle or warp in issued:
-                        continue
-                    result = self._try_issue(warp, cycle, pipe_free)
-                    if result:
-                        issued.append(warp)
-                        scheduler.notify_issue(warp)
-                        if warp.done:
-                            live -= 1
-                        # Queue-management bubble on memory issues
-                        # (GTO/TLV only): the mechanism behind LRR's win
-                        # on cache-friendly convolutions (Observation 12).
-                        if queue_penalty and result == "mem" and bubble_until <= cycle:
-                            bubble_until = cycle + 1 + queue_penalty
-                        if len(issued) >= _ISSUE_WIDTH:
+                nxtc = cycle + 1
+                sdrop = 0
+                if gto:
+                    # Inlined GTO: current warp first, then remaining
+                    # ready warps oldest (lowest id) first.  Equivalent
+                    # to the seed generator: its mid-loop `_current`
+                    # re-reads only ever re-yield warps that are no
+                    # longer ready, which the seed loop skipped anyway.
+                    # `pend` snapshots the ready set; `cur` keeps its
+                    # pend bit, caught by the mask test after it is
+                    # tried first.
+                    it = None
+                    pend = mask
+                    # Bulk-drop cohorts of ports freeing exactly next
+                    # cycle: every member would fail the pipe gate with
+                    # wake == cycle + 1 and no state change.  Only such
+                    # ports qualify — members of a longer-busy port
+                    # (SFU, interval 4) sleep past cycle + 1 and need
+                    # the full bookkeeping path.  On sampled cycles the
+                    # drop is recorded in `sdrop` and the stall credit
+                    # each member would have earned is reconstructed
+                    # after the candidate walk (see below); `cur` is
+                    # kept out because it is tried first, ahead of the
+                    # ascending order the reconstruction assumes.
+                    drop = 0
+                    if pf[0] == nxtc:
+                        drop |= cmask[0]
+                    if pf[1] == nxtc:
+                        drop |= cmask[1]
+                    if pf[2] == nxtc:
+                        drop |= cmask[2]
+                    if pf[3] == nxtc:
+                        drop |= cmask[3]
+                    drop &= pend
+                    if drop:
+                        if sampling:
+                            if cur is not None:
+                                drop &= ~(1 << cur.warp_id)
+                            sdrop = drop
+                        # Equivalent to trying each one: pipe-gate
+                        # fail, wake next cycle, nothing observable.
+                        herd |= drop
+                        mask &= ~drop
+                        pend &= ~drop
+                    first = (
+                        cur if cur is not None and pend >> cur.warp_id & 1 else None
+                    )
+                else:
+                    it = scheduler.order(cycle)
+                    first = None
+                    pend = 0
+                while True:
+                    if it is not None:
+                        w = next(it, None)
+                        if w is None:
                             break
+                        bit = 1 << w.warp_id
+                        if not mask & bit:
+                            continue
+                    elif first is not None:
+                        w = first
+                        first = None
+                        bit = 1 << w.warp_id
+                    elif pend:
+                        bit = pend & -pend
+                        pend ^= bit
+                        if not mask & bit:
+                            continue  # `cur`, already tried first
+                        w = warps[bit.bit_length() - 1]
+                    else:
+                        break
+                    mask ^= bit
+                    pc = w.pc
+                    if w.chk == pc:
+                        # Replay: fetch and scoreboard passed earlier
+                        # (both monotonic while the warp slept); only
+                        # the pipe gate can block, and its inputs are
+                        # cached on the warp, so the thundering-herd
+                        # retry path never touches the decoded tuple.
+                        rec = None
+                        iv = w.civ
+                        rpi = w.cpi
+                    else:
+                        rec = w.dec[pc]
+                        if not rec[0]:
+                            # ---- barrier: issue once, park till release
+                            weight = rec[3]
+                            pi = rec[5]
+                            issued_acc += weight
+                            pacc[pi] += weight
+                            npc = pc + 1
+                            w.pc = npc
+                            if npc >= w.n:
+                                w.done = True
+                                live -= 1
+                            blk = w.block
+                            blk.arrived += 1
+                            if blk.arrived >= blk.expected:
+                                # Last arrival releases everyone.
+                                # Released warps keep their SYNC bucket
+                                # until the drain: the seed left
+                                # `reason` set and the sweep still
+                                # attributes them to SYNC for the
+                                # release cycle.
+                                for o in blk.warps:
+                                    if o.at_barrier:
+                                        o.at_barrier = False
+                                        if not o.done:
+                                            nxt.append(o)
+                                            parked -= 1
+                                blk.arrived = 0
+                                if not w.done:
+                                    imask |= bit
+                            else:
+                                w.at_barrier = True
+                                if not w.done:
+                                    w.bucket = _R_SYNC
+                                    bcnt[_R_SYNC] += 1
+                                    sync_parked += 1
+                                    parked += 1
+                            nissued += 1
+                            if gto:
+                                cur = w
+                            else:
+                                notify(w)
+                            if nissued >= _ISSUE_WIDTH:
+                                break
+                            continue
+                        # Fetch bubble at i-buffer refill boundaries.
+                        if rec[8] and w.fetch_pc != pc:
+                            w.fetch_pc = pc
+                            w.bucket = _R_INST_FETCH
+                            bcnt[_R_INST_FETCH] += 1
+                            heappush(heap, (cycle + _FETCH_BUBBLE, w.warp_id))
+                            continue
+                        # Scoreboard: all sources ready?  First maximum
+                        # wins the attribution (strict >), as in the
+                        # seed's dict scoreboard.
+                        srcs = rec[1]
+                        if srcs:
+                            ready = w.reg_ready
+                            worst = cycle
+                            kidx = 0
+                            for r in srcs:
+                                c = ready[r]
+                                if c > worst:
+                                    worst = c
+                                    kidx = w.reg_kind[r]
+                            if worst > cycle:
+                                if worst == nxtc:
+                                    herd |= bit
+                                    if sampling:
+                                        sacc[_KIND_REASON_I[kidx]] += sample
+                                else:
+                                    ri = _KIND_REASON_I[kidx]
+                                    w.bucket = ri
+                                    bcnt[ri] += 1
+                                    heappush(heap, (worst, w.warp_id))
+                                continue
+                        # Both checks are monotonic while the warp
+                        # sleeps, so replays skip straight to the pipe
+                        # gate.
+                        w.chk = pc
+                        iv = rec[6]
+                        rpi = rec[5]
+                        w.civ = iv
+                        w.cpi = rpi
+                    # Pipeline port availability.
+                    if iv:
+                        free = pf[rpi]
+                        if free > cycle:
+                            if w.cm < 0:
+                                w.cm = rpi
+                                cmask[rpi] |= bit
+                            if free == nxtc:
+                                herd |= bit
+                                if sampling:
+                                    sacc[_R_PIPE_BUSY] += sample
+                            else:
+                                w.bucket = _R_PIPE_BUSY
+                                bcnt[_R_PIPE_BUSY] += 1
+                                heappush(heap, (free, w.warp_id))
+                            continue
+                    # ---- issue ----------------------------------
+                    if rec is None:
+                        rec = w.dec[pc]
+                    kind, srcs, dst, weight, aux, pi, iv, rfr, fetch = rec
+                    mem = False
+                    if kind == K_ALU:
+                        w.reg_ready[dst] = cycle + aux
+                        w.reg_kind[dst] = 0  # KIND_ALU
+                    elif kind == K_GMEM:
+                        mem = True
+                        if wtx:
+                            txs = wtx.pop((w.warp_id, pc), None)
+                            if txs is None:
+                                txs = _gmem_txs(w, pc, aux)
+                        else:
+                            txs = _gmem_txs(w, pc, aux)
+                        if txs is not None:
+                            if aux.is_load:
+                                rc = hier_load(cycle, txs, weight).ready_cycle
+                                if rc is None:
+                                    # MSHRs exhausted: replay later.
+                                    rel = mshr_release()
+                                    wk = rel if rel is not None else cycle + 8
+                                    if wk < nxtc:
+                                        wk = nxtc
+                                    if wk == nxtc:
+                                        herd |= bit
+                                        if sampling:
+                                            sacc[_R_THROTTLE] += sample
+                                    else:
+                                        w.bucket = _R_THROTTLE
+                                        bcnt[_R_THROTTLE] += 1
+                                        heappush(heap, (wk, w.warp_id))
+                                    continue
+                                w.reg_ready[dst] = rc
+                                w.reg_kind[dst] = 1  # KIND_MEM
+                            else:
+                                hier_store(cycle, txs, weight)
+                    elif kind == K_CTRL:
+                        pass
+                    elif kind == K_CMEM:
+                        mem = True
+                        rc = hier_const(cycle, weight)[0]
+                        if aux:  # is_load
+                            w.reg_ready[dst] = rc
+                            w.reg_kind[dst] = 2  # KIND_CONST
+                    elif kind == K_SMEM:
+                        mem = True
+                        rc = hier_shared(cycle, weight)
+                        if aux:  # is_load
+                            w.reg_ready[dst] = rc
+                            w.reg_kind[dst] = 1  # KIND_MEM
+                    elif kind == K_MEMLOAD:
+                        mem = True
+                        w.reg_ready[dst] = cycle + lat_l1
+                        w.reg_kind[dst] = 1  # KIND_MEM
+                    else:  # K_MEMOP: no register effect
+                        mem = True
+                    if iv:
+                        pf[pi] = cycle + iv
+                        if iv == 1:
+                            # Port now busy for one cycle: herd its
+                            # whole waiting cohort at once (each
+                            # member would fail the gate with
+                            # wake == cycle + 1).  `& mask` skips
+                            # already-tried warps (`cur`'s stale pend
+                            # bit) so sampled drops credit each warp
+                            # exactly once.
+                            d = pend & cmask[pi] & mask
+                            if d:
+                                herd |= d
+                                mask &= ~d
+                                pend &= ~d
+                                if sampling:
+                                    sdrop |= d
+                    cmi = w.cm
+                    if cmi >= 0:
+                        cmask[cmi] &= ~bit
+                        w.cm = -1
+                    issued_acc += weight
+                    pacc[pi] += weight
+                    rf_reads += rfr
+                    if dst >= 0:
+                        rf_writes += weight
+                    npc = pc + 1
+                    w.pc = npc
+                    if npc >= w.n:
+                        w.done = True
+                        live -= 1
+                    else:
+                        imask |= bit
+                    nissued += 1
+                    if gto:
+                        cur = w
+                    else:
+                        notify(w)
+                    # Queue-management bubble on memory issues
+                    # (GTO/TLV only): the mechanism behind LRR's win
+                    # on cache-friendly convolutions (Observation 12).
+                    if mem and queue_penalty and bubble_until <= cycle:
+                        bubble_until = cycle + 1 + queue_penalty
+                    if nissued >= _ISSUE_WIDTH:
+                        break
+                if sdrop:
+                    # Reconstruct the stall credit each sampled-cycle
+                    # dropped cohort member would have earned had it
+                    # been walked individually.  Candidates are popped
+                    # in ascending warp id (after `cur`, which is never
+                    # in `sdrop`), so when the issue-width break fired
+                    # at warp `w`, exactly the members below `w` would
+                    # have been tried (pipe-gate fail -> PIPE_BUSY); the
+                    # rest were never reached and count NOT_SELECTED,
+                    # as the mask sweep below would have counted them.
+                    n = sdrop.bit_count()
+                    if nissued >= _ISSUE_WIDTH:
+                        nb = (sdrop & ((1 << w.warp_id) - 1)).bit_count()
+                        sacc[_R_PIPE_BUSY] += nb * sample
+                        sacc[_R_NOT_SELECTED] += (n - nb) * sample
+                    else:
+                        sacc[_R_PIPE_BUSY] += n * sample
 
             # Sampled stall attribution, nvprof style: every `sample`
             # cycles each non-issuing resident warp contributes one
-            # sample of its current stall reason.
-            if cycle >= next_sample:
-                for warp in warps:
-                    if warp.done or warp in issued:
-                        continue
-                    if warp.wake > cycle and warp.reason is not None:
-                        reason = warp.reason
-                    else:
-                        reason = StallReason.NOT_SELECTED
-                    stalls[reason] += sample
+            # sample of its current stall reason.  Ready-but-unselected
+            # warps are exactly the remaining mask; sleepers are the
+            # per-reason bucket counts; warps that parked at a barrier
+            # this very cycle issued it, so the seed skipped them.
+            # Herd warps already credited their reason directly at
+            # fail time (same arithmetic, no bucket round-trip).
+            if sampling:
+                sacc[_R_NOT_SELECTED] += mask.bit_count() * sample
+                for i in range(nreasons):
+                    c = bcnt[i]
+                    if c:
+                        sacc[i] += c * sample
+                if sync_parked:
+                    sacc[_R_SYNC] -= sync_parked * sample
                 next_sample = cycle + sample
 
-            if issued:
+            # Advance time: +1 after an issue, else jump to the next
+            # event — the end of a bubble blocking a ready warp, or the
+            # earliest wake-up — exactly as the seed's scan chose.  Herd
+            # warps sleep with an implicit wake of cycle + 1, like `nxt`.
+            if nissued:
                 cycle += 1
-                continue
-            # Nothing issued: jump to the earliest event that could
-            # change that — a warp wake-up or the end of a scheduler
-            # bubble that is blocking an already-ready warp.
-            next_wake = None
-            ready_now = False
-            for warp in warps:
-                if warp.done:
-                    continue
-                if warp.wake <= cycle:
-                    ready_now = True
-                elif next_wake is None or warp.wake < next_wake:
-                    next_wake = warp.wake
-            if ready_now and bubble_until > cycle:
+            elif mask and bubble_until > cycle:
                 cycle = bubble_until
-            elif next_wake is not None:
-                cycle = max(cycle + 1, next_wake)
+            elif nxt or herd:
+                cycle += 1
+            elif heap:
+                wk = heap[0][0]
+                cycle = wk if wk > cycle + 1 else cycle + 1
+            elif parked:
+                # Every sleeper is parked at a barrier that cannot
+                # release: jump to the deadlock guard, as the seed's
+                # scan of _FAR_FUTURE wakes did.
+                cycle = _FAR_FUTURE
             else:
                 cycle += 1
+            sync_parked = 0
+            if herd:
+                mask |= herd
+                herd = 0
+            if imask:
+                mask |= imask
+                imask = 0
+            if nxt:
+                for o in nxt:
+                    bi = o.bucket
+                    if bi >= 0:
+                        bcnt[bi] -= 1
+                        o.bucket = -1
+                    mask |= 1 << o.warp_id
+                del nxt[:]
+            while heap and heap[0][0] <= cycle:
+                o = warps[heappop(heap)[1]]
+                bcnt[o.bucket] -= 1
+                o.bucket = -1
+                mask |= 1 << o.warp_id
 
-        self.stats.wave_cycles = cycle
-        self.stats.resident_warps = len(warps)
-        return self.stats
-
-    # ------------------------------------------------------------------
-    def _try_issue(self, warp: Warp, now: int, pipe_free: dict) -> str | None:
-        """Attempt to issue *warp*'s next instruction at cycle *now*.
-
-        Returns "alu"/"mem"/"ctrl" on issue; None (with the warp's
-        ``reason``/``wake`` updated) on stall.
-        """
-        instr = warp.current()
-        stats = self.stats
-
-        # Barrier: issue the bar once, then wait until the whole block
-        # (every warp expected to participate) has arrived.
-        if warp.at_barrier:
-            warp.reason = StallReason.SYNC
-            warp.wake = _FAR_FUTURE  # woken explicitly by the release
-            return None
-        if instr.op is Op.BAR:
-            block = warp.block
-            stats.count_issue(instr.pipe, instr.weight)
-            warp.advance()
-            block.arrived += 1
-            if block.arrived >= block.expected:
-                # Last arrival releases everyone.
-                for other in block.warps:
-                    if other.at_barrier:
-                        other.at_barrier = False
-                        other.wake = now + 1
-                block.arrived = 0
-                warp.wake = now + 1
-            else:
-                warp.at_barrier = True
-                warp.reason = StallReason.SYNC
-                warp.wake = _FAR_FUTURE
-            return "ctrl"
-
-        # Instruction fetch bubble at i-buffer refill boundaries.
-        if warp.pc != warp.fetch_pc and warp.pc % _FETCH_PERIOD == 0 and warp.pc:
-            warp.fetch_pc = warp.pc
-            warp.reason = StallReason.INST_FETCH
-            warp.wake = now + _FETCH_BUBBLE
-            return None
-
-        # Scoreboard: all sources ready?
-        blocked = warp.src_block(now, instr.srcs)
-        if blocked is not None:
-            ready_cycle, kind = blocked
-            warp.reason = _KIND_REASON[kind]
-            warp.wake = ready_cycle
-            return None
-
-        # Pipeline port availability.
-        pipe = instr.pipe
-        interval = _PIPE_INTERVAL[pipe]
-        if interval and pipe_free[pipe] > now:
-            warp.reason = StallReason.PIPE_BUSY
-            warp.wake = pipe_free[pipe]
-            return None
-
-        weight = instr.weight
-        issued_kind = "alu"
-        if instr.is_mem:
-            issued_kind = "mem"
-            space = instr.space
-            if space in (MemSpace.GLOBAL, MemSpace.LOCAL) and instr.addr is not None:
-                addrs = instr.addr.evaluate(warp, instr.loop_env)
-                addrs = addrs[warp.active_lanes]
-                if addrs.size:
-                    txs = coalesce(addrs, instr.width_bytes)
-                    if instr.is_load:
-                        result = self.hier.load(now, txs, weight)
-                        if result.ready_cycle is None:
-                            warp.reason = StallReason.MEMORY_THROTTLE
-                            release = self.hier.mshr.next_release()
-                            warp.wake = max(
-                                now + 1, release if release is not None else now + 8
-                            )
-                            return None
-                        warp.set_reg(instr.dst, result.ready_cycle, KIND_MEM)
-                    else:
-                        self.hier.store(now, txs, weight)
-            elif space is MemSpace.SHARED:
-                ready = self.hier.shared(now, weight)
-                if instr.is_load:
-                    warp.set_reg(instr.dst, ready, KIND_MEM)
-            elif space in (MemSpace.CONST, MemSpace.PARAM):
-                ready, _missed = self.hier.const(now, weight)
-                if instr.is_load:
-                    warp.set_reg(instr.dst, ready, KIND_CONST)
-            elif instr.is_load and instr.dst is not None:
-                warp.set_reg(instr.dst, now + self.hier.lat_l1, KIND_MEM)
-        elif instr.dst is not None:
-            warp.set_reg(instr.dst, now + instr.latency, KIND_ALU)
-            issued_kind = "alu"
-        else:
-            issued_kind = "ctrl"
-
-        if interval:
-            pipe_free[pipe] = now + interval
-        stats.count_issue(pipe, weight)
-        stats.rf_reads += len(instr.srcs) * weight
-        if instr.dst is not None:
-            stats.rf_writes += weight
-        warp.issued_count += weight
-        warp.advance()
-        warp.reason = None
-        warp.wake = now + 1
-        return issued_kind
+        st = self.stats
+        st.issued = issued_acc
+        by_pipe = st.issued_by_pipe
+        for i, pipe in enumerate(PIPES):
+            v = pacc[i]
+            if v:
+                by_pipe[pipe] = v
+        stalls = st.stalls
+        for i, reason in enumerate(_REASONS):
+            v = sacc[i]
+            if v:
+                stalls[reason] = v
+        st.rf_reads = rf_reads
+        st.rf_writes = rf_writes
+        st.wave_cycles = cycle
+        st.resident_warps = len(warps)
+        return st

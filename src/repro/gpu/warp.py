@@ -1,9 +1,16 @@
 """Resident warp state.
 
 A :class:`Warp` is one SIMT execution context: 32 lanes of one block,
-an in-order program counter over the expanded instruction list, a
-scoreboard of register readiness, and the lane/block symbol values the
-address expressions evaluate against.
+an in-order program counter over a decoded instruction list
+(:mod:`repro.gpu.decode`), a scoreboard of register readiness, and the
+lane/block symbol values address expressions evaluate against.
+
+The scoreboard is two flat lists indexed by register number (ready
+cycle and producer kind) rather than dicts: register indices are small
+and dense, and the issue loop probes the scoreboard millions of times
+per kernel.  Unwritten registers read as ready-at-0 with an ALU
+producer, exactly matching the seed engine's ``dict.get(index, 0)``
+semantics (entry registers are ready at cycle 0 as well).
 """
 
 from __future__ import annotations
@@ -19,59 +26,83 @@ KIND_CONST = 2
 
 
 class Warp:
-    """One resident warp executing an expanded thread program."""
+    """One resident warp executing a decoded thread program."""
 
     __slots__ = (
         "warp_id",
         "block",
-        "instrs",
+        "dprog",
+        "dec",
+        "n",
         "pc",
         "reg_ready",
         "reg_kind",
         "wake",
-        "reason",
         "done",
         "at_barrier",
         "lane_syms",
         "block_syms",
         "active_lanes",
         "width",
-        "issued_count",
         "fetch_pc",
+        "lane_start",
+        "n_active",
+        "chk",
+        "civ",
+        "cpi",
+        "bucket",
+        "cm",
     )
 
     def __init__(
         self,
         warp_id: int,
         block,
-        instrs: list,
+        dprog,
         lane_start: int,
         block_dims: tuple[int, int, int],
         block_coords: tuple[int, int, int],
         grid_dims: tuple[int, int, int],
         active_threads: int,
-        entry_regs,
     ) -> None:
         self.warp_id = warp_id
         self.block = block
-        self.instrs = instrs
+        self.dprog = dprog
+        self.dec = dprog.instrs
+        self.n = dprog.n
         self.pc = 0
-        self.reg_ready: dict[int, int] = {r.index: 0 for r in entry_regs}
-        self.reg_kind: dict[int, int] = {r.index: KIND_ALU for r in entry_regs}
+        self.reg_ready = [0] * dprog.nregs
+        self.reg_kind = [0] * dprog.nregs
         self.wake = 0
-        self.reason = None
-        self.done = not instrs
+        self.done = dprog.n == 0
         self.at_barrier = False
-        self.issued_count = 0.0
         self.width = WARP_SIZE
         self.fetch_pc = -1
+        self.lane_start = lane_start
+        #: Program position whose fetch/scoreboard checks already passed
+        #: (both are monotonic while the warp sleeps, so a retry can skip
+        #: straight to the pipe-port gate).  ``civ``/``cpi`` cache that
+        #: instruction's issue interval and pipe index so a replayed
+        #: pipe-gate check never re-reads the decoded tuple.
+        self.chk = -1
+        self.civ = 0
+        self.cpi = 0
+        #: Stall-reason index while asleep (-1 when awake/issued); the
+        #: sampled attribution sweep reads per-reason counts instead of
+        #: scanning warps.
+        self.bucket = -1
+        #: Pipe index whose issue-port mask (``SmWave.run``'s ``cmask``)
+        #: this warp is registered in, -1 when unregistered.  Valid
+        #: while the warp sits at the current pc with checks passed;
+        #: cleared on issue (the only event that moves the pc).
+        self.cm = -1
 
         bx_dim, by_dim, _ = block_dims
         lanes = np.arange(lane_start, lane_start + WARP_SIZE, dtype=np.int64)
         threads_per_block = block_dims[0] * block_dims[1] * block_dims[2]
-        in_block = lanes < threads_per_block
         active = lanes < min(active_threads, threads_per_block)
         self.active_lanes = active
+        self.n_active = int(active.sum())
         # Clip out-of-block lanes to the last valid thread so address
         # evaluation stays in range; they are masked from memory anyway.
         clipped = np.minimum(lanes, threads_per_block - 1)
@@ -92,31 +123,35 @@ class Warp:
     @property
     def active_count(self) -> int:
         """Number of lanes doing real work."""
-        return int(self.active_lanes.sum())
+        return self.n_active
 
     def current(self):
-        """The instruction at the program counter (None when done)."""
-        if self.pc >= len(self.instrs):
+        """The decoded tuple at the program counter (None when done)."""
+        if self.pc >= self.n:
             return None
-        return self.instrs[self.pc]
+        return self.dec[self.pc]
 
-    def set_reg(self, reg, ready_cycle: int, kind: int) -> None:
+    def set_reg(self, index: int, ready_cycle: int, kind: int) -> None:
         """Scoreboard update for a produced register."""
-        self.reg_ready[reg.index] = ready_cycle
-        self.reg_kind[reg.index] = kind
+        self.reg_ready[index] = ready_cycle
+        self.reg_kind[index] = kind
 
     def src_block(self, now: int, srcs) -> tuple[int, int] | None:
-        """Latest unready source: (ready_cycle, producer kind) or None."""
+        """Latest unready source: (ready_cycle, producer kind) or None.
+
+        First-maximum-wins tie semantics (strict ``>``), as the seed
+        engine's dict-based scoreboard implemented it.
+        """
         worst_cycle = now
         worst_kind = KIND_ALU
         blocked = False
         ready = self.reg_ready
         kinds = self.reg_kind
-        for reg in srcs:
-            cycle = ready.get(reg.index, 0)
+        for index in srcs:
+            cycle = ready[index]
             if cycle > worst_cycle:
                 worst_cycle = cycle
-                worst_kind = kinds.get(reg.index, KIND_ALU)
+                worst_kind = kinds[index]
                 blocked = True
         if not blocked:
             return None
@@ -125,5 +160,5 @@ class Warp:
     def advance(self) -> None:
         """Move past the current instruction; mark done at the end."""
         self.pc += 1
-        if self.pc >= len(self.instrs):
+        if self.pc >= self.n:
             self.done = True

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.core.suite import BENCHMARK_INFO, CNN_BREAKDOWN_ORDER, NETWORK_ORDER
 from repro.gpu.config import GpuConfig, SimOptions
-from repro.platforms import GP102
+from repro.platforms import GK210, GP102, TX1
 
 #: Display labels in figure order.
 def display(name: str) -> str:
@@ -50,3 +52,31 @@ def sim_platform() -> GpuConfig:
 def default_options() -> SimOptions:
     """Default simulation options shared by the harness."""
     return SimOptions()
+
+
+def harness_combos() -> list[tuple[str, GpuConfig, SimOptions]]:
+    """Every unique (network, config, options) the full suite simulates.
+
+    Canonical order — networks in figure order, then each network's
+    sweeps — so a parallel prefetch (``Runner.prefetch``) populates the
+    cache deterministically regardless of worker completion order.
+    Covers Figures 1-5 and 8-12 (GP102 defaults, inside the L1 sweep),
+    Figure 2 (L1 sweep), Figure 7 (GK210), Figures 15-16 (schedulers),
+    Figures 13-14 (No-L1, unsampled outer loops) and Figure 6 (TX1).
+    """
+    platform = sim_platform()
+    opts = default_options()
+    combos: list[tuple[str, GpuConfig, SimOptions]] = []
+    for name in ALL_NETWORKS:
+        for _, l1_size in L1_SWEEP:
+            combos.append((name, platform.with_l1(l1_size), opts))
+        for scheduler in SCHEDULERS:
+            if scheduler != opts.scheduler:
+                combos.append((name, platform, replace(opts, scheduler=scheduler)))
+        combos.append((name, GK210, opts))
+    full_outer = replace(opts, max_outer_trips=None)
+    for name in CNNS:
+        combos.append((name, platform.with_l1(0), full_outer))
+    for name in ("cifarnet", "squeezenet"):
+        combos.append((name, TX1, opts))
+    return combos

@@ -13,16 +13,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.gpu.config import GpuConfig, SimOptions
 from repro.gpu.simulator import NetworkResult, simulate_network
-from repro.isa.opcodes import Pipe
-from repro.profiling.stall import StallReason
+from repro.gpu.sm import ENGINE_VERSION
 from repro.profiling.stats import KernelStats
 
-#: Bump when simulator semantics change so stale caches are discarded.
+#: Bump when the cache format changes; the key also folds in the SM
+#: engine version so issue-loop semantic changes discard stale results.
 CACHE_VERSION = 6
 
 
@@ -92,45 +93,13 @@ class CachedNetworkResult:
 # (de)serialization
 # ----------------------------------------------------------------------
 def stats_to_dict(stats: KernelStats) -> dict:
-    """JSON-ready dict of one KernelStats."""
-    return {
-        "cycles": stats.cycles,
-        "wave_cycles": stats.wave_cycles,
-        "waves": stats.waves,
-        "issued": stats.issued,
-        "issued_by_pipe": {p.value: v for p, v in stats.issued_by_pipe.items()},
-        "stalls": {r.value: v for r, v in stats.stalls.items()},
-        "l1_accesses": stats.l1_accesses,
-        "l1_misses": stats.l1_misses,
-        "l2_accesses": stats.l2_accesses,
-        "l2_misses": stats.l2_misses,
-        "dram_bytes": stats.dram_bytes,
-        "load_transactions": stats.load_transactions,
-        "store_transactions": stats.store_transactions,
-        "shared_accesses": stats.shared_accesses,
-        "const_accesses": stats.const_accesses,
-        "rf_reads": stats.rf_reads,
-        "rf_writes": stats.rf_writes,
-        "active_sms": stats.active_sms,
-        "resident_warps": stats.resident_warps,
-    }
+    """JSON-ready dict of one KernelStats (see KernelStats.to_dict)."""
+    return stats.to_dict()
 
 
 def stats_from_dict(data: dict) -> KernelStats:
     """Inverse of :func:`stats_to_dict`."""
-    stats = KernelStats()
-    for key in (
-        "cycles", "wave_cycles", "waves", "issued", "l1_accesses", "l1_misses",
-        "l2_accesses", "l2_misses", "dram_bytes", "load_transactions",
-        "store_transactions", "shared_accesses", "const_accesses", "rf_reads",
-        "rf_writes", "active_sms", "resident_warps",
-    ):
-        setattr(stats, key, data[key])
-    for pipe_name, value in data["issued_by_pipe"].items():
-        stats.issued_by_pipe[Pipe(pipe_name)] = value
-    for reason_name, value in data["stalls"].items():
-        stats.stalls[StallReason(reason_name)] = value
-    return stats
+    return KernelStats.from_dict(data)
 
 
 def _result_to_dict(result: NetworkResult) -> dict:
@@ -173,6 +142,7 @@ class Runner:
         payload = json.dumps(
             {
                 "v": CACHE_VERSION,
+                "engine": ENGINE_VERSION,
                 "network": network,
                 "config": [
                     config.name, config.num_sms, config.l1_size, config.l2_size,
@@ -189,6 +159,11 @@ class Runner:
         )
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
+    def _cache_path(self, network: str, config: GpuConfig, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{network}-{config.name}-{key}.json"
+
     def run(
         self,
         network: str,
@@ -200,7 +175,7 @@ class Runner:
         key = self._key(network, config, options)
         if key in self._memory:
             return self._memory[key]
-        path = self.cache_dir / f"{network}-{config.name}-{key}.json" if self.cache_dir else None
+        path = self._cache_path(network, config, key)
         if path is not None and path.exists():
             data = json.loads(path.read_text())
             result = _result_from_dict(data, config)
@@ -216,3 +191,50 @@ class Runner:
             result = _result_from_dict(data, config)
         self._memory[key] = result
         return result
+
+    def prefetch(
+        self,
+        combos: list[tuple[str, GpuConfig, SimOptions]],
+        jobs: int,
+    ) -> int:
+        """Simulate uncached *combos* across worker processes.
+
+        Results are merged into this runner's memory/disk cache in
+        *combos* order (submission order), so the cache contents — and
+        any iteration over them — are deterministic no matter which
+        worker finishes first.  Returns the number of fresh simulations.
+        """
+        pending: list[tuple[str, str, GpuConfig, SimOptions]] = []
+        for network, config, options in combos:
+            key = self._key(network, config, options)
+            if key in self._memory:
+                continue
+            path = self._cache_path(network, config, key)
+            if path is not None and path.exists():
+                continue
+            pending.append((key, network, config, options))
+        if not pending:
+            return 0
+        if jobs <= 1 or len(pending) == 1:
+            for _, network, config, options in pending:
+                self.run(network, config, options)
+            return len(pending)
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [
+                pool.submit(_simulate_combo, network, config, options)
+                for _, network, config, options in pending
+            ]
+            # Canonical-order merge: collect in submission order.
+            for (key, network, config, _), future in zip(pending, futures):
+                data = future.result()
+                path = self._cache_path(network, config, key)
+                if path is not None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    path.write_text(json.dumps(data))
+                self._memory[key] = _result_from_dict(data, config)
+        return len(pending)
+
+
+def _simulate_combo(network: str, config: GpuConfig, options: SimOptions) -> dict:
+    """Module-level (picklable) worker: one full network simulation."""
+    return _result_to_dict(simulate_network(network, config, options))

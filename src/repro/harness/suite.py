@@ -67,9 +67,23 @@ def run_all(
     ids: list[str] | None = None,
     cache_dir: str | None = ".tango_cache",
     verbose: bool = True,
+    jobs: int = 1,
 ) -> list[ExperimentResult]:
-    """Run the selected (default: all) experiments and return results."""
+    """Run the selected (default: all) experiments and return results.
+
+    With ``jobs > 1`` every simulation the full suite needs is first
+    prefetched across that many worker processes
+    (:meth:`Runner.prefetch` over :func:`harness_combos`); the
+    experiments then run serially against the populated cache.
+    """
     runner = Runner(cache_dir=cache_dir, verbose=verbose)
+    if jobs > 1:
+        from repro.harness.common import harness_combos
+
+        fresh = runner.prefetch(harness_combos(), jobs)
+        if verbose and fresh:
+            print(f"[suite] prefetched {fresh} simulations with {jobs} jobs",
+                  flush=True)
     selected = ids or list(EXPERIMENTS)
     results = []
     for exp_id in selected:
@@ -93,10 +107,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="render series as terminal bar charts")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="write each experiment's series/checks as JSON under DIR")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="prefetch all needed simulations with N worker "
+                             "processes before running the experiments")
     args = parser.parse_args(argv)
     results = run_all(
         ids=args.experiments or None,
         cache_dir=None if args.no_cache else ".tango_cache",
+        jobs=args.jobs,
     )
     if args.chart:
         from repro.harness.render import render_experiment

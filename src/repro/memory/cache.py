@@ -50,8 +50,10 @@ class Cache:
         self.assoc = max(1, assoc)
         n_lines = size_bytes // line_bytes
         self.n_sets = max(1, n_lines // self.assoc) if n_lines else 0
-        # Each set is an LRU-ordered list of tags (most recent last).
-        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        # Each set is an LRU-ordered dict of tags (most recent last):
+        # insertion order is the recency order, membership is O(1), and
+        # evicting the first key equals popping an LRU list's head.
+        self._sets: list[dict[int, None]] = [{} for _ in range(self.n_sets)]
         self._index_shift = max(1, self.n_sets.bit_length() - 1)
         self.stats = CacheStats()
 
@@ -75,34 +77,89 @@ class Cache:
             allocate: Allocate on miss (write-through no-allocate stores
                 pass False).
         """
-        self.stats.accesses += weight
-        if not self.enabled:
-            self.stats.misses += weight
+        stats = self.stats
+        stats.accesses += weight
+        n_sets = self.n_sets
+        if not n_sets:  # bypassed
+            stats.misses += weight
             return False
-        line = addr // self.line_bytes
-        index = self._set_index(line)
-        tag = line
-        entry = self._sets[index]
-        try:
-            pos = entry.index(tag)
-        except ValueError:
-            self.stats.misses += weight
-            if allocate:
-                if len(entry) >= self.assoc:
-                    entry.pop(0)
-                entry.append(tag)
-            return False
-        # Move to MRU position.
-        entry.append(entry.pop(pos))
-        self.stats.hits += weight
-        return True
+        tag = addr // self.line_bytes
+        entry = self._sets[(tag ^ (tag >> self._index_shift)) % n_sets]
+        if tag in entry:
+            # Move to MRU position (re-insertion puts the key last).
+            del entry[tag]
+            entry[tag] = None
+            stats.hits += weight
+            return True
+        stats.misses += weight
+        if allocate:
+            if len(entry) >= self.assoc:
+                del entry[next(iter(entry))]
+            entry[tag] = None
+        return False
+
+    def access_many(self, addrs, weight: float = 1.0) -> list[int]:
+        """Allocate-on-miss lookup of every address in *addrs*, in order.
+
+        Returns the missing addresses (as plain ints, original order).
+        Statistics and LRU state end up exactly as an ``access()`` call
+        per address would leave them: the counters take one ``+=
+        weight`` per address in the same sequence, so sampled float
+        weights accumulate bit-identically.
+        """
+        stats = self.stats
+        n_sets = self.n_sets
+        missed: list[int] = []
+        if not n_sets:  # bypassed
+            for addr in addrs:
+                stats.accesses += weight
+                stats.misses += weight
+                missed.append(int(addr))
+            return missed
+        line_bytes = self.line_bytes
+        shift = self._index_shift
+        sets = self._sets
+        assoc = self.assoc
+        for addr in addrs:
+            stats.accesses += weight
+            addr = int(addr)
+            tag = addr // line_bytes
+            entry = sets[(tag ^ (tag >> shift)) % n_sets]
+            if tag in entry:
+                del entry[tag]
+                entry[tag] = None
+                stats.hits += weight
+            else:
+                stats.misses += weight
+                if len(entry) >= assoc:
+                    del entry[next(iter(entry))]
+                entry[tag] = None
+                missed.append(addr)
+        return missed
 
     def contains(self, addr: int) -> bool:
         """Non-mutating presence probe (no stats, no LRU update)."""
-        if not self.enabled:
+        n_sets = self.n_sets
+        if not n_sets:
             return False
         line = addr // self.line_bytes
-        return line in self._sets[self._set_index(line)]
+        return line in self._sets[(line ^ (line >> self._index_shift)) % n_sets]
+
+    def count_missing(self, addrs) -> int:
+        """How many of *addrs* are absent (bulk ``contains``; no stats,
+        no LRU update)."""
+        n_sets = self.n_sets
+        if not n_sets:
+            return len(addrs)
+        line_bytes = self.line_bytes
+        shift = self._index_shift
+        sets = self._sets
+        missing = 0
+        for addr in addrs:
+            line = int(addr) // line_bytes
+            if line not in sets[(line ^ (line >> shift)) % n_sets]:
+                missing += 1
+        return missing
 
     def flush(self) -> None:
         """Invalidate every line (stats are preserved)."""

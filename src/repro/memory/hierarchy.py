@@ -9,7 +9,7 @@ shared-memory accesses complete at a fixed scratchpad latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -21,13 +21,14 @@ from repro.memory.mshr import MshrFile
 LINE_BYTES = 128
 
 
-@dataclass(frozen=True)
-class AccessResult:
+class AccessResult(NamedTuple):
     """Outcome of one warp memory instruction.
 
     ``ready_cycle`` is ``None`` when the access was throttled (MSHRs
     exhausted) and must replay; ``transactions`` is how many memory
-    transactions the coalescer produced.
+    transactions the coalescer produced.  A named tuple rather than a
+    frozen dataclass: one is built per memory instruction, squarely on
+    the simulator's hot path.
     """
 
     ready_cycle: int | None
@@ -77,37 +78,43 @@ class MemoryHierarchy:
         throttled access can replay without perturbing state or
         double-counting statistics.
         """
-        self.mshr.drain(now)
-        needed = sum(
-            1
-            for addr in tx_addrs
-            if not self.l1.contains(int(addr))
-        )
+        mshr = self.mshr
+        mshr.drain(now)
+        l1 = self.l1
         # Throttle when the file cannot take this access.  An access
         # wider than the whole file (e.g. a 32-transaction FC load on a
         # 16-entry file) proceeds once the file is empty — hardware
         # splits it across MSHR waves — otherwise it could never issue.
-        free = self.mshr.capacity - self.mshr.in_use
-        if needed > free and self.mshr.in_use > 0:
-            self.mshr.throttle_events += weight
-            return AccessResult(None, len(tx_addrs))
+        # An empty file never throttles, so the miss pre-count (a
+        # non-mutating L1 probe per transaction) is skipped outright.
+        in_use = len(mshr._inflight) + (1 if mshr._held else 0)
+        if in_use > 0:
+            if l1.count_missing(tx_addrs) > mshr.capacity - in_use:
+                mshr.throttle_events += weight
+                return AccessResult(None, len(tx_addrs))
         ready = now + self.lat_l1
-        l1_hits = 0
         l2_hits = 0
-        for addr in tx_addrs:
-            addr = int(addr)
-            if self.l1.access(addr, weight):
-                l1_hits += 1
-                continue
-            # L1 miss: fill through L2 (or DRAM) holding an MSHR entry.
-            if self.l2.access(addr, weight):
-                completion = now + self.lat_l2
-                l2_hits += 1
-            else:
-                completion = self.dram.service(now, LINE_BYTES, weight)
-            self.mshr.reserve(addr // LINE_BYTES, completion, now, weight)
-            ready = max(ready, completion)
-        misses = len(tx_addrs) - l1_hits
+        # Probe (and fill) the L1 for the whole transaction vector at
+        # once, then walk only the misses through L2/DRAM.  The L1 never
+        # depends on L2/DRAM side effects, so splitting the interleaved
+        # per-address walk into two passes leaves every tag store, MSHR
+        # reservation and counter in the exact same state.
+        missed = l1.access_many(tx_addrs, weight)
+        if missed:
+            l2_access = self.l2.access
+            for addr in missed:
+                # L1 miss: fill through L2 (or DRAM) holding an MSHR
+                # entry.
+                if l2_access(addr, weight):
+                    completion = now + self.lat_l2
+                    l2_hits += 1
+                else:
+                    completion = self.dram.service(now, LINE_BYTES, weight)
+                mshr.reserve(addr // LINE_BYTES, completion, now, weight)
+                if completion > ready:
+                    ready = completion
+        misses = len(missed)
+        l1_hits = len(tx_addrs) - misses
         if misses > self.mshr.capacity:
             # The access is wider than the MSHR file: the LSU replays it
             # in capacity-sized waves, serializing the extra groups.

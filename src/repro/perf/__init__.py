@@ -1,0 +1,25 @@
+"""Performance infrastructure: result caching and benchmarking.
+
+* :mod:`repro.perf.cache` — persistent cross-run kernel-result cache
+  keyed by (kernel signature, config, options, engine version).
+* :mod:`repro.perf.bench` — the ``repro bench`` harness timing cold and
+  warm-cache whole-network simulations (emits ``BENCH_sim.json``).
+"""
+
+from repro.perf.cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CachedKernel,
+    KernelResultCache,
+    cache_key,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CachedKernel",
+    "KernelResultCache",
+    "cache_key",
+    "default_cache_dir",
+]

@@ -1,0 +1,111 @@
+"""Engine benchmark: cold vs warm-cache whole-network simulation times.
+
+Backs the ``repro bench`` subcommand.  For each network it times
+
+* **cold** — a plain :func:`~repro.gpu.simulator.simulate_network` call,
+  no persistent cache (pure engine speed);
+* **warm** — the same call against a freshly opened
+  :class:`~repro.perf.cache.KernelResultCache` whose directory was
+  populated by a prior run, so every unique kernel is a disk hit;
+* **seed** (optional) — the frozen reference engine in
+  :mod:`repro.gpu.seed_engine`, for before/after speedup reporting.
+
+Timings take the minimum over ``repeats`` runs (classic
+best-of-N to suppress scheduler noise).  The emitted JSON maps each
+network to ``{cold_s, warm_s, kernels, engine_version}`` (plus
+``seed_s`` when requested) — the schema of the committed
+``BENCH_sim.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.simulator import simulate_network
+from repro.gpu.sm import ENGINE_VERSION
+from repro.perf.cache import KernelResultCache
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_network(
+    name: str,
+    config: GpuConfig,
+    options: SimOptions,
+    cache_dir: str | Path,
+    repeats: int = 1,
+    seed: bool = False,
+) -> dict:
+    """Time one network cold, warm-cache, and optionally on the seed engine."""
+    result = simulate_network(name, config, options)
+    entry: dict = {
+        "cold_s": round(_best_of(lambda: simulate_network(name, config, options), repeats), 4),
+        "kernels": len(result.kernels),
+        "engine_version": ENGINE_VERSION,
+    }
+    # Populate the persistent cache, then time disk-hit reloads through
+    # fresh cache objects (no in-memory layer carry-over).
+    simulate_network(name, config, options, cache=KernelResultCache(cache_dir))
+    entry["warm_s"] = round(
+        _best_of(
+            lambda: simulate_network(
+                name, config, options, cache=KernelResultCache(cache_dir)
+            ),
+            repeats,
+        ),
+        4,
+    )
+    if seed:
+        from repro.gpu import seed_engine
+
+        entry["seed_s"] = round(
+            _best_of(lambda: seed_engine.simulate_network(name, config, options), repeats),
+            4,
+        )
+    return entry
+
+
+def run_bench(
+    networks: list[str],
+    config: GpuConfig,
+    options: SimOptions,
+    cache_dir: str | Path | None = None,
+    repeats: int = 1,
+    seed: bool = False,
+    verbose: bool = True,
+) -> dict:
+    """Benchmark *networks*; returns the ``BENCH_sim.json`` payload."""
+    out: dict = {}
+    for name in networks:
+        if cache_dir is None:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+                entry = bench_network(name, config, options, tmp, repeats, seed)
+        else:
+            entry = bench_network(name, config, options, cache_dir, repeats, seed)
+        out[name] = entry
+        if verbose:
+            line = (f"{name:12s} cold={entry['cold_s']:8.3f}s "
+                    f"warm={entry['warm_s']:7.4f}s kernels={entry['kernels']}")
+            if seed:
+                ratio = entry["seed_s"] / entry["cold_s"] if entry["cold_s"] else 0.0
+                line += f" seed={entry['seed_s']:8.3f}s ({ratio:.1f}x)"
+            print(line, flush=True)
+    return out
+
+
+def write_bench(payload: dict, path: str | Path) -> None:
+    """Write the benchmark payload as pretty JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

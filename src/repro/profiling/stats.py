@@ -94,6 +94,50 @@ class KernelStats:
         self.resident_warps = max(self.resident_warps, other.resident_warps)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict (enum-keyed counters become value-keyed)."""
+        return {
+            "cycles": self.cycles,
+            "wave_cycles": self.wave_cycles,
+            "waves": self.waves,
+            "issued": self.issued,
+            "issued_by_pipe": {p.value: v for p, v in self.issued_by_pipe.items()},
+            "stalls": {r.value: v for r, v in self.stalls.items()},
+            "l1_accesses": self.l1_accesses,
+            "l1_misses": self.l1_misses,
+            "l2_accesses": self.l2_accesses,
+            "l2_misses": self.l2_misses,
+            "dram_bytes": self.dram_bytes,
+            "load_transactions": self.load_transactions,
+            "store_transactions": self.store_transactions,
+            "shared_accesses": self.shared_accesses,
+            "const_accesses": self.const_accesses,
+            "rf_reads": self.rf_reads,
+            "rf_writes": self.rf_writes,
+            "active_sms": self.active_sms,
+            "resident_warps": self.resident_warps,
+        }
+
+    _SCALAR_FIELDS = (
+        "cycles", "wave_cycles", "waves", "issued", "l1_accesses", "l1_misses",
+        "l2_accesses", "l2_misses", "dram_bytes", "load_transactions",
+        "store_transactions", "shared_accesses", "const_accesses", "rf_reads",
+        "rf_writes", "active_sms", "resident_warps",
+    )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelStats":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        stats = cls()
+        for key in cls._SCALAR_FIELDS:
+            setattr(stats, key, data[key])
+        for pipe_name, value in data["issued_by_pipe"].items():
+            stats.issued_by_pipe[Pipe(pipe_name)] = value
+        for reason_name, value in data["stalls"].items():
+            stats.stalls[StallReason(reason_name)] = value
+        return stats
+
+    # ------------------------------------------------------------------
     @property
     def l1_miss_ratio(self) -> float:
         """L1D miss ratio (0 when no accesses)."""

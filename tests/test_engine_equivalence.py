@@ -1,0 +1,83 @@
+"""Fast SM engine vs the frozen seed engine: bit-identical results.
+
+The event-heap issue loop in :mod:`repro.gpu.sm` is an optimization of
+the seed engine's per-cycle warp scan (:mod:`repro.gpu.seed_engine`),
+not a remodel: every KernelStats field must match exactly — cycles,
+per-pipe issue counts, sampled stall attribution, cache/DRAM traffic
+and register-file activity.  These tests pin that contract, per
+scheduler, and pin that persistent-cache hits reproduce fresh
+simulations exactly.
+
+The light-options cases run in tier-1; the full-fidelity sweep over all
+seven networks is ``slow`` (``pytest -m slow``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import seed_engine
+from repro.gpu.config import SimOptions
+from repro.gpu.simulator import simulate_network
+from repro.perf.cache import KernelResultCache
+from repro.platforms import GK210, GP102
+
+from repro.core.suite import NETWORK_ORDER
+
+
+def _assert_identical(a, b) -> None:
+    assert len(a.kernels) == len(b.kernels)
+    for ka, kb in zip(a.kernels, b.kernels):
+        assert ka.stats.__dict__ == kb.stats.__dict__, ka.kernel.name
+
+
+class TestLightEquivalence:
+    @pytest.mark.parametrize("scheduler", ["gto", "lrr", "tlv"])
+    @pytest.mark.parametrize("network", ["gru", "cifarnet"])
+    def test_matches_seed_engine(self, network, scheduler):
+        options = SimOptions(scheduler=scheduler).light()
+        seed = seed_engine.simulate_network(network, GP102, options)
+        fast = simulate_network(network, GP102, options)
+        _assert_identical(seed, fast)
+
+    def test_matches_seed_engine_gk210(self):
+        options = SimOptions().light()
+        seed = seed_engine.simulate_network("squeezenet", GK210, options)
+        fast = simulate_network("squeezenet", GK210, options)
+        _assert_identical(seed, fast)
+
+
+class TestCacheEquivalence:
+    def test_warm_cache_identical_to_fresh(self, tmp_path):
+        options = SimOptions().light()
+        fresh = simulate_network("cifarnet", GP102, options)
+        populate = KernelResultCache(tmp_path)
+        simulate_network("cifarnet", GP102, options, cache=populate)
+        assert populate.stores > 0
+        warm = KernelResultCache(tmp_path)
+        result = simulate_network("cifarnet", GP102, options, cache=warm)
+        assert warm.hits == populate.stores and warm.misses == 0
+        _assert_identical(fresh, result)
+        for ka, kb in zip(fresh.kernels, result.kernels):
+            assert ka.occupancy == kb.occupancy
+            assert ka.sample_factor == kb.sample_factor
+            assert ka.block_factor == kb.block_factor
+
+    def test_memory_layer_hits_identical(self, tmp_path):
+        options = SimOptions().light()
+        cache = KernelResultCache(tmp_path)
+        first = simulate_network("gru", GP102, options, cache=cache)
+        second = simulate_network("gru", GP102, options, cache=cache)
+        _assert_identical(first, second)
+        # Hits hand out fresh stats objects, never aliases.
+        assert first.kernels[0].stats is not second.kernels[0].stats
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("network", NETWORK_ORDER)
+class TestFullFidelityEquivalence:
+    def test_matches_seed_engine(self, network):
+        options = SimOptions()
+        seed = seed_engine.simulate_network(network, GP102, options)
+        fast = simulate_network(network, GP102, options)
+        _assert_identical(seed, fast)

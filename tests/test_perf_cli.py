@@ -1,0 +1,91 @@
+"""Tests for the ``repro simulate`` and ``repro bench`` subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulateCli:
+    def test_light_run_prints_table(self, capsys, tmp_path):
+        exit_code = main([
+            "simulate", "gru", "--light", "--cache-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "gru" in out and "cycles" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        exit_code = main([
+            "simulate", "gru", "--light", "--json",
+            "--cache-dir", str(tmp_path),
+        ])
+        assert exit_code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["network"] == "gru"
+        assert rows[0]["total_cycles"] > 0
+        assert rows[0]["kernels"] > 0
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        exit_code = main(["simulate", "gru", "--light", "--no-cache"])
+        assert exit_code == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_reused_across_invocations(self, capsys, tmp_path):
+        args = ["simulate", "gru", "--light", "--json",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert list(tmp_path.glob("*.json"))
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_parallel_jobs_match_serial(self, capsys, tmp_path):
+        serial_args = ["simulate", "gru", "lstm", "--light", "--json",
+                       "--no-cache"]
+        assert main(serial_args) == 0
+        serial = json.loads(capsys.readouterr().out)
+        parallel_args = ["simulate", "gru", "lstm", "--light", "--json",
+                         "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(parallel_args) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel  # same results, same (input) order
+
+    def test_unknown_network_rejected(self, capsys):
+        assert main(["simulate", "nonesuch", "--light"]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+
+class TestBenchCli:
+    def test_writes_bench_json(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_sim.json"
+        exit_code = main([
+            "bench", "gru", "--light",
+            "--output", str(out_path),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert exit_code == 0
+        payload = json.loads(out_path.read_text())
+        entry = payload["gru"]
+        assert entry["cold_s"] > 0
+        assert entry["warm_s"] > 0
+        assert entry["kernels"] > 0
+        assert entry["engine_version"]
+
+    def test_seed_timing_included_on_request(self, tmp_path):
+        out_path = tmp_path / "bench.json"
+        exit_code = main([
+            "bench", "gru", "--light", "--seed",
+            "--output", str(out_path),
+        ])
+        assert exit_code == 0
+        assert json.loads(out_path.read_text())["gru"]["seed_s"] > 0
+
+    def test_unknown_network_rejected(self, capsys):
+        assert main(["bench", "nonesuch", "--light"]) == 2
+        assert "unknown network" in capsys.readouterr().err
