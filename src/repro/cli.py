@@ -23,6 +23,20 @@ Subcommands:
     ``BENCH_sim.json`` (``--seed`` also times the frozen reference
     engine for speedup ratios).
 
+``repro serve``
+    Run the discrete-event inference-serving simulator over a fleet of
+    simulated devices (``--devices gp102:2,tx1``): latency profiles are
+    built per (network, device) through the kernel-result cache, then a
+    workload (``--arrival poisson|bursty|trace|closed``) is scheduled
+    across the fleet with dynamic batching, bounded queues and a choice
+    of schedulers.  Reports latency tails, goodput, SLO violations and
+    per-device utilization; ``--json`` and ``--report`` emit machine-
+    and markdown-readable forms.
+
+``repro cache``
+    Inspect (``stats``) or empty (``clear``) the persistent kernel-
+    result cache.
+
 ``repro networks``
     List the benchmark suite (paper networks plus extensions).
 
@@ -53,7 +67,9 @@ def _check_networks(names: list[str]) -> int | None:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    names = args.networks or list(NETWORK_ORDER)
+    # Extension networks are first-class: the default lint sweep covers
+    # the paper's seven plus every extension.
+    names = args.networks or list(NETWORK_ORDER) + list(EXTENSION_NETWORKS)
     err = _check_networks(names)
     if err is not None:
         return err
@@ -164,6 +180,162 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_workload(args: argparse.Namespace, names: list[str]):
+    from repro.serve.workload import (
+        BurstyWorkload,
+        ClosedLoopWorkload,
+        PoissonWorkload,
+        TraceWorkload,
+    )
+
+    if args.arrival == "poisson":
+        return PoissonWorkload(args.rps, args.requests, names)
+    if args.arrival == "bursty":
+        return BurstyWorkload(
+            args.rps, args.requests, names,
+            on_ms=args.burst_on_ms, off_ms=args.burst_off_ms,
+            off_factor=args.burst_off_factor,
+        )
+    if args.arrival == "closed":
+        return ClosedLoopWorkload(
+            args.clients, args.requests, names, think_ms=args.think_ms
+        )
+    if args.trace is None:
+        print("--arrival trace requires --trace PATH", file=sys.stderr)
+        return None
+    return TraceWorkload.from_json(args.trace)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from dataclasses import replace
+
+    from repro.perf.cache import KernelResultCache
+    from repro.serve import ServeConfig, build_fleet, build_profiles, run_serve
+    from repro.serve.schedulers import SCHEDULERS
+
+    names = [name for name in args.networks.split(",") if name]
+    err = _check_networks(names)
+    if err is not None:
+        return err
+    schedulers = [name for name in args.scheduler.split(",") if name]
+    unknown = [name for name in schedulers if name not in SCHEDULERS]
+    if unknown:
+        print(
+            f"unknown scheduler(s): {', '.join(unknown)}; "
+            f"available: {', '.join(SCHEDULERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        fleet = build_fleet(args.devices)
+    except (KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    workload = _make_workload(args, names)
+    if workload is None:
+        return 2
+
+    # Profiles use the simulator's default warp scheduler; ``--scheduler``
+    # here names the *serving* policy, not the warp scheduler.
+    from repro.gpu.config import SimOptions
+
+    options = SimOptions(scheduler=args.sim_scheduler)
+    if args.light:
+        options = options.light()
+    cache = None if args.no_cache else KernelResultCache(args.cache_dir)
+    start = time.perf_counter()
+    profiles = build_profiles(
+        names, [device.platform for device in fleet], options, cache
+    )
+    build_s = time.perf_counter() - start
+    if not args.json:
+        print(f"fleet: {' '.join(device.name for device in fleet)}")
+        if cache is not None:
+            print(f"profiles: {len(profiles)} built in {build_s:.2f} s "
+                  f"(cache hits={cache.hits} misses={cache.misses})")
+        else:
+            print(f"profiles: {len(profiles)} built in {build_s:.2f} s (uncached)")
+
+    base = ServeConfig(
+        slo_ms=args.slo_ms,
+        max_batch=args.batch,
+        batch_timeout_ms=args.batch_timeout_ms,
+        max_queue=args.queue,
+        seed=args.seed,
+    )
+    runs = [
+        run_serve(fleet, profiles, workload, replace(base, scheduler=name))
+        for name in schedulers
+    ]
+
+    if args.json:
+        payload = [stats.to_dict() for stats in runs]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+    else:
+        for stats in runs:
+            print(f"\nscheduler={stats.scheduler} offered={stats.offered} "
+                  f"completed={stats.completed} shed={stats.shed}")
+            print(f"  latency ms: p50={stats.latency_p50_ms:.2f} "
+                  f"p95={stats.latency_p95_ms:.2f} p99={stats.latency_p99_ms:.2f} "
+                  f"mean={stats.latency_mean_ms:.2f} max={stats.latency_max_ms:.2f}")
+            print(f"  slo {stats.slo_ms:g} ms: violations={stats.slo_violations} "
+                  f"attainment={stats.slo_attainment:.4f}")
+            print(f"  throughput={stats.throughput_rps:.1f} rps "
+                  f"goodput={stats.goodput_rps:.1f} rps "
+                  f"duration={stats.duration_ms / 1e3:.2f} s")
+            print(f"  {'device':12s} {'platform':8s} {'util':>6s} {'reqs':>7s} "
+                  f"{'batches':>7s} {'m.batch':>7s} {'shed':>6s}")
+            for device in stats.devices:
+                print(f"  {device.name:12s} {device.platform:8s} "
+                      f"{device.utilization:6.3f} {device.requests:7d} "
+                      f"{device.batches:7d} {device.mean_batch:7.2f} "
+                      f"{device.shed:6d}")
+
+    if args.report:
+        from repro.serve.report import write_serve_report
+
+        scenario = {
+            "networks": ",".join(names),
+            "devices": args.devices,
+            "arrival": args.arrival,
+            "rps": args.rps,
+            "requests": args.requests,
+            "slo_ms": args.slo_ms,
+            "max_batch": args.batch,
+            "batch_timeout_ms": args.batch_timeout_ms,
+            "max_queue": args.queue,
+            "seed": args.seed,
+        }
+        write_serve_report(args.report, runs, scenario)
+        if not args.json:
+            print(f"\nwrote {args.report}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.cache import cache_stats, clear_cache
+
+    if args.action == "stats":
+        stats = cache_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(f"cache dir: {stats['dir']}")
+            print(f"entries:   {stats['entries']}")
+            print(f"bytes:     {stats['bytes']}")
+            print(f"engine:    {stats['engine_version']}")
+            for engine, count in stats["by_engine"].items():
+                print(f"  {engine}: {count}")
+    else:
+        removed = clear_cache(args.cache_dir)
+        print(f"removed {removed} cache file(s)")
+    return 0
+
+
 def _cmd_networks(args: argparse.Namespace) -> int:
     for name in NETWORK_ORDER + EXTENSION_NETWORKS:
         info = BENCHMARK_INFO[name]
@@ -231,6 +403,92 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="warm-cache directory (default: a temp dir)")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate inference serving over a fleet of devices",
+        description="Discrete-event serving simulation: per-(network, "
+        "device) latency profiles from the GPU simulator (cached), a "
+        "generated or replayed request stream, dynamic batching, "
+        "bounded queues and pluggable schedulers.",
+    )
+    serve.add_argument("--networks", default="alexnet,resnet", metavar="A,B",
+                       help="comma-separated networks to serve "
+                            "(default: alexnet,resnet; extensions like "
+                            "mobilenet are accepted)")
+    serve.add_argument("--devices", default="gp102:2,tx1", metavar="SPEC",
+                       help="fleet spec, e.g. gp102:2,tx1 "
+                            "(default: gp102:2,tx1)")
+    serve.add_argument("--arrival", default="poisson",
+                       choices=("poisson", "bursty", "trace", "closed"),
+                       help="workload shape (default: poisson)")
+    serve.add_argument("--rps", type=float, default=100.0,
+                       help="offered request rate for poisson/bursty "
+                            "(default: 100)")
+    serve.add_argument("--requests", type=int, default=10000, metavar="N",
+                       help="number of requests (default: 10000)")
+    serve.add_argument("--slo-ms", type=float, default=50.0,
+                       help="latency SLO in milliseconds (default: 50)")
+    serve.add_argument("--batch", type=int, default=8, metavar="B",
+                       help="dynamic batcher max batch size (default: 8)")
+    serve.add_argument("--batch-timeout-ms", type=float, default=2.0,
+                       help="max co-batching wait for a queued head "
+                            "request (default: 2)")
+    serve.add_argument("--queue", type=int, default=256, metavar="Q",
+                       help="per-device admission queue bound; overflow "
+                            "is shed (default: 256)")
+    serve.add_argument("--scheduler", default="latency-aware",
+                       metavar="NAME[,NAME]",
+                       help="scheduling policies to run, comma-separated "
+                            "(round-robin, least-loaded, latency-aware; "
+                            "default: latency-aware)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload/simulation seed (default: 0)")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="JSON request log for --arrival trace")
+    serve.add_argument("--clients", type=int, default=32,
+                       help="closed-loop client count (default: 32)")
+    serve.add_argument("--think-ms", type=float, default=10.0,
+                       help="closed-loop mean think time (default: 10)")
+    serve.add_argument("--burst-on-ms", type=float, default=100.0,
+                       help="bursty: burst window length (default: 100)")
+    serve.add_argument("--burst-off-ms", type=float, default=400.0,
+                       help="bursty: quiet window length (default: 400)")
+    serve.add_argument("--burst-off-factor", type=float, default=0.1,
+                       help="bursty: quiet-window rate factor (default: 0.1)")
+    serve.add_argument("--sim-scheduler", default="gto",
+                       choices=("gto", "lrr", "tlv"),
+                       help="warp scheduler used when building latency "
+                            "profiles (default: gto)")
+    serve.add_argument("--light", action="store_true",
+                       help="light-sampling latency profiles (fast smoke "
+                            "runs; not comparable to default profiles)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent kernel-result cache when "
+                            "building profiles")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or .repro-cache)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit ServeStats JSON instead of text")
+    serve.add_argument("--report", default=None, metavar="PATH",
+                       help="also write a markdown report to PATH")
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent kernel-result cache",
+        description="Summarize (stats) or empty (clear) the cross-run "
+        "kernel-result cache used by simulate/bench/serve.",
+    )
+    cache.add_argument("action", choices=("stats", "clear"),
+                       help="what to do with the cache")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or .repro-cache)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit stats as JSON")
+    cache.set_defaults(func=_cmd_cache)
 
     networks = sub.add_parser("networks", help="list the benchmark suite")
     networks.set_defaults(func=_cmd_networks)

@@ -58,3 +58,25 @@ def _fmt(data: Any) -> str:
     if isinstance(data, (list, tuple)):
         return "[" + ", ".join(_fmt(item) for item in data) + "]"
     return str(data)
+
+
+def markdown_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """A GitHub-flavoured markdown table; cells format via ``_fmt``."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    def line(items: list[str]) -> str:
+        return "| " + " | ".join(item.ljust(width) for item, width in zip(items, widths)) + " |"
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def markdown_report(title: str, sections: list[tuple[str, str]]) -> str:
+    """A markdown document: a title plus (heading, body) sections."""
+    parts = [f"# {title}"]
+    for heading, body in sections:
+        parts.append(f"## {heading}\n\n{body}")
+    return "\n\n".join(parts) + "\n"

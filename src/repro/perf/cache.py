@@ -148,6 +148,49 @@ class KernelResultCache:
             pass
 
 
+def cache_stats(cache_dir: str | Path | None = None) -> dict:
+    """Entry count / byte size summary of the on-disk cache.
+
+    Backs ``repro cache stats``; a missing directory reads as an empty
+    cache, never an error.
+    """
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    entries = 0
+    total_bytes = 0
+    engines: dict[str, int] = {}
+    if directory.is_dir():
+        for path in sorted(directory.glob("*.json")):
+            try:
+                total_bytes += path.stat().st_size
+                engine = json.loads(path.read_text()).get("engine", "?")
+            except (OSError, ValueError):
+                engine = "corrupt"
+            entries += 1
+            engines[engine] = engines.get(engine, 0) + 1
+    return {
+        "dir": str(directory),
+        "entries": entries,
+        "bytes": total_bytes,
+        "engine_version": ENGINE_VERSION,
+        "by_engine": dict(sorted(engines.items())),
+    }
+
+
+def clear_cache(cache_dir: str | Path | None = None) -> int:
+    """Delete every cache entry (and stray ``.tmp`` files); returns the
+    number of entries removed.  Backs ``repro cache clear``."""
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in list(directory.glob("*.json")) + list(directory.glob("*.tmp")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
 def _decode(payload: dict) -> CachedKernel | None:
     """Payload dict -> CachedKernel, or None when malformed."""
     try:

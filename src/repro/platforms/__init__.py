@@ -6,7 +6,15 @@ Tegra X1 mobile GPU — plus the analytic Xilinx PynQ-Z1 FPGA model used
 for the OpenCL energy comparison (Figure 6).
 """
 
-from repro.platforms.registry import GK210, GP102, TX1, get_platform, list_platforms
+from repro.platforms.registry import (
+    GK210,
+    GP102,
+    TX1,
+    get_platform,
+    list_platforms,
+    register_platform,
+    unregister_platform,
+)
 from repro.platforms.pynq import PYNQ_Z1, PynqZ1Model
 
 __all__ = [
@@ -17,4 +25,6 @@ __all__ = [
     "TX1",
     "get_platform",
     "list_platforms",
+    "register_platform",
+    "unregister_platform",
 ]

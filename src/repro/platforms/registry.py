@@ -81,6 +81,30 @@ def list_platforms() -> tuple[str, ...]:
     return tuple(_PLATFORMS)
 
 
+def register_platform(config: GpuConfig, *, replace: bool = False) -> GpuConfig:
+    """Register *config* under its (lower-cased) name.
+
+    Lets downstream code — the serving fleet builder, tests, user
+    studies — add device models next to the Table II trio without
+    editing this module.  Re-registering an existing name requires
+    ``replace=True`` so the paper platforms can't be shadowed silently.
+    """
+    key = config.name.lower()
+    if not replace and key in _PLATFORMS:
+        raise ValueError(f"platform {config.name!r} is already registered")
+    _PLATFORMS[key] = config
+    return config
+
+
+def unregister_platform(name: str) -> None:
+    """Remove a registered platform (for test cleanup); the built-in
+    Table II platforms cannot be removed."""
+    key = name.lower()
+    if key in ("gk210", "tx1", "gp102"):
+        raise ValueError(f"cannot unregister built-in platform {name!r}")
+    _PLATFORMS.pop(key, None)
+
+
 def get_platform(name: str) -> GpuConfig:
     """Look up a GPU platform by (case-insensitive) name."""
     try:

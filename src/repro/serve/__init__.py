@@ -1,0 +1,69 @@
+"""``repro.serve`` — discrete-event inference serving over simulated fleets.
+
+The benchmark suite characterizes each network on each accelerator in
+isolation; this package answers the deployment question those numbers
+set up: given a *fleet* of simulated devices (any mix of the Table II
+platforms), a request stream, an SLO and a batching policy, what
+latency distribution, goodput and utilization does each scheduling
+policy deliver?
+
+The layer cake:
+
+* :mod:`repro.serve.events` — the deterministic event heap;
+* :mod:`repro.serve.profiles` — per-(network, device, batch) latency
+  profiles derived from batch-1 :func:`simulate_network` runs (through
+  the persistent kernel-result cache, so profile building is fast);
+* :mod:`repro.serve.devices` — fleet construction and per-device state;
+* :mod:`repro.serve.batching` — the FIFO dynamic batcher;
+* :mod:`repro.serve.schedulers` — the :class:`Scheduler` protocol and
+  the round-robin / least-loaded / latency-aware policies;
+* :mod:`repro.serve.workload` — open-loop (Poisson, bursty, trace
+  replay) and closed-loop request generators;
+* :mod:`repro.serve.engine` — the simulator itself;
+* :mod:`repro.serve.stats` — the :class:`ServeStats` result container;
+* :mod:`repro.serve.report` — markdown reporting in the harness style.
+
+Everything is deterministic: one ``random.Random(seed)`` drives all
+stochastic choices and the event heap breaks time ties by insertion
+order, so a fixed seed reproduces ``ServeStats`` bit-for-bit.
+"""
+
+from repro.serve.batching import DynamicBatcher, Request
+from repro.serve.devices import ServeDevice, build_fleet
+from repro.serve.engine import ServeConfig, ServeSim, run_serve
+from repro.serve.events import EventQueue
+from repro.serve.profiles import LatencyProfile, build_profiles, profile_from_result
+from repro.serve.schedulers import SCHEDULERS, Scheduler, make_scheduler
+from repro.serve.stats import ServeStats
+from repro.serve.workload import (
+    Arrival,
+    BurstyWorkload,
+    ClosedLoopWorkload,
+    PoissonWorkload,
+    TraceWorkload,
+    Workload,
+)
+
+__all__ = [
+    "Arrival",
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "DynamicBatcher",
+    "EventQueue",
+    "LatencyProfile",
+    "PoissonWorkload",
+    "Request",
+    "SCHEDULERS",
+    "Scheduler",
+    "ServeConfig",
+    "ServeDevice",
+    "ServeSim",
+    "ServeStats",
+    "TraceWorkload",
+    "Workload",
+    "build_fleet",
+    "build_profiles",
+    "make_scheduler",
+    "profile_from_result",
+    "run_serve",
+]

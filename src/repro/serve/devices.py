@@ -1,0 +1,131 @@
+"""Fleet construction and per-device runtime state.
+
+A fleet is an ordered list of :class:`ServeDevice` instances built from
+a spec string like ``"gp102:2,tx1"`` (two GP102 boards plus one Tegra
+X1), resolving platform names through
+:func:`repro.platforms.get_platform` — so anything registered there,
+including test platforms added via ``register_platform``, can serve.
+
+:class:`DeviceState` is the engine-side view of one device: its
+per-network dynamic batchers, a bounded admission queue, busy/idle
+bookkeeping, and the counters that end up in ``ServeStats``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.gpu.config import GpuConfig
+from repro.platforms import get_platform
+from repro.serve.batching import DynamicBatcher, Request
+from repro.serve.profiles import LatencyProfile
+
+
+@dataclass(frozen=True)
+class ServeDevice:
+    """One accelerator instance in the fleet."""
+
+    name: str  # e.g. "gp102#0"
+    platform: GpuConfig
+
+
+def build_fleet(spec: str) -> list[ServeDevice]:
+    """Parse ``"gp102:2,tx1"`` into named device instances.
+
+    Each comma-separated entry is ``platform`` or ``platform:count``;
+    instances are numbered per platform in spec order.
+    """
+    fleet: list[ServeDevice] = []
+    counters: dict[str, int] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, count_text = entry.partition(":")
+        name = name.strip().lower()
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise ValueError(f"bad device count in fleet entry {entry!r}") from None
+        if count < 1:
+            raise ValueError(f"device count must be >= 1 in {entry!r}")
+        platform = get_platform(name)
+        for _ in range(count):
+            index = counters.get(name, 0)
+            counters[name] = index + 1
+            fleet.append(ServeDevice(f"{name}#{index}", platform))
+    if not fleet:
+        raise ValueError(f"empty fleet spec {spec!r}")
+    return fleet
+
+
+class DeviceState:
+    """Mutable serving state of one fleet device."""
+
+    def __init__(
+        self,
+        device: ServeDevice,
+        profiles: Mapping[str, LatencyProfile],
+        max_batch: int,
+        batch_timeout_ms: float,
+        max_queue: int,
+    ) -> None:
+        self.device = device
+        self.profiles = dict(profiles)
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.batchers = {
+            network: DynamicBatcher(max_batch, batch_timeout_ms)
+            for network in self.profiles
+        }
+        self.busy = False
+        self.busy_until = 0.0
+        #: Deadline of the currently scheduled flush event, if any.
+        self.flush_at: float | None = None
+        # Result counters.
+        self.busy_ms = 0.0
+        self.batches = 0
+        self.served = 0
+        self.shed = 0
+        self.depth_timeline: list[tuple[float, int]] = [(0.0, 0)]
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        """Total requests pending across all networks."""
+        return sum(len(b) for b in self.batchers.values())
+
+    @property
+    def full(self) -> bool:
+        return self.queue_len >= self.max_queue
+
+    def profile(self, network: str) -> LatencyProfile:
+        return self.profiles[network]
+
+    def enqueue(self, request: Request, now_ms: float) -> None:
+        self.batchers[request.network].add(request)
+        self.record_depth(now_ms)
+
+    def record_depth(self, now_ms: float) -> None:
+        self.depth_timeline.append((now_ms, self.queue_len))
+
+    def estimate_finish_ms(self, network: str, now_ms: float) -> float:
+        """Greedy completion estimate for one more *network* request.
+
+        Remaining busy time, plus every queued network's backlog at its
+        achievable batch size, plus a batch-1 inference for the new
+        request.  Deliberately ignores co-batching of the new request
+        with queued work — a pessimistic but monotone estimate that is
+        what the latency-aware scheduler ranks devices by.
+        """
+        estimate = max(now_ms, self.busy_until if self.busy else now_ms)
+        for queued_network, batcher in self.batchers.items():
+            pending = len(batcher)
+            if not pending:
+                continue
+            profile = self.profiles[queued_network]
+            batches = math.ceil(pending / self.max_batch)
+            estimate += batches * profile.latency_ms(min(pending, self.max_batch))
+        return estimate + self.profiles[network].latency_ms(1)

@@ -1,0 +1,267 @@
+"""The discrete-event serving simulator.
+
+One :class:`ServeSim` run processes three event kinds over the shared
+:class:`~repro.serve.events.EventQueue`:
+
+* **arrival** — the request is admitted to the device the scheduler
+  picks (or shed when every queue is full); open-loop workloads chain
+  the next arrival here, so the heap stays O(fleet) deep;
+* **flush** — a dynamic-batch deadline: an idle device launches its
+  timed-out partial batch instead of waiting for it to fill;
+* **complete** — a batch retires: per-request latencies and SLO
+  outcomes are recorded, closed-loop clients think-and-reissue, and the
+  freed device immediately launches its next ready batch (or schedules
+  a flush for the earliest pending deadline).
+
+Devices are work-conserving up to the batching policy: an idle device
+with a non-full, non-timed-out batch *waits* for the deadline — that is
+what a batch timeout means — but never holds requests beyond it, and a
+device that frees up takes the oldest ready batch at once.
+
+Determinism: all randomness flows from one ``random.Random(seed)``, the
+event heap breaks ties by insertion order, and every fleet scan is in
+fleet order — a fixed seed reproduces :class:`ServeStats` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Mapping, Sequence
+
+from repro.serve.batching import Request
+from repro.serve.devices import DeviceState, ServeDevice
+from repro.serve.events import ARRIVAL, COMPLETE, FLUSH, EventQueue
+from repro.serve.profiles import LatencyProfile, profiles_for_platform
+from repro.serve.schedulers import make_scheduler
+from repro.serve.stats import (
+    DeviceServeStats,
+    ServeStats,
+    downsample,
+    latency_summary,
+    percentile,
+)
+from repro.serve.workload import Arrival, Workload
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Policy knobs of one serving run."""
+
+    slo_ms: float = 50.0
+    max_batch: int = 8
+    batch_timeout_ms: float = 2.0
+    max_queue: int = 256
+    scheduler: str = "latency-aware"
+    seed: int = 0
+
+
+class ServeSim:
+    """One serving simulation over a fixed fleet and workload."""
+
+    def __init__(
+        self,
+        fleet: Sequence[ServeDevice],
+        profiles: Mapping[tuple[str, str], LatencyProfile],
+        workload: Workload,
+        config: ServeConfig | None = None,
+    ) -> None:
+        if not fleet:
+            raise ValueError("fleet must contain at least one device")
+        self.config = config or ServeConfig()
+        self.workload = workload
+        self.devices: list[DeviceState] = []
+        for device in fleet:
+            slice_ = profiles_for_platform(profiles, device.platform.name)
+            if not slice_:
+                raise ValueError(
+                    f"no latency profiles for platform {device.platform.name!r}"
+                )
+            self.devices.append(
+                DeviceState(
+                    device,
+                    slice_,
+                    max_batch=self.config.max_batch,
+                    batch_timeout_ms=self.config.batch_timeout_ms,
+                    max_queue=self.config.max_queue,
+                )
+            )
+        self.scheduler = make_scheduler(self.config.scheduler)
+
+    # ------------------------------------------------------------------
+    def run(self) -> ServeStats:
+        """Drain the workload and return the aggregate statistics."""
+        rng = Random(self.config.seed)
+        queue = EventQueue()
+        self._issued = 0
+        self._offered = 0
+        self._shed = 0
+        self._clock = 0.0
+        self._latencies: list[float] = []
+        self._per_network: dict[str, list[float]] = {}
+
+        for arrival in self.workload.prime(rng):
+            queue.push(arrival.time_ms, ARRIVAL, arrival)
+            self._issued += 1
+
+        while queue:
+            event = queue.pop()
+            self._clock = max(self._clock, event.time_ms)
+            if event.kind == ARRIVAL:
+                self._on_arrival(event.payload, event.time_ms, queue, rng)
+            elif event.kind == FLUSH:
+                self._on_flush(event.payload, event.time_ms, queue)
+            elif event.kind == COMPLETE:
+                self._on_complete(event.payload, event.time_ms, queue, rng)
+
+        return self._build_stats()
+
+    # ------------------------------------------------------------------
+    def _push_arrival(self, arrival: Arrival | None, queue: EventQueue) -> None:
+        if arrival is not None:
+            queue.push(arrival.time_ms, ARRIVAL, arrival)
+            self._issued += 1
+
+    def _on_arrival(
+        self, arrival: Arrival, now: float, queue: EventQueue, rng: Random
+    ) -> None:
+        self._push_arrival(self.workload.next_arrival(arrival, rng), queue)
+        request = Request(self._offered, arrival.network, now)
+        self._offered += 1
+        index = self.scheduler.choose(request, self.devices, now)
+        if index is None or self.devices[index].full:
+            self._shed += 1
+            if index is not None:
+                self.devices[index].shed += 1
+            # Closed-loop clients observe the rejection and issue again.
+            self._push_arrival(
+                self.workload.on_completion(request, now, self._issued, rng), queue
+            )
+            return
+        state = self.devices[index]
+        state.enqueue(request, now)
+        self._dispatch(state, index, now, queue)
+
+    def _on_flush(self, index: int, now: float, queue: EventQueue) -> None:
+        state = self.devices[index]
+        if state.flush_at == now:
+            state.flush_at = None
+        if not state.busy:
+            self._dispatch(state, index, now, queue)
+
+    def _on_complete(
+        self, payload: tuple[int, list[Request]], now: float, queue: EventQueue, rng: Random
+    ) -> None:
+        index, batch = payload
+        state = self.devices[index]
+        state.busy = False
+        for request in batch:
+            latency = request.latency_ms
+            self._latencies.append(latency)
+            self._per_network.setdefault(request.network, []).append(latency)
+            self._push_arrival(
+                self.workload.on_completion(request, now, self._issued, rng), queue
+            )
+        self._dispatch(state, index, now, queue)
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, state: DeviceState, index: int, now: float, queue: EventQueue
+    ) -> None:
+        """Launch the oldest ready batch of an idle device, or schedule
+        the flush for the earliest pending deadline."""
+        if state.busy:
+            return
+        ready_network: str | None = None
+        ready_oldest = 0.0
+        pending_deadline: float | None = None
+        for network, batcher in state.batchers.items():
+            oldest = batcher.oldest_arrival_ms
+            if oldest is None:
+                continue
+            if batcher.ready(now):
+                if ready_network is None or oldest < ready_oldest:
+                    ready_network, ready_oldest = network, oldest
+            else:
+                deadline = batcher.deadline_ms()
+                if pending_deadline is None or deadline < pending_deadline:
+                    pending_deadline = deadline
+        if ready_network is not None:
+            self._launch(state, index, ready_network, now, queue)
+        elif pending_deadline is not None and (
+            state.flush_at is None or pending_deadline < state.flush_at
+        ):
+            state.flush_at = pending_deadline
+            queue.push(pending_deadline, FLUSH, index)
+
+    def _launch(
+        self, state: DeviceState, index: int, network: str, now: float, queue: EventQueue
+    ) -> None:
+        batch = state.batchers[network].pop_batch(now, force=True)
+        duration = state.profile(network).latency_ms(len(batch))
+        finish = now + duration
+        state.busy = True
+        state.busy_until = finish
+        state.busy_ms += duration
+        state.batches += 1
+        state.served += len(batch)
+        for request in batch:
+            request.start_ms = now
+            request.finish_ms = finish
+        state.record_depth(now)
+        queue.push(finish, COMPLETE, (index, batch))
+
+    # ------------------------------------------------------------------
+    def _build_stats(self) -> ServeStats:
+        duration = self._clock
+        duration_s = duration / 1e3 if duration > 0 else 0.0
+        ordered = sorted(self._latencies)
+        completed = len(ordered)
+        violations = sum(1 for value in ordered if value > self.config.slo_ms)
+        good = completed - violations
+        devices = [
+            DeviceServeStats(
+                name=state.device.name,
+                platform=state.device.platform.name,
+                requests=state.served,
+                batches=state.batches,
+                shed=state.shed,
+                busy_ms=state.busy_ms,
+                utilization=state.busy_ms / duration if duration > 0 else 0.0,
+                mean_batch=state.served / state.batches if state.batches else 0.0,
+                queue_depth=downsample(state.depth_timeline),
+            )
+            for state in self.devices
+        ]
+        return ServeStats(
+            scheduler=self.config.scheduler,
+            seed=self.config.seed,
+            slo_ms=self.config.slo_ms,
+            offered=self._offered,
+            completed=completed,
+            shed=self._shed,
+            slo_violations=violations,
+            duration_ms=duration,
+            latency_p50_ms=percentile(ordered, 50),
+            latency_p95_ms=percentile(ordered, 95),
+            latency_p99_ms=percentile(ordered, 99),
+            latency_mean_ms=sum(ordered) / completed if completed else 0.0,
+            latency_max_ms=ordered[-1] if ordered else 0.0,
+            throughput_rps=completed / duration_s if duration_s else 0.0,
+            goodput_rps=good / duration_s if duration_s else 0.0,
+            devices=devices,
+            per_network={
+                network: latency_summary(values, self.config.slo_ms)
+                for network, values in sorted(self._per_network.items())
+            },
+        )
+
+
+def run_serve(
+    fleet: Sequence[ServeDevice],
+    profiles: Mapping[tuple[str, str], LatencyProfile],
+    workload: Workload,
+    config: ServeConfig | None = None,
+) -> ServeStats:
+    """Convenience wrapper: build a :class:`ServeSim` and run it."""
+    return ServeSim(fleet, profiles, workload, config).run()

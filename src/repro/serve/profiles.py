@@ -1,0 +1,173 @@
+"""Per-(network, device, batch) latency profiles.
+
+The GPU simulator already tells us everything a serving model needs
+from **one batch-1 simulation** per (network, device): for every kernel
+it reports the sampled per-wave cycle cost, the launch's block count,
+and how many blocks one "wave" (full-chip residency) retires.  Batching
+an inference multiplies every kernel's grid by the batch size while the
+per-wave cost and residency stay fixed, so batch-``b`` latency follows
+analytically:
+
+    cycles(b) = sum_k  wave_cost_k * ceil(b * blocks_k / wave_blocks_k)
+              + launches * launch_overhead
+
+which reproduces ``NetworkResult.total_time_ms`` exactly at ``b = 1``
+and captures the two serving-relevant effects: launch overhead
+amortizes across the batch (the RNNs batch almost for free) while
+compute saturates once grids fill the chip (VGG-sized CNNs batch
+sublinearly, then linearly).
+
+Profile building goes through :class:`repro.perf.cache.KernelResultCache`
+when one is supplied, so a fleet × network profile matrix costs one
+cold simulation per pair ever, and milliseconds thereafter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.gpu.config import GpuConfig, SimOptions
+
+
+@dataclass(frozen=True)
+class KernelTerm:
+    """The batch-scaling term of one distinct kernel signature."""
+
+    #: Sampled per-wave cycles (``sample_factor * wave_cycles``).
+    wave_cost_cycles: float
+    #: Blocks of the batch-1 launch.
+    total_blocks: int
+    #: Blocks retired per wave across the whole chip.
+    blocks_per_wave: int
+    #: How many launches in the network share this signature.
+    count: int
+
+
+class LatencyProfile:
+    """Batch-size -> latency model of one network on one device."""
+
+    def __init__(
+        self,
+        network: str,
+        platform: str,
+        clock_ghz: float,
+        launch_overhead_cycles: float,
+        terms: tuple[KernelTerm, ...],
+    ) -> None:
+        self.network = network
+        self.platform = platform
+        self.clock_ghz = clock_ghz
+        self.launch_overhead_cycles = launch_overhead_cycles
+        self.terms = terms
+        self._memo: dict[int, float] = {}
+
+    def latency_ms(self, batch: int) -> float:
+        """End-to-end latency of one batch-``batch`` inference."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        cached = self._memo.get(batch)
+        if cached is None:
+            cycles = self.launch_overhead_cycles
+            for term in self.terms:
+                waves = math.ceil(batch * term.total_blocks / term.blocks_per_wave)
+                cycles += term.count * term.wave_cost_cycles * waves
+            cached = cycles / (self.clock_ghz * 1e6)
+            self._memo[batch] = cached
+        return cached
+
+    def throughput_rps(self, batch: int) -> float:
+        """Steady-state inferences/second at a fixed batch size."""
+        return batch * 1e3 / self.latency_ms(batch)
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "platform": self.platform,
+            "clock_ghz": self.clock_ghz,
+            "launch_overhead_cycles": self.launch_overhead_cycles,
+            "terms": [
+                [t.wave_cost_cycles, t.total_blocks, t.blocks_per_wave, t.count]
+                for t in self.terms
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyProfile":
+        return cls(
+            network=data["network"],
+            platform=data["platform"],
+            clock_ghz=data["clock_ghz"],
+            launch_overhead_cycles=data["launch_overhead_cycles"],
+            terms=tuple(KernelTerm(*row) for row in data["terms"]),
+        )
+
+
+def profile_from_result(result) -> LatencyProfile:
+    """Derive a :class:`LatencyProfile` from one ``NetworkResult``.
+
+    Signature-identical kernel launches collapse into one term with a
+    repeat count (ResNet's 228 launches reduce to a few dozen terms).
+    """
+    config: GpuConfig = result.config
+    merged: dict[str, list] = {}
+    for kr in result.kernels:
+        signature = kr.kernel.signature()
+        entry = merged.get(signature)
+        if entry is None:
+            wave_cost = kr.sample_factor * kr.stats.wave_cycles
+            blocks_per_wave = kr.occupancy.blocks * config.num_sms
+            merged[signature] = [wave_cost, kr.kernel.total_blocks, blocks_per_wave, 1]
+        else:
+            entry[3] += 1
+    terms = tuple(KernelTerm(*entry) for entry in merged.values())
+    return LatencyProfile(
+        network=result.network,
+        platform=config.name,
+        clock_ghz=config.clock_ghz,
+        launch_overhead_cycles=float(
+            len(result.kernels) * config.launch_overhead_cycles
+        ),
+        terms=terms,
+    )
+
+
+def build_profiles(
+    networks: Iterable[str],
+    platforms: Iterable[GpuConfig],
+    options: SimOptions | None = None,
+    cache=None,
+) -> dict[tuple[str, str], LatencyProfile]:
+    """Profile every (network, platform) pair via ``simulate_network``.
+
+    Extension networks (``mobilenet``) are first-class here: anything
+    :func:`repro.kernels.compile.compiled_network` accepts can be
+    profiled.  Device *instances* sharing a platform share one profile,
+    keyed ``(network, platform.name)``.  Pass a
+    :class:`~repro.perf.cache.KernelResultCache` to make repeat builds
+    near-instant.
+    """
+    from repro.gpu.simulator import simulate_network
+
+    options = options or SimOptions()
+    unique: dict[str, GpuConfig] = {}
+    for platform in platforms:
+        unique.setdefault(platform.name, platform)
+    profiles: dict[tuple[str, str], LatencyProfile] = {}
+    for name in dict.fromkeys(networks):
+        for platform in unique.values():
+            result = simulate_network(name, platform, options, cache=cache)
+            profiles[(name, platform.name)] = profile_from_result(result)
+    return profiles
+
+
+def profiles_for_platform(
+    profiles: Mapping[tuple[str, str], LatencyProfile], platform_name: str
+) -> dict[str, LatencyProfile]:
+    """The ``network -> profile`` slice of one platform."""
+    return {
+        network: profile
+        for (network, platform), profile in profiles.items()
+        if platform == platform_name
+    }

@@ -1,0 +1,85 @@
+"""Markdown reporting for serving runs, in the harness report style."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.harness.report import markdown_report, markdown_table
+from repro.serve.stats import ServeStats
+
+
+def scenario_table(scenario: Mapping[str, object]) -> str:
+    """Two-column parameter table describing the run scenario."""
+    return markdown_table(
+        ["parameter", "value"],
+        [[key, value] for key, value in scenario.items()],
+    )
+
+
+def results_table(runs: Sequence[ServeStats]) -> str:
+    """One row per run (typically one per scheduler under comparison)."""
+    return markdown_table(
+        ["scheduler", "p50 ms", "p95 ms", "p99 ms", "goodput rps",
+         "slo viol", "shed", "completed"],
+        [
+            [
+                stats.scheduler,
+                stats.latency_p50_ms,
+                stats.latency_p95_ms,
+                stats.latency_p99_ms,
+                stats.goodput_rps,
+                stats.slo_violations,
+                stats.shed,
+                stats.completed,
+            ]
+            for stats in runs
+        ],
+    )
+
+
+def devices_table(stats: ServeStats) -> str:
+    """Per-device utilization/batching table of one run."""
+    return markdown_table(
+        ["device", "platform", "utilization", "requests", "batches",
+         "mean batch", "shed"],
+        [
+            [
+                device.name,
+                device.platform,
+                device.utilization,
+                device.requests,
+                device.batches,
+                device.mean_batch,
+                device.shed,
+            ]
+            for device in stats.devices
+        ],
+    )
+
+
+def serve_markdown(
+    runs: Sequence[ServeStats],
+    scenario: Mapping[str, object],
+    title: str = "repro serve report",
+) -> str:
+    """The full report: scenario, results, per-run device breakdowns."""
+    sections: list[tuple[str, str]] = [
+        ("Scenario", scenario_table(scenario)),
+        ("Results", results_table(runs)),
+    ]
+    for stats in runs:
+        sections.append((f"Devices — {stats.scheduler}", devices_table(stats)))
+    return markdown_report(title, sections)
+
+
+def write_serve_report(
+    path: str | Path,
+    runs: Sequence[ServeStats],
+    scenario: Mapping[str, object],
+    title: str = "repro serve report",
+) -> Path:
+    """Write the markdown report to *path* and return it."""
+    path = Path(path)
+    path.write_text(serve_markdown(runs, scenario, title))
+    return path

@@ -1,0 +1,109 @@
+"""Request-to-device scheduling policies.
+
+A scheduler sees the arriving request and the live fleet state and
+names the device that should take it (or ``None`` to shed when every
+queue is full — admission control stays with the engine, the scheduler
+just never picks a full device).  All three built-ins are deterministic
+and break ties by fleet order, which keeps whole runs reproducible.
+
+* ``round-robin`` — strict rotation, blind to load and device speed;
+* ``least-loaded`` — shortest queue first, blind to device speed;
+* ``latency-aware`` — greedy SLO-aware: minimize the estimated
+  completion time (:meth:`DeviceState.estimate_finish_ms`), which folds
+  together queue depth *and* the per-device latency profile, so slow
+  devices only absorb traffic once fast ones are saturated.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.serve.batching import Request
+from repro.serve.devices import DeviceState
+
+
+class Scheduler(Protocol):
+    """The policy interface: pick a device index for each request."""
+
+    name: str
+
+    def choose(
+        self, request: Request, devices: Sequence[DeviceState], now_ms: float
+    ) -> int | None:
+        """Index of the chosen device, or None to shed the request."""
+        ...
+
+
+class RoundRobinScheduler:
+    """Strict rotation over the fleet, skipping full devices."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(
+        self, request: Request, devices: Sequence[DeviceState], now_ms: float
+    ) -> int | None:
+        for offset in range(len(devices)):
+            index = (self._next + offset) % len(devices)
+            if not devices[index].full:
+                self._next = (index + 1) % len(devices)
+                return index
+        return None
+
+
+class LeastLoadedScheduler:
+    """Shortest total queue wins; fleet order breaks ties."""
+
+    name = "least-loaded"
+
+    def choose(
+        self, request: Request, devices: Sequence[DeviceState], now_ms: float
+    ) -> int | None:
+        best: int | None = None
+        best_depth = -1
+        for index, state in enumerate(devices):
+            if state.full:
+                continue
+            depth = state.queue_len
+            if best is None or depth < best_depth:
+                best, best_depth = index, depth
+        return best
+
+
+class LatencyAwareScheduler:
+    """Greedy minimum-estimated-completion-time (SLO-greedy) policy."""
+
+    name = "latency-aware"
+
+    def choose(
+        self, request: Request, devices: Sequence[DeviceState], now_ms: float
+    ) -> int | None:
+        best: int | None = None
+        best_eta = 0.0
+        for index, state in enumerate(devices):
+            if state.full:
+                continue
+            eta = state.estimate_finish_ms(request.network, now_ms)
+            if best is None or eta < best_eta:
+                best, best_eta = index, eta
+        return best
+
+
+#: Registry of scheduler factories by policy name.
+SCHEDULERS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    LeastLoadedScheduler.name: LeastLoadedScheduler,
+    LatencyAwareScheduler.name: LatencyAwareScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered scheduling policy by name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {', '.join(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,132 @@
+"""Serving-run result containers: latency tails, goodput, utilization.
+
+Percentiles use the nearest-rank method on the sorted latency sample —
+no interpolation, so two runs with identical request outcomes report
+bit-identical tails (the determinism tests compare ``to_dict`` output
+wholesale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without floats
+    return sorted_values[int(rank) - 1]
+
+
+def downsample(timeline: list[tuple[float, int]], limit: int = 128) -> list[tuple[float, int]]:
+    """Stride-sample a (time, depth) timeline to at most *limit* points,
+    always keeping the final point."""
+    if len(timeline) <= limit:
+        return list(timeline)
+    stride = -(-len(timeline) // limit)
+    sampled = timeline[::stride]
+    if sampled[-1] != timeline[-1]:
+        sampled.append(timeline[-1])
+    return sampled
+
+
+@dataclass
+class DeviceServeStats:
+    """Per-device outcome of one serving run."""
+
+    name: str
+    platform: str
+    requests: int
+    batches: int
+    shed: int
+    busy_ms: float
+    utilization: float
+    mean_batch: float
+    queue_depth: list[tuple[float, int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "platform": self.platform,
+            "requests": self.requests,
+            "batches": self.batches,
+            "shed": self.shed,
+            "busy_ms": self.busy_ms,
+            "utilization": self.utilization,
+            "mean_batch": self.mean_batch,
+            "queue_depth": [[t, d] for t, d in self.queue_depth],
+        }
+
+
+@dataclass
+class ServeStats:
+    """Aggregate outcome of one serving run."""
+
+    scheduler: str
+    seed: int
+    slo_ms: float
+    offered: int
+    completed: int
+    shed: int
+    slo_violations: int
+    duration_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    latency_max_ms: float
+    throughput_rps: float
+    goodput_rps: float
+    devices: list[DeviceServeStats] = field(default_factory=list)
+    per_network: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests inside the SLO."""
+        if not self.completed:
+            return 0.0
+        return (self.completed - self.slo_violations) / self.completed
+
+    def to_dict(self) -> dict:
+        """Stable JSON-serializable form (insertion-ordered)."""
+        return {
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "slo_ms": self.slo_ms,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "slo_violations": self.slo_violations,
+            "slo_attainment": self.slo_attainment,
+            "duration_ms": self.duration_ms,
+            "latency_ms": {
+                "p50": self.latency_p50_ms,
+                "p95": self.latency_p95_ms,
+                "p99": self.latency_p99_ms,
+                "mean": self.latency_mean_ms,
+                "max": self.latency_max_ms,
+            },
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "devices": [device.to_dict() for device in self.devices],
+            "per_network": self.per_network,
+        }
+
+
+def latency_summary(latencies: list[float], slo_ms: float) -> dict:
+    """p50/p95/p99/mean summary of one latency sample (helper for the
+    per-network breakdown)."""
+    ordered = sorted(latencies)
+    count = len(ordered)
+    return {
+        "completed": count,
+        "p50_ms": percentile(ordered, 50),
+        "p95_ms": percentile(ordered, 95),
+        "p99_ms": percentile(ordered, 99),
+        "mean_ms": sum(ordered) / count if count else 0.0,
+        "slo_violations": sum(1 for value in ordered if value > slo_ms),
+    }

@@ -1,7 +1,8 @@
 """Tier-1 lint gate: the full benchmark suite must verify error-clean.
 
-Every one of the seven Tango networks is compiled and pushed through all
-four static-analysis passes.  Error-severity diagnostics mean the
+Every one of the seven Tango networks — plus every extension network
+(mobilenet), which is first-class in the gate — is compiled and pushed
+through all four static-analysis passes.  Error-severity diagnostics mean the
 compiled IR is unfaithful (out-of-bounds addresses, unwritten-register
 reads, shared-memory races, smem overflow) and fail the build; warnings
 and notes (uncoalesced FC loads, stranded pool geometries, padding
@@ -13,11 +14,11 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import Severity, analyze_network
-from repro.core.suite import NETWORK_ORDER
+from repro.core.suite import EXTENSION_NETWORKS, NETWORK_ORDER
 
 
 @pytest.mark.lint_suite
-@pytest.mark.parametrize("network", NETWORK_ORDER)
+@pytest.mark.parametrize("network", NETWORK_ORDER + EXTENSION_NETWORKS)
 def test_network_lints_error_clean(network):
     report = analyze_network(network)
     assert report.kernel_count > 0

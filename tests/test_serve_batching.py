@@ -1,0 +1,111 @@
+"""Property tests for the dynamic batcher (hypothesis).
+
+The three contract invariants from the module docstring: popped batches
+never exceed ``max_batch``; a batch is ready no later than the head
+request's timeout; requests leave in FIFO order.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.batching import DynamicBatcher, Request
+
+
+def _requests(arrivals: list[float]) -> list[Request]:
+    ordered = sorted(arrivals)
+    return [Request(i, "net", t) for i, t in enumerate(ordered)]
+
+
+arrival_lists = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=64
+)
+
+
+class TestBatcherProperties:
+    @given(
+        arrivals=arrival_lists,
+        max_batch=st.integers(1, 16),
+        timeout=st.floats(0, 50, allow_nan=False),
+    )
+    def test_never_exceeds_max_batch(self, arrivals, max_batch, timeout):
+        batcher = DynamicBatcher(max_batch, timeout)
+        for request in _requests(arrivals):
+            batcher.add(request)
+        drained = 0
+        while len(batcher):
+            batch = batcher.pop_batch(now_ms=1e9, force=True)
+            assert 1 <= len(batch) <= max_batch
+            drained += len(batch)
+        assert drained == len(arrivals)
+
+    @given(
+        arrivals=arrival_lists,
+        max_batch=st.integers(1, 16),
+        timeout=st.floats(0, 50, allow_nan=False),
+    )
+    def test_ready_no_later_than_head_timeout(self, arrivals, max_batch, timeout):
+        # However requests trickle in, once the head request has waited
+        # `timeout` the batcher reports ready — it never holds a request
+        # past its co-batching deadline.
+        batcher = DynamicBatcher(max_batch, timeout)
+        for request in _requests(arrivals):
+            batcher.add(request)
+            deadline = batcher.deadline_ms()
+            assert deadline == batcher.oldest_arrival_ms + timeout
+            assert batcher.ready(deadline)
+            assert batcher.ready(deadline + 1.0)
+
+    @given(
+        arrivals=arrival_lists,
+        max_batch=st.integers(1, 16),
+    )
+    def test_not_ready_before_deadline_unless_full(self, arrivals, max_batch):
+        timeout = 10.0
+        batcher = DynamicBatcher(max_batch, timeout)
+        for request in _requests(arrivals):
+            batcher.add(request)
+            if len(batcher) < max_batch:
+                now = batcher.deadline_ms() - 1e-6
+                assert not batcher.ready(now)
+                assert batcher.pop_batch(now) == []
+            else:
+                assert batcher.ready(batcher.oldest_arrival_ms)
+
+    @given(
+        arrivals=arrival_lists,
+        max_batch=st.integers(1, 16),
+        timeout=st.floats(0, 50, allow_nan=False),
+    )
+    def test_fifo_within_and_across_batches(self, arrivals, max_batch, timeout):
+        batcher = DynamicBatcher(max_batch, timeout)
+        requests = _requests(arrivals)
+        for request in requests:
+            batcher.add(request)
+        popped: list[Request] = []
+        while len(batcher):
+            popped.extend(batcher.pop_batch(now_ms=1e9, force=True))
+        assert [r.id for r in popped] == [r.id for r in requests]
+
+
+class TestBatcherEdges:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(0, 1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(4, -1.0)
+
+    def test_empty_batcher(self):
+        batcher = DynamicBatcher(4, 1.0)
+        assert len(batcher) == 0
+        assert batcher.oldest_arrival_ms is None
+        assert batcher.deadline_ms() is None
+        assert not batcher.ready(100.0)
+        assert batcher.pop_batch(100.0, force=True) == []
+
+    def test_zero_timeout_is_immediately_ready(self):
+        batcher = DynamicBatcher(4, 0.0)
+        batcher.add(Request(0, "net", 5.0))
+        assert batcher.ready(5.0)

@@ -1,0 +1,127 @@
+"""Tests for the ``repro serve`` and ``repro cache`` subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeCli:
+    def test_light_poisson_run_json(self, capsys, tmp_path):
+        exit_code = main([
+            "serve", "--networks", "gru", "--devices", "gp102,tx1",
+            "--rps", "400", "--requests", "300", "--light",
+            "--cache-dir", str(tmp_path), "--seed", "1", "--json",
+        ])
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["scheduler"] == "latency-aware"
+        assert stats["offered"] == 300
+        assert stats["completed"] + stats["shed"] == 300
+        assert len(stats["devices"]) == 2
+
+    def test_seed_reproducibility(self, capsys, tmp_path):
+        args = [
+            "serve", "--networks", "gru", "--devices", "gp102",
+            "--rps", "200", "--requests", "200", "--light",
+            "--cache-dir", str(tmp_path), "--seed", "9", "--json",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_scheduler_comparison_text_and_report(self, capsys, tmp_path):
+        report = tmp_path / "serve.md"
+        exit_code = main([
+            "serve", "--networks", "gru", "--devices", "gp102,tx1",
+            "--rps", "300", "--requests", "200", "--light",
+            "--cache-dir", str(tmp_path),
+            "--scheduler", "round-robin,latency-aware",
+            "--report", str(report),
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scheduler=round-robin" in out
+        assert "scheduler=latency-aware" in out
+        text = report.read_text()
+        assert "| scheduler" in text and "round-robin" in text
+
+    def test_extension_network_served(self, capsys, tmp_path):
+        exit_code = main([
+            "serve", "--networks", "mobilenet", "--devices", "gp102",
+            "--rps", "100", "--requests", "50", "--light",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["per_network"].get("mobilenet", {}).get("completed", 0) > 0
+
+    def test_trace_workload(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([
+            {"time_ms": 0.0, "network": "gru"},
+            {"time_ms": 1.0, "network": "gru"},
+            {"time_ms": 2.0, "network": "gru"},
+        ]))
+        exit_code = main([
+            "serve", "--networks", "gru", "--devices", "gp102",
+            "--arrival", "trace", "--trace", str(trace), "--light",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        assert json.loads(capsys.readouterr().out)["offered"] == 3
+
+    def test_trace_without_path_errors(self, capsys, tmp_path):
+        exit_code = main([
+            "serve", "--networks", "gru", "--arrival", "trace",
+            "--light", "--cache-dir", str(tmp_path),
+        ])
+        assert exit_code == 2
+
+    def test_unknown_network_errors(self, capsys):
+        assert main(["serve", "--networks", "transformer"]) == 2
+
+    def test_unknown_scheduler_errors(self, capsys):
+        assert main([
+            "serve", "--networks", "gru", "--scheduler", "fifo",
+        ]) == 2
+
+    def test_bad_fleet_errors(self, capsys):
+        assert main([
+            "serve", "--networks", "gru", "--devices", "warpdrive",
+        ]) == 2
+
+
+class TestCacheCli:
+    def test_stats_empty_dir(self, capsys, tmp_path):
+        exit_code = main([
+            "cache", "stats", "--cache-dir", str(tmp_path / "nope"), "--json",
+        ])
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 0 and stats["bytes"] == 0
+
+    def test_stats_then_clear_roundtrip(self, capsys, tmp_path):
+        # Populate the cache through a simulation run.
+        assert main([
+            "simulate", "gru", "--light", "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] > 0
+        assert stats["bytes"] > 0
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_stats_text_output(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache dir:" in out and "entries:" in out
