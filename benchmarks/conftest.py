@@ -1,31 +1,36 @@
 """Shared fixtures for the benchmark harness.
 
 Every paper table/figure gets one benchmark that regenerates it through
-the shared disk-cached :class:`~repro.harness.runner.Runner`.  The first
-full run simulates every (network, platform, L1, scheduler) combination
-(tens of minutes on one core); subsequent runs load from
-``.tango_cache`` and complete in seconds.
+the shared plan -> execute -> aggregate pipeline in :mod:`repro.runs`.
+The first full run simulates every (network, platform, L1, scheduler)
+combination (tens of minutes on one core); subsequent runs load from
+the unified result store (``.repro-cache`` or ``$REPRO_CACHE_DIR``)
+and complete in seconds.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.runner import Runner
+from repro.runs import Executor, ResultStore, run_experiment
+from repro.runs.registry import get_experiment
 
 
 @pytest.fixture(scope="session")
-def runner() -> Runner:
-    """Disk-cached simulation runner shared by all benchmarks."""
-    return Runner(cache_dir=".tango_cache", verbose=True)
+def executor() -> Executor:
+    """Store-backed executor shared by all benchmarks."""
+    return Executor(ResultStore(), verbose=True)
 
 
 @pytest.fixture
-def regenerate(runner):
+def regenerate(executor):
     """Run one experiment exactly once under pytest-benchmark timing."""
 
-    def _regenerate(benchmark, experiment):
-        result = benchmark.pedantic(experiment, args=(runner,), rounds=1, iterations=1)
+    def _regenerate(benchmark, exp_id):
+        experiment = get_experiment(exp_id)
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment, executor), rounds=1, iterations=1
+        )
         failed = [str(check) for check in result.checks if not check.passed]
         assert not failed, f"{result.exp_id}: {failed}"
         return result

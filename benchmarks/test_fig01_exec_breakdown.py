@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig01_exec_breakdown
-
 
 def test_fig01_exec_breakdown(benchmark, regenerate):
     """Figure 1: execution-time breakdown per layer type."""
-    regenerate(benchmark, fig01_exec_breakdown.run)
+    regenerate(benchmark, "fig01")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig02_l1_sensitivity
-
 
 def test_fig02_l1_sensitivity(benchmark, regenerate):
     """Figure 2: normalized execution time vs L1D size."""
-    regenerate(benchmark, fig02_l1_sensitivity.run)
+    regenerate(benchmark, "fig02")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig03_peak_power
-
 
 def test_fig03_peak_power(benchmark, regenerate):
     """Figure 3: peak power consumption per network."""
-    regenerate(benchmark, fig03_peak_power.run)
+    regenerate(benchmark, "fig03")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig04_layer_power
-
 
 def test_fig04_layer_power(benchmark, regenerate):
     """Figure 4: average power per layer type."""
-    regenerate(benchmark, fig04_layer_power.run)
+    regenerate(benchmark, "fig04")

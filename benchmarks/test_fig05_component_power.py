@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig05_component_power
-
 
 def test_fig05_component_power(benchmark, regenerate):
     """Figure 5: power breakdown by hardware component."""
-    regenerate(benchmark, fig05_component_power.run)
+    regenerate(benchmark, "fig05")

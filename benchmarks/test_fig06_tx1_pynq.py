@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig06_tx1_pynq
-
 
 def test_fig06_tx1_pynq(benchmark, regenerate):
     """Figure 6: TX1-vs-PynQ energy comparison."""
-    regenerate(benchmark, fig06_tx1_pynq.run)
+    regenerate(benchmark, "fig06")

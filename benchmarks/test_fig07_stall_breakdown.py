@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig07_stall_breakdown
-
 
 def test_fig07_stall_breakdown(benchmark, regenerate):
     """Figure 7: stall-cycle breakdown on the GK210."""
-    regenerate(benchmark, fig07_stall_breakdown.run)
+    regenerate(benchmark, "fig07")

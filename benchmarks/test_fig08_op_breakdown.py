@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig08_op_breakdown
-
 
 def test_fig08_op_breakdown(benchmark, regenerate):
     """Figure 8: operation-type breakdown per network."""
-    regenerate(benchmark, fig08_op_breakdown.run)
+    regenerate(benchmark, "fig08")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig09_top_ops
-
 
 def test_fig09_top_ops(benchmark, regenerate):
     """Figure 9: top-10 operations across the suite."""
-    regenerate(benchmark, fig09_top_ops.run)
+    regenerate(benchmark, "fig09")

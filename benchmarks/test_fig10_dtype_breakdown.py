@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig10_dtype_breakdown
-
 
 def test_fig10_dtype_breakdown(benchmark, regenerate):
     """Figure 10: data-type mix across ResNet layers."""
-    regenerate(benchmark, fig10_dtype_breakdown.run)
+    regenerate(benchmark, "fig10")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig11_memfootprint
-
 
 def test_fig11_memfootprint(benchmark, regenerate):
     """Figure 11: device-memory footprint."""
-    regenerate(benchmark, fig11_memfootprint.run)
+    regenerate(benchmark, "fig11")

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig12_register_usage
-
 
 def test_fig12_register_usage(benchmark, regenerate):
     """Figure 12: register-file usage per SM."""
-    regenerate(benchmark, fig12_register_usage.run)
+    regenerate(benchmark, "fig12")

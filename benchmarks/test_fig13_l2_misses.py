@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig13_l2_misses
-
 
 def test_fig13_l2_misses(benchmark, regenerate):
     """Figure 13: L2 misses per layer type (no L1D)."""
-    regenerate(benchmark, fig13_l2_misses.run)
+    regenerate(benchmark, "fig13")

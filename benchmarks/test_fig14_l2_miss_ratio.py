@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig14_l2_miss_ratio
-
 
 def test_fig14_l2_miss_ratio(benchmark, regenerate):
     """Figure 14: L2 miss ratio per layer type (no L1D)."""
-    regenerate(benchmark, fig14_l2_miss_ratio.run)
+    regenerate(benchmark, "fig14")

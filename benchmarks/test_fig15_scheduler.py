@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig15_scheduler
-
 
 def test_fig15_scheduler(benchmark, regenerate):
     """Figure 15: warp-scheduler sensitivity."""
-    regenerate(benchmark, fig15_scheduler.run)
+    regenerate(benchmark, "fig15")

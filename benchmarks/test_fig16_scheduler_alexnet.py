@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-from repro.harness import fig16_scheduler_alexnet
-
 
 def test_fig16_scheduler_alexnet(benchmark, regenerate):
     """Figure 16: AlexNet per-layer scheduler sensitivity."""
-    regenerate(benchmark, fig16_scheduler_alexnet.run)
+    regenerate(benchmark, "fig16")

@@ -2,24 +2,22 @@
 
 from __future__ import annotations
 
-from repro.harness import tables
-
 
 def test_table1_inputs_and_models(benchmark, regenerate):
     """Table I: input data, pre-trained models and outputs."""
-    regenerate(benchmark, tables.run_table1)
+    regenerate(benchmark, "table1")
 
 
 def test_table2_gpu_architectures(benchmark, regenerate):
     """Table II: the GK210 / TX1 / GP102 evaluation platforms."""
-    regenerate(benchmark, tables.run_table2)
+    regenerate(benchmark, "table2")
 
 
 def test_table3_kernel_configurations(benchmark, regenerate):
     """Table III: per-kernel grid/block/regs/smem/cmem."""
-    regenerate(benchmark, tables.run_table3)
+    regenerate(benchmark, "table3")
 
 
 def test_table4_fpga_platform(benchmark, regenerate):
     """Table IV: the PynQ-Z1 FPGA platform."""
-    regenerate(benchmark, tables.run_table4)
+    regenerate(benchmark, "table4")

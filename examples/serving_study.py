@@ -12,8 +12,8 @@ claim that latency-aware beats round-robin on p99.
 
 Run:  python examples/serving_study.py [--light]
 
-Latency profiles come from the GPU simulator through the persistent
-kernel-result cache (.repro-cache/), so the first run pays ~15 s of
+Latency profiles come from the GPU simulator through the unified
+result store (.repro-cache/), so the first run pays ~15 s of
 simulation and repeats are instant.  --light uses light-sampling
 profiles for a quick smoke run (same qualitative outcome).
 """
@@ -24,7 +24,7 @@ import sys
 from dataclasses import replace
 
 from repro.gpu.config import SimOptions
-from repro.perf.cache import KernelResultCache
+from repro.runs import ResultStore
 from repro.serve import PoissonWorkload, ServeConfig, build_fleet, build_profiles, run_serve
 
 NETWORKS = ["alexnet", "resnet"]
@@ -44,7 +44,7 @@ def main() -> None:
     print("building latency profiles (cached after the first run)...")
     profiles = build_profiles(
         NETWORKS, [device.platform for device in fleet],
-        options, KernelResultCache(),
+        options, ResultStore(),
     )
     for (network, platform), profile in sorted(profiles.items()):
         print(f"  {network:8s} on {platform:6s}: "

@@ -23,19 +23,30 @@ Subcommands:
     ``BENCH_sim.json`` (``--seed`` also times the frozen reference
     engine for speedup ratios).
 
+``repro harness list`` / ``repro harness run [exp-ids...]``
+    The paper-experiment harness: ``list`` prints every registered
+    table/figure experiment with its planned run count; ``run`` plans
+    the selected experiments' minimal run matrix, executes it against
+    the unified result store (``--jobs N`` fans fresh simulations out),
+    aggregates each experiment's series and evaluates the paper-claim
+    checks.  Exit status 1 when any check fails.  ``--json DIR`` and
+    ``--chart`` mirror ``python -m repro.harness.suite``.
+
 ``repro serve``
     Run the discrete-event inference-serving simulator over a fleet of
     simulated devices (``--devices gp102:2,tx1``): latency profiles are
-    built per (network, device) through the kernel-result cache, then a
-    workload (``--arrival poisson|bursty|trace|closed``) is scheduled
-    across the fleet with dynamic batching, bounded queues and a choice
-    of schedulers.  Reports latency tails, goodput, SLO violations and
-    per-device utilization; ``--json`` and ``--report`` emit machine-
-    and markdown-readable forms.
+    built per (network, device) through the same planner/executor the
+    harness uses — a prior harness sweep makes ``repro serve`` start
+    warm — then a workload (``--arrival poisson|bursty|trace|closed``)
+    is scheduled across the fleet with dynamic batching, bounded queues
+    and a choice of schedulers.  Reports latency tails, goodput, SLO
+    violations and per-device utilization; ``--json`` and ``--report``
+    emit machine- and markdown-readable forms.
 
 ``repro cache``
-    Inspect (``stats``) or empty (``clear``) the persistent kernel-
-    result cache.
+    Inspect (``stats``) or empty (``clear``) the unified result store —
+    kernel entries and whole-network run entries in one directory
+    (plus any stale pre-unification ``.tango_cache/``).
 
 ``repro networks``
     List the benchmark suite (paper networks plus extensions).
@@ -99,25 +110,9 @@ def _sim_options(args: argparse.Namespace):
     return options
 
 
-def _simulate_one(name: str, config, options, cache_dir):
-    """Module-level (picklable) worker for ``repro simulate --jobs``."""
-    from repro.gpu.simulator import simulate_network
-    from repro.perf.cache import KernelResultCache
-
-    cache = KernelResultCache(cache_dir) if cache_dir is not None else None
-    result = simulate_network(name, config, options, cache=cache)
-    return {
-        "network": name,
-        "platform": config.name,
-        "kernels": len(result.kernels),
-        "total_cycles": result.total_cycles,
-        "total_time_ms": result.total_time_ms,
-    }
-
-
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.perf.cache import default_cache_dir
     from repro.platforms import get_platform
+    from repro.runs import Executor, ResultStore, RunSpec
 
     names = args.networks or list(NETWORK_ORDER)
     err = _check_networks(names)
@@ -125,23 +120,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return err
     config = get_platform(args.platform)
     options = _sim_options(args)
-    if args.no_cache:
-        cache_dir = None
-    else:
-        cache_dir = args.cache_dir if args.cache_dir else str(default_cache_dir())
-
-    if args.jobs > 1 and len(names) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(args.jobs, len(names))) as pool:
-            futures = [
-                pool.submit(_simulate_one, name, config, options, cache_dir)
-                for name in names
-            ]
-            # Collect in submission order: deterministic output.
-            rows = [future.result() for future in futures]
-    else:
-        rows = [_simulate_one(name, config, options, cache_dir) for name in names]
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    executor = Executor(store)
+    specs = [RunSpec(name, config, options) for name in names]
+    executor.execute(specs, jobs=args.jobs)
+    rows = []
+    for spec in specs:  # output order stays the input order
+        result = executor.run(spec)
+        rows.append({
+            "network": spec.network,
+            "platform": config.name,
+            "kernels": len(result.kernels),
+            "total_cycles": result.total_cycles,
+            "total_time_ms": result.total_time_ms,
+        })
 
     if args.json:
         import json
@@ -211,7 +203,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
     from dataclasses import replace
 
-    from repro.perf.cache import KernelResultCache
+    from repro.runs import Executor, ResultStore
     from repro.serve import ServeConfig, build_fleet, build_profiles, run_serve
     from repro.serve.schedulers import SCHEDULERS
 
@@ -244,17 +236,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     options = SimOptions(scheduler=args.sim_scheduler)
     if args.light:
         options = options.light()
-    cache = None if args.no_cache else KernelResultCache(args.cache_dir)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    executor = Executor(store)
     start = time.perf_counter()
     profiles = build_profiles(
-        names, [device.platform for device in fleet], options, cache
+        names, [device.platform for device in fleet], options, executor=executor
     )
     build_s = time.perf_counter() - start
     if not args.json:
         print(f"fleet: {' '.join(device.name for device in fleet)}")
-        if cache is not None:
+        if store is not None:
             print(f"profiles: {len(profiles)} built in {build_s:.2f} s "
-                  f"(cache hits={cache.hits} misses={cache.misses})")
+                  f"(runs: {executor.fresh} fresh, {store.run_hits} cached)")
         else:
             print(f"profiles: {len(profiles)} built in {build_s:.2f} s (uncached)")
 
@@ -317,7 +310,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     import json
 
-    from repro.perf.cache import cache_stats, clear_cache
+    from repro.runs.store import cache_stats, clear_cache
 
     if args.action == "stats":
         stats = cache_stats(args.cache_dir)
@@ -325,15 +318,69 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(json.dumps(stats, indent=2))
         else:
             print(f"cache dir: {stats['dir']}")
-            print(f"entries:   {stats['entries']}")
+            print(f"entries:   {stats['entries']} "
+                  f"({stats['kernel_entries']} kernel, {stats['run_entries']} run)")
             print(f"bytes:     {stats['bytes']}")
             print(f"engine:    {stats['engine_version']}")
             for engine, count in stats["by_engine"].items():
                 print(f"  {engine}: {count}")
+            if stats["legacy_tango_entries"]:
+                print(f"legacy .tango_cache entries: "
+                      f"{stats['legacy_tango_entries']} (run 'repro cache clear')")
     else:
         removed = clear_cache(args.cache_dir)
         print(f"removed {removed} cache file(s)")
     return 0
+
+
+def _cmd_harness(args: argparse.Namespace) -> int:
+    from repro.runs import PlanContext, build_plan
+    from repro.runs.registry import all_experiments
+
+    experiments = all_experiments()
+    if args.action == "list":
+        for exp_id, experiment in experiments.items():
+            planned = len(experiment.plan(PlanContext()))
+            runs = f"{planned} runs" if planned else "analytic"
+            print(f"{exp_id:8s} {experiment.title} [{runs}]")
+        return 0
+    # action == "run"
+    unknown = [exp_id for exp_id in args.experiments if exp_id not in experiments]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(experiments)}",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.harness.suite import DEFAULT_STORE, run_all, write_json
+
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = args.cache_dir if args.cache_dir else DEFAULT_STORE
+    results = run_all(
+        ids=args.experiments or None,
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+    )
+    if args.chart:
+        from repro.harness.render import render_experiment
+
+        for result in results:
+            chart = render_experiment(result)
+            if chart:
+                print("\n" + chart)
+    if args.json:
+        write_json(results, args.json)
+    failed = [
+        f"{r.exp_id}: {c.claim}" for r in results for c in r.checks if not c.passed
+    ]
+    print(f"\n{len(results)} experiments, "
+          f"{sum(len(r.checks) for r in results)} checks, {len(failed)} failed")
+    for line in failed:
+        print(f"  FAIL {line}")
+    return 1 if failed else 0
 
 
 def _cmd_networks(args: argparse.Namespace) -> int:
@@ -475,11 +522,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write a markdown report to PATH")
     serve.set_defaults(func=_cmd_serve)
 
+    harness = sub.add_parser(
+        "harness",
+        help="plan and run the paper-experiment harness",
+        description="List the registered table/figure experiments or "
+        "run a selection: plan the minimal simulation matrix, execute "
+        "it against the unified result store, aggregate each "
+        "experiment's series and evaluate the paper-claim checks.",
+    )
+    harness.add_argument("action", choices=("list", "run"),
+                         help="list experiments, or run a selection")
+    harness.add_argument("experiments", nargs="*", metavar="EXP",
+                         help="experiment ids for 'run' (default: all)")
+    harness.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="execute fresh simulations across N worker "
+                              "processes")
+    harness.add_argument("--json", metavar="DIR", default=None,
+                         help="write each experiment's series/checks as "
+                              "JSON under DIR")
+    harness.add_argument("--chart", action="store_true",
+                         help="render series as terminal bar charts")
+    harness.add_argument("--no-cache", action="store_true",
+                         help="skip the unified result store")
+    harness.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="store directory (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+    harness.set_defaults(func=_cmd_harness)
+
     cache = sub.add_parser(
         "cache",
-        help="inspect or clear the persistent kernel-result cache",
+        help="inspect or clear the unified result store",
         description="Summarize (stats) or empty (clear) the cross-run "
-        "kernel-result cache used by simulate/bench/serve.",
+        "result store shared by simulate/bench/serve/harness: kernel "
+        "entries plus whole-network run entries.",
     )
     cache.add_argument("action", choices=("stats", "clear"),
                        help="what to do with the cache")

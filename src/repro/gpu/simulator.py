@@ -206,7 +206,7 @@ def simulate_network(
     :class:`repro.perf.cache.KernelResultCache`: unique-signature
     kernels are looked up there before simulating and stored after.
     The default (no persistent cache) leaves library behaviour
-    unchanged; the ``repro simulate`` CLI and the harness runner opt in.
+    unchanged; the ``repro simulate`` CLI and the run pipeline opt in.
     """
     options = options or SimOptions()
     result = NetworkResult(network=name, config=config, options=options)

@@ -1,19 +1,18 @@
 """The experiment harness: one module per paper table and figure.
 
-Every ``figNN_*`` / ``tableN`` module exposes:
+Every ``figNN_*`` module (and :mod:`repro.harness.tables`) declares its
+table or figure as a :class:`~repro.runs.experiment.Experiment`: the
+runs it needs (``plan``), how its series aggregate from cached results
+(``aggregate``), and the paper's qualitative claims (``checks``).  The
+modules register themselves in :mod:`repro.runs.registry`; planning,
+execution and caching live in :mod:`repro.runs`, so a full harness
+sweep simulates each (network, platform, L1, scheduler) combination
+exactly once and a repeat sweep simulates nothing.
 
-* ``run(runner) -> ExperimentResult`` — compute the experiment's data
-  (series labelled as in the paper) and evaluate the paper's qualitative
-  claims as named checks;
-* the shared :class:`~repro.harness.report.ExperimentResult` carries a
-  text rendering used by the CLI and EXPERIMENTS.md.
-
-:mod:`repro.harness.runner` provides the disk-cached simulation runner
-all experiments share, so a full harness sweep simulates each
-(network, platform, L1, scheduler) combination exactly once.
+:class:`~repro.harness.report.ExperimentResult` carries the shared text
+rendering used by the CLI and EXPERIMENTS.md.
 """
 
 from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
 
-__all__ = ["Check", "ExperimentResult", "Runner"]
+__all__ = ["Check", "ExperimentResult"]

@@ -2,11 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.core.suite import BENCHMARK_INFO, CNN_BREAKDOWN_ORDER, NETWORK_ORDER
 from repro.gpu.config import GpuConfig, SimOptions
-from repro.platforms import GK210, GP102, TX1
+from repro.platforms import GP102
 
 #: Display labels in figure order.
 def display(name: str) -> str:
@@ -57,26 +55,17 @@ def default_options() -> SimOptions:
 def harness_combos() -> list[tuple[str, GpuConfig, SimOptions]]:
     """Every unique (network, config, options) the full suite simulates.
 
-    Canonical order — networks in figure order, then each network's
-    sweeps — so a parallel prefetch (``Runner.prefetch``) populates the
-    cache deterministically regardless of worker completion order.
+    A thin wrapper over the planner: the registered experiments declare
+    their required runs, :func:`repro.runs.planner.build_plan` dedupes
+    them, and this returns the unique matrix in canonical plan order.
     Covers Figures 1-5 and 8-12 (GP102 defaults, inside the L1 sweep),
     Figure 2 (L1 sweep), Figure 7 (GK210), Figures 15-16 (schedulers),
     Figures 13-14 (No-L1, unsampled outer loops) and Figure 6 (TX1).
     """
-    platform = sim_platform()
-    opts = default_options()
-    combos: list[tuple[str, GpuConfig, SimOptions]] = []
-    for name in ALL_NETWORKS:
-        for _, l1_size in L1_SWEEP:
-            combos.append((name, platform.with_l1(l1_size), opts))
-        for scheduler in SCHEDULERS:
-            if scheduler != opts.scheduler:
-                combos.append((name, platform, replace(opts, scheduler=scheduler)))
-        combos.append((name, GK210, opts))
-    full_outer = replace(opts, max_outer_trips=None)
-    for name in CNNS:
-        combos.append((name, platform.with_l1(0), full_outer))
-    for name in ("cifarnet", "squeezenet"):
-        combos.append((name, TX1, opts))
-    return combos
+    # Imported here: the registry imports the experiment modules, which
+    # import this module for the shared sweep constants.
+    from repro.runs.planner import build_plan
+    from repro.runs.registry import all_experiments
+
+    plan = build_plan(all_experiments().values())
+    return [(spec.network, spec.config, spec.options) for spec in plan.specs]

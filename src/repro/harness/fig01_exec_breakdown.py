@@ -10,23 +10,36 @@ longest kernel is still conv10.
 
 from __future__ import annotations
 
-from repro.harness.common import CNNS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import CNNS, display, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 1."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(RunSpec(name, sim_platform(), ctx.options) for name in ctx.nets(CNNS))
+
+
+def _fractions(view: RunView, name: str) -> dict[str, float]:
+    result = view.run(name, sim_platform())
+    by_cat = result.cycles_by_category()
+    total = sum(by_cat.values())
+    return {cat: cycles / total for cat, cycles in by_cat.items()}
+
+
+def _aggregate(view: RunView) -> dict:
     series: dict[str, dict[str, float]] = {}
-    checks: list[Check] = []
-    conv10_note = ""
-    for name in CNNS:
-        result = runner.run(name, sim_platform(), default_options())
-        by_cat = result.cycles_by_category()
-        total = sum(by_cat.values())
-        fractions = {cat: cycles / total for cat, cycles in by_cat.items()}
+    for name in view.nets(CNNS):
+        fractions = _fractions(view, name)
         series[display(name)] = {cat: round(frac, 4) for cat, frac in fractions.items()}
+    return series
 
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    checks: list[Check] = []
+    for name in view.nets(CNNS):
+        fractions = _fractions(view, name)
         conv_like = fractions.get("Conv", 0.0)
         if name == "squeezenet":
             conv_like += fractions.get("Fire_Squeeze", 0.0) + fractions.get("Fire_Expand", 0.0)
@@ -59,18 +72,25 @@ def run(runner: Runner) -> ExperimentResult:
                     f"conv={fractions.get('Conv', 0.0):.0%}",
                 )
             )
+            result = view.run(name, sim_platform())
             longest = max(result.kernels, key=lambda k: k.stats.cycles)
-            conv10_note = f"longest SqueezeNet kernel: {longest.kernel.name}"
             checks.append(
                 Check(
                     "SqueezeNet: the single longest kernel is conv10",
                     longest.kernel.node_name == "conv10",
-                    conv10_note,
+                    f"longest SqueezeNet kernel: {longest.kernel.name}",
                 )
             )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig01",
         title="Execution Time Breakdown w.r.t. Layer Type",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
+        render="stack",
     )
+)

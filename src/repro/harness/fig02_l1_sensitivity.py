@@ -11,27 +11,40 @@ network.
 
 from __future__ import annotations
 
-from repro.harness.common import ALL_NETWORKS, L1_SWEEP, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import ALL_NETWORKS, L1_SWEEP, display, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 #: Improvement thresholds separating "significant" from "negligible".
 RNN_MAX_GAIN = 0.25
 CNN_MIN_GAIN = 0.30
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 2."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    platform = sim_platform()
+    return tuple(
+        RunSpec(name, platform.with_l1(l1_size), ctx.options)
+        for name in ctx.nets(ALL_NETWORKS)
+        for _, l1_size in L1_SWEEP
+    )
+
+
+def _aggregate(view: RunView) -> dict:
     platform = sim_platform()
     series: dict[str, dict[str, float]] = {}
-    for name in ALL_NETWORKS:
+    for name in view.nets(ALL_NETWORKS):
         cycles = {}
         for label, l1_size in L1_SWEEP:
-            result = runner.run(name, platform.with_l1(l1_size), default_options())
+            result = view.run(name, platform.with_l1(l1_size))
             cycles[label] = result.total_cycles
         base = cycles["No L1"]
         series[display(name)] = {label: round(v / base, 4) for label, v in cycles.items()}
+    return series
 
+
+def _checks(view: RunView, series: dict) -> list[Check]:
     checks = []
     for rnn in ("GRU", "LSTM"):
         gain = 1.0 - series[rnn]["4xL1"]
@@ -71,9 +84,15 @@ def run(runner: Runner) -> ExperimentResult:
             f"best CNN gain={cnn_best:.0%}, best RNN gain={rnn_best:.0%}",
         )
     )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig02",
         title="Normalized Execution Time with Various L1D Sizes",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

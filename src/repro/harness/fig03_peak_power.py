@@ -8,22 +8,33 @@ layer size — networks with larger layers (AlexNet, ResNet) peak higher
 
 from __future__ import annotations
 
-from repro.harness.common import ALL_NETWORKS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import ALL_NETWORKS, display, sim_platform
+from repro.harness.report import Check
 from repro.power.gpuwattch import GpuWattchModel
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 3."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(
+        RunSpec(name, sim_platform(), ctx.options) for name in ctx.nets(ALL_NETWORKS)
+    )
+
+
+def _aggregate(view: RunView) -> dict:
     platform = sim_platform()
     model = GpuWattchModel(platform)
     peaks: dict[str, float] = {}
-    for name in ALL_NETWORKS:
-        result = runner.run(name, platform, default_options())
+    for name in view.nets(ALL_NETWORKS):
+        result = view.run(name, platform)
         peaks[display(name)] = round(model.peak_power(result), 1)
+    return {"peak_watts": peaks}
 
-    checks = [
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    peaks = series["peak_watts"]
+    return [
         Check(
             "networks with larger layers peak higher (AlexNet > CifarNet)",
             peaks["AlexNet"] > peaks["CifarNet"],
@@ -46,9 +57,14 @@ def run(runner: Runner) -> ExperimentResult:
             f"GRU={peaks['GRU']}W LSTM={peaks['LSTM']}W",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig03",
         title="Peak Power Consumption Across Layers (W)",
-        series={"peak_watts": peaks},
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

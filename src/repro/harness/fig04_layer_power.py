@@ -9,32 +9,49 @@ layers — because every layer type pays cache and memory access energy.
 
 from __future__ import annotations
 
-from repro.harness.common import CNNS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import CNNS, display, sim_platform
+from repro.harness.report import Check
 from repro.power.gpuwattch import GpuWattchModel
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 4."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(RunSpec(name, sim_platform(), ctx.options) for name in ctx.nets(CNNS))
+
+
+def _conv_balance(view: RunView, name: str) -> tuple[float, float]:
+    """(conv time share, conv power share), unrounded."""
+    platform = sim_platform()
+    model = GpuWattchModel(platform)
+    result = view.run(name, platform)
+    watts = model.category_power(result)
+    total = sum(watts.values())
+    time_by_cat = result.cycles_by_category()
+    time_total = sum(time_by_cat.values())
+    return (
+        time_by_cat.get("Conv", 0.0) / time_total,
+        watts.get("Conv", 0.0) / total,
+    )
+
+
+def _aggregate(view: RunView) -> dict:
     platform = sim_platform()
     model = GpuWattchModel(platform)
     series: dict[str, dict[str, float]] = {}
-    balance: dict[str, tuple[float, float]] = {}
-    for name in CNNS:
-        result = runner.run(name, platform, default_options())
+    for name in view.nets(CNNS):
+        result = view.run(name, platform)
         watts = model.category_power(result)
         total = sum(watts.values())
         series[display(name)] = {cat: round(w / total, 4) for cat, w in watts.items()}
-        time_by_cat = result.cycles_by_category()
-        time_total = sum(time_by_cat.values())
-        conv_time_share = time_by_cat.get("Conv", 0.0) / time_total
-        conv_power_share = watts.get("Conv", 0.0) / total
-        balance[name] = (conv_time_share, conv_power_share)
+    return series
 
+
+def _checks(view: RunView, series: dict) -> list[Check]:
     checks = []
-    for name in CNNS:
-        conv_time_share, conv_power_share = balance[name]
+    for name in view.nets(CNNS):
+        conv_time_share, conv_power_share = _conv_balance(view, name)
         checks.append(
             Check(
                 f"{display(name)}: power is more balanced across layer types than time",
@@ -50,9 +67,16 @@ def run(runner: Runner) -> ExperimentResult:
             f"pool={cifar.get('Pooling', 0.0):.0%} conv={cifar.get('Conv', 0.0):.0%}",
         )
     )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig04",
         title="Average Power Consumption per Layer Type (shares)",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
+        render="stack",
     )
+)

@@ -7,24 +7,34 @@ the L2 cache (L2C) and idle-core power (IDLE_CORE).
 
 from __future__ import annotations
 
-from repro.harness.common import ALL_NETWORKS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import ALL_NETWORKS, display, sim_platform
+from repro.harness.report import Check
 from repro.power.gpuwattch import GpuWattchModel
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 5."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(
+        RunSpec(name, sim_platform(), ctx.options) for name in ctx.nets(ALL_NETWORKS)
+    )
+
+
+def _aggregate(view: RunView) -> dict:
     platform = sim_platform()
     model = GpuWattchModel(platform)
     series: dict[str, dict[str, float]] = {}
-    for name in ALL_NETWORKS:
-        result = runner.run(name, platform, default_options())
+    for name in view.nets(ALL_NETWORKS):
+        result = view.run(name, platform)
         breakdown = model.network_breakdown(result).fractions()
         series[display(name)] = {
             comp: round(frac, 4) for comp, frac in breakdown.items() if frac >= 0.001
         }
+    return series
 
+
+def _checks(view: RunView, series: dict) -> list[Check]:
     checks = []
     for name in ("alexnet", "resnet"):
         fracs = series[display(name)]
@@ -45,9 +55,16 @@ def run(runner: Runner) -> ExperimentResult:
             f"{rf_heavy}/7 networks spend >=10% of power in RF",
         )
     )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig05",
         title="Breakdown of Average Power Consumption (component shares)",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
+        render="stack",
     )
+)

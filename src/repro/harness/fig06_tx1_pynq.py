@@ -10,11 +10,13 @@ energy efficient than the FPGA.
 from __future__ import annotations
 
 from repro.core.suite import get_network
-from repro.harness.common import default_options, display
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import display
+from repro.harness.report import Check
 from repro.platforms import TX1, PynqZ1Model
 from repro.power.wattsup import WattsupMeter
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 NETWORKS = ("cifarnet", "squeezenet")
 
@@ -24,18 +26,23 @@ PAPER_SPEED_RATIO = {"cifarnet": 1.7, "squeezenet": 1.8}
 PAPER_ENERGY_RATIO = {"cifarnet": 1.34, "squeezenet": 1.74}
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 6."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(RunSpec(name, TX1, ctx.options) for name in ctx.nets(NETWORKS))
+
+
+def _measure(view: RunView, name: str):
+    """(wattsup measurement, pynq run) for one network."""
     meter = WattsupMeter(TX1)
     fpga = PynqZ1Model()
+    tx1 = meter.measure(view.run(name, TX1))
+    pynq = fpga.run_network(get_network(name))
+    return tx1, pynq
+
+
+def _aggregate(view: RunView) -> dict:
     series: dict[str, dict[str, float]] = {}
-    checks: list[Check] = []
-    for name in NETWORKS:
-        tx1_run = runner.run(name, TX1, default_options())
-        tx1 = meter.measure(tx1_run)
-        pynq = fpga.run_network(get_network(name))
-        power_ratio = tx1.peak_watts / pynq.peak_watts
-        speed_ratio = pynq.time_s / tx1.time_s
+    for name in view.nets(NETWORKS):
+        tx1, pynq = _measure(view, name)
         energy_ratio = tx1.energy_j / pynq.energy_j
         series[display(name)] = {
             "TX1 (norm energy)": round(energy_ratio, 3),
@@ -45,6 +52,16 @@ def run(runner: Runner) -> ExperimentResult:
             "tx1_time_s": round(tx1.time_s, 4),
             "pynq_time_s": round(pynq.time_s, 4),
         }
+    return series
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    checks: list[Check] = []
+    for name in view.nets(NETWORKS):
+        tx1, pynq = _measure(view, name)
+        power_ratio = tx1.peak_watts / pynq.peak_watts
+        speed_ratio = pynq.time_s / tx1.time_s
+        energy_ratio = tx1.energy_j / pynq.energy_j
         checks.append(
             Check(
                 f"{display(name)}: TX1 peak power well above PynQ "
@@ -78,9 +95,15 @@ def run(runner: Runner) -> ExperimentResult:
             f"{series['CifarNet']['TX1 (norm energy)']:.2f}",
         )
     )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig06",
         title="Energy on Embedded GPU (TX1) vs Embedded FPGA (PynQ)",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

@@ -11,22 +11,32 @@ two) shows more data dependency than GRU.
 
 from __future__ import annotations
 
-from repro.harness.common import ALL_NETWORKS, default_options, display
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import ALL_NETWORKS, display
+from repro.harness.report import Check
 from repro.platforms import GK210
 from repro.profiling.nvprof import profiles_from_result
 from repro.profiling.stall import StallReason
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 7."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    return tuple(RunSpec(name, GK210, ctx.options) for name in ctx.nets(ALL_NETWORKS))
+
+
+def _per_net_cat(view: RunView) -> dict[str, dict[str, dict[StallReason, float]]]:
+    out: dict[str, dict[str, dict[StallReason, float]]] = {}
+    for name in view.nets(ALL_NETWORKS):
+        categories, _ = profiles_from_result(view.run(name, GK210))
+        out[name] = {p.scope: p.fractions for p in categories}
+    return out
+
+
+def _aggregate(view: RunView) -> dict:
     series: dict[str, dict[str, float]] = {}
-    per_net_cat: dict[str, dict[str, dict[StallReason, float]]] = {}
-    for name in ALL_NETWORKS:
-        result = runner.run(name, GK210, default_options())
-        categories, summary = profiles_from_result(result)
-        per_net_cat[name] = {p.scope: p.fractions for p in categories}
+    for name in view.nets(ALL_NETWORKS):
+        categories, summary = profiles_from_result(view.run(name, GK210))
         for profile in categories:
             label = f"{display(name)}/{profile.scope}"
             series[label] = {
@@ -41,6 +51,11 @@ def run(runner: Runner) -> ExperimentResult:
             for reason, frac in sorted(summary.fractions.items(), key=lambda kv: -kv[1])
             if frac >= 0.01
         }
+    return series
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    per_net_cat = _per_net_cat(view)
 
     def category_avg(category: str, reason: StallReason) -> float:
         values = [
@@ -63,7 +78,7 @@ def run(runner: Runner) -> ExperimentResult:
     gru_dep = per_net_cat["gru"]["GRU"].get(StallReason.EXEC_DEPENDENCY, 0.0)
     lstm_dep = per_net_cat["lstm"]["LSTM"].get(StallReason.EXEC_DEPENDENCY, 0.0)
 
-    checks = [
+    return [
         Check(
             "FC layers suffer memory throttling more than other layer types",
             fc_throttle > other_throttle,
@@ -85,9 +100,15 @@ def run(runner: Runner) -> ExperimentResult:
             f"LSTM={lstm_dep:.1%} GRU={gru_dep:.1%}",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig07",
         title="Breakdown of Stall Cycles (GK210)",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
+        render="stack",
     )
+)

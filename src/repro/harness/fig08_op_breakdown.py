@@ -9,29 +9,35 @@ ld, mad and set the most; CNNs additionally use shl and mul heavily
 from __future__ import annotations
 
 from repro.harness.common import ALL_NETWORKS, display
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.profiling.instmix import opcode_mix
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 8 (analytic — no simulation required)."""
+def _mixes(view: RunView) -> dict[str, dict[str, float]]:
+    return {name: opcode_mix(name) for name in view.nets(ALL_NETWORKS)}
+
+
+def _aggregate(view: RunView) -> dict:
     series: dict[str, dict[str, float]] = {}
-    mixes: dict[str, dict[str, float]] = {}
-    for name in ALL_NETWORKS:
-        mix = opcode_mix(name)
-        mixes[name] = mix
+    for name, mix in _mixes(view).items():
         series[display(name)] = {
             op: round(frac, 3)
             for op, frac in sorted(mix.items(), key=lambda kv: -kv[1])
             if frac >= 0.005
         }
+    return series
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    mixes = _mixes(view)
 
     def top_ops(name: str, n: int = 4) -> set[str]:
         return set(sorted(mixes[name], key=lambda op: -mixes[name][op])[:n])
 
     rnn_top = top_ops("gru", 5) | top_ops("lstm", 5)
-    checks = [
+    return [
         Check(
             "RNNs use add, ld, mad and set the most",
             {"add", "ld", "mad", "set"} <= rnn_top,
@@ -58,9 +64,15 @@ def run(runner: Runner) -> ExperimentResult:
             "top-4 opcode sets nearly identical within each family",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig08",
         title="Operation Type Breakdown",
-        series=series,
-        checks=checks,
+        aggregate=_aggregate,
+        checks=_checks,
+        render="stack",
+        notes="analytic — no simulation required",
     )
+)

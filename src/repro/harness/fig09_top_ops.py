@@ -10,9 +10,10 @@ about 95%.
 from __future__ import annotations
 
 from repro.harness.common import ALL_NETWORKS
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.profiling.instmix import top_ops
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 #: Paper's reported shares, for the series comparison.
 PAPER_SHARES = {
@@ -21,14 +22,19 @@ PAPER_SHARES = {
 }
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 9 (analytic)."""
+def _aggregate(view: RunView) -> dict:
     ranked = top_ops(ALL_NETWORKS, n=10)
     measured = {op: round(share, 3) for op, share in ranked}
+    return {"measured": measured, "paper": PAPER_SHARES}
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    ranked = top_ops(ALL_NETWORKS, n=10)
+    measured = series["measured"]
     top4 = {"add", "mad", "shl", "mul"}
     top4_share = sum(share for op, share in ranked if op in top4)
     top10_share = sum(share for _, share in ranked)
-    checks = [
+    return [
         Check(
             "top-4 ops (add, mad, shl, mul) cover over half of execution",
             top4_share > 0.5 or sum(sorted((s for _, s in ranked), reverse=True)[:4]) > 0.5,
@@ -50,9 +56,14 @@ def run(runner: Runner) -> ExperimentResult:
             f"ld share = {measured.get('ld', 0.0):.0%}",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig09",
         title="Total Operations Breakdown Used By All Networks",
-        series={"measured": measured, "paper": PAPER_SHARES},
-        checks=checks,
+        aggregate=_aggregate,
+        checks=_checks,
+        notes="analytic — no simulation required",
     )
+)

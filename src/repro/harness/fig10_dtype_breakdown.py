@@ -9,9 +9,10 @@ f32 and the share does not grow in deeper layers.
 
 from __future__ import annotations
 
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.profiling.instmix import dtype_mix_per_kernel, f32_fraction
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 
 def _dominant_dtype(hist):
@@ -25,8 +26,7 @@ def _dominant_dtype(hist):
     return max(totals, key=lambda dt: totals[dt])
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 10 (analytic)."""
+def _aggregate(view: RunView) -> dict:
     per_kernel = dtype_mix_per_kernel("resnet")
     # The figure plots every layer; the series keeps a readable sample
     # of the invocation order plus the aggregate.
@@ -34,13 +34,16 @@ def run(runner: Runner) -> ExperimentResult:
         kernel_name: {dtype: round(frac, 3) for dtype, frac in mix.items()}
         for kernel_name, mix in per_kernel[:: max(1, len(per_kernel) // 16)]
     }
-    f32_by_layer = [mix.get("f32", 0.0) for _, mix in per_kernel if mix]
-    int_share_total = 0.0
-    f32_total = f32_fraction("resnet")
-    # Weighted integer share over the whole network.
+    return {"per_kernel_sample": sampled, "f32_total": round(f32_fraction("resnet"), 3)}
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
     from repro.profiling.instmix import network_histogram  # local import, cheap
     from repro.isa.dtypes import DType
 
+    per_kernel = dtype_mix_per_kernel("resnet")
+    f32_by_layer = [mix.get("f32", 0.0) for _, mix in per_kernel if mix]
+    f32_total = f32_fraction("resnet")
     hist = network_histogram("resnet")
     typed_total = sum(v for (op, dt), v in hist.items() if dt is not DType.NONE)
     int_share_total = (
@@ -49,7 +52,7 @@ def run(runner: Runner) -> ExperimentResult:
 
     early = sum(f32_by_layer[:10]) / 10
     late = sum(f32_by_layer[-10:]) / 10
-    checks = [
+    return [
         Check(
             "f32 is not the dominant data type",
             f32_total < 0.5 and int_share_total > f32_total,
@@ -71,9 +74,14 @@ def run(runner: Runner) -> ExperimentResult:
             f"dominant type = {_dominant_dtype(hist).value}",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig10",
         title="Instruction Type Breakdown Throughout Execution (ResNet)",
-        series={"per_kernel_sample": sampled, "f32_total": round(f32_total, 3)},
-        checks=checks,
+        aggregate=_aggregate,
+        checks=_checks,
+        notes="analytic — no simulation required",
     )
+)

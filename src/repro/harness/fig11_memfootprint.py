@@ -8,9 +8,10 @@ needs at least 1 MB; footprint tracks pre-trained model size.
 
 from __future__ import annotations
 
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.profiling.memfootprint import footprint
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 #: Figure 11 plots these six networks.
 NETWORKS = ("gru", "lstm", "cifarnet", "alexnet", "squeezenet", "resnet")
@@ -23,12 +24,15 @@ REFERENCE_MODEL_MB = {
 }
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 11 (analytic)."""
+def _aggregate(view: RunView) -> dict:
     reports = {name: footprint(name) for name in NETWORKS}
-    series = {
+    return {
         "footprint_kb": {name: round(rep.total_kb, 1) for name, rep in reports.items()}
     }
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    reports = {name: footprint(name) for name in NETWORKS}
     checks = [
         Check(
             "GRU and LSTM fit in under 500 KB",
@@ -58,9 +62,15 @@ def run(runner: Runner) -> ExperimentResult:
                 f"reference ~{ref_mb}MB, ours {measured_mb:.1f}MB",
             )
         )
-    return ExperimentResult(
+    return checks
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig11",
         title="Memory Footprint (TX1), KB",
-        series=series,
-        checks=checks,
+        aggregate=_aggregate,
+        checks=_checks,
+        notes="analytic — no simulation required",
     )
+)

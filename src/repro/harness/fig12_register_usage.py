@@ -13,11 +13,12 @@ from __future__ import annotations
 
 from repro.gpu.occupancy import compute_occupancy
 from repro.harness.common import ALL_NETWORKS, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.isa.program import max_live_registers
 from repro.kernels.compile import compiled_network
 from repro.kernels.launch import WARP_SIZE
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 KB = 1024.0
 
@@ -37,19 +38,24 @@ def register_usage(name: str) -> tuple[float, float]:
     return alloc_peak, live_peak
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 12 (analytic)."""
+def _usage(view: RunView) -> dict[str, tuple[float, float]]:
+    return {name: register_usage(name) for name in view.nets(ALL_NETWORKS)}
+
+
+def _aggregate(view: RunView) -> dict:
     series: dict[str, dict[str, float]] = {}
-    usage = {}
-    for name in ALL_NETWORKS:
-        alloc, live = register_usage(name)
-        usage[name] = (alloc, live)
+    for name, (alloc, live) in _usage(view).items():
         series[display(name)] = {
             "Max Allocated Registers (KB)": round(alloc, 1),
             "Max Live Registers (KB)": round(live, 1),
         }
+    return series
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    usage = _usage(view)
     rf_kb = sim_platform().register_file_bytes_per_sm / KB
-    checks = [
+    return [
         Check(
             "AlexNet and ResNet allocate over 50% of the 256KB register file",
             usage["alexnet"][0] > rf_kb / 2 and usage["resnet"][0] > rf_kb / 2,
@@ -73,9 +79,14 @@ def run(runner: Runner) -> ExperimentResult:
             f"< {rf_kb:.0f}KB",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig12",
         title="Register File Usage in KB (per SM)",
-        series=series,
-        checks=checks,
+        aggregate=_aggregate,
+        checks=_checks,
+        notes="analytic — no simulation required",
     )
+)

@@ -10,33 +10,54 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.harness.common import CNNS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.gpu.config import SimOptions
+from repro.harness.common import CNNS, display, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 13 (No-L1 simulation)."""
-    platform = sim_platform().with_l1(0)
+def _options(base: SimOptions) -> SimOptions:
     # Full (unsampled) per-thread outer loops: cache reuse across a
     # thread's outputs is part of what this figure measures, so the
     # outer-loop sampling budget is lifted for these runs.
-    options = replace(default_options(), max_outer_trips=None)
-    series: dict[str, dict[str, float]] = {}
-    misses: dict[str, dict[str, float]] = {}
-    for name in CNNS:
-        result = runner.run(name, platform, options)
-        per_cat = {
+    return replace(base, max_outer_trips=None)
+
+
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    platform = sim_platform().with_l1(0)
+    return tuple(
+        RunSpec(name, platform, _options(ctx.options)) for name in ctx.nets(CNNS)
+    )
+
+
+def _misses(view: RunView) -> dict[str, dict[str, float]]:
+    platform = sim_platform().with_l1(0)
+    out: dict[str, dict[str, float]] = {}
+    for name in view.nets(CNNS):
+        result = view.run(name, platform, _options(view.ctx.options))
+        out[name] = {
             cat: stats.l2_misses for cat, stats in result.stats_by_category().items()
         }
-        misses[name] = per_cat
-        series[display(name)] = {cat: round(v, 0) for cat, v in per_cat.items()}
+    return out
+
+
+def _aggregate(view: RunView) -> dict:
+    return {
+        display(name): {cat: round(v, 0) for cat, v in per_cat.items()}
+        for name, per_cat in _misses(view).items()
+    }
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    misses = _misses(view)
 
     def top2(name: str) -> list[str]:
         cats = misses[name]
         return sorted(cats, key=lambda c: -cats[c])[:2]
 
-    checks = [
+    return [
         Check(
             "conv and FC are the most data-intensive layer types (CifarNet)",
             set(top2("cifarnet")) <= {"Conv", "FC", "Pooling"}
@@ -56,9 +77,14 @@ def run(runner: Runner) -> ExperimentResult:
             "shortcut/normalization traffic is substantial",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig13",
         title="Total L2 Misses per Layer Type without L1D",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

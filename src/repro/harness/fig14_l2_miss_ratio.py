@@ -10,30 +10,50 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.harness.common import CNNS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.gpu.config import SimOptions
+from repro.harness.common import CNNS, display, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 14 (No-L1 simulation)."""
-    platform = sim_platform().with_l1(0)
+def _options(base: SimOptions) -> SimOptions:
     # Full (unsampled) per-thread outer loops: cache reuse across a
     # thread's outputs is part of what this figure measures, so the
     # outer-loop sampling budget is lifted for these runs.
-    options = replace(default_options(), max_outer_trips=None)
-    series: dict[str, dict[str, float]] = {}
-    ratios: dict[str, dict[str, float]] = {}
-    for name in CNNS:
-        result = runner.run(name, platform, options)
-        per_cat = {
+    return replace(base, max_outer_trips=None)
+
+
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    platform = sim_platform().with_l1(0)
+    return tuple(
+        RunSpec(name, platform, _options(ctx.options)) for name in ctx.nets(CNNS)
+    )
+
+
+def _ratios(view: RunView) -> dict[str, dict[str, float]]:
+    platform = sim_platform().with_l1(0)
+    out: dict[str, dict[str, float]] = {}
+    for name in view.nets(CNNS):
+        result = view.run(name, platform, _options(view.ctx.options))
+        out[name] = {
             cat: stats.l2_miss_ratio
             for cat, stats in result.stats_by_category().items()
             if stats.l2_accesses > 0
         }
-        ratios[name] = per_cat
-        series[display(name)] = {cat: round(v, 4) for cat, v in per_cat.items()}
+    return out
 
+
+def _aggregate(view: RunView) -> dict:
+    return {
+        display(name): {cat: round(v, 4) for cat, v in per_cat.items()}
+        for name, per_cat in _ratios(view).items()
+    }
+
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    ratios = _ratios(view)
     conv_ratios = [r["Conv"] for r in ratios.values() if "Conv" in r]
     fc_ratios = [r["FC"] for r in ratios.values() if "FC" in r]
     conv_avg = sum(conv_ratios) / len(conv_ratios)
@@ -43,7 +63,7 @@ def run(runner: Runner) -> ExperimentResult:
         <= max(3.0 * ratios["squeezenet"].get("Conv", 1.0), 0.06)
         for cat in ("Fire_Squeeze", "Fire_Expand")
     )
-    checks = [
+    return [
         Check(
             "conv L2 miss ratio is around 1% on average",
             conv_avg <= 0.04,
@@ -62,9 +82,14 @@ def run(runner: Runner) -> ExperimentResult:
             "conv/fire locality beats the elementwise layers",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig14",
         title="L2 Miss Ratio per Layer Type without L1D",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

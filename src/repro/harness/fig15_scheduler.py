@@ -11,24 +11,37 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.harness.common import ALL_NETWORKS, SCHEDULERS, default_options, display, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import ALL_NETWORKS, SCHEDULERS, display, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 15."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    platform = sim_platform()
+    return tuple(
+        RunSpec(name, platform, replace(ctx.options, scheduler=scheduler))
+        for name in ctx.nets(ALL_NETWORKS)
+        for scheduler in SCHEDULERS
+    )
+
+
+def _aggregate(view: RunView) -> dict:
     platform = sim_platform()
     series: dict[str, dict[str, float]] = {}
-    for name in ALL_NETWORKS:
+    for name in view.nets(ALL_NETWORKS):
         cycles = {}
         for scheduler in SCHEDULERS:
-            options = replace(default_options(), scheduler=scheduler)
-            cycles[scheduler.upper()] = runner.run(name, platform, options).total_cycles
+            options = replace(view.ctx.options, scheduler=scheduler)
+            cycles[scheduler.upper()] = view.run(name, platform, options).total_cycles
         base = cycles["GTO"]
         series[display(name)] = {s: round(v / base, 4) for s, v in cycles.items()}
+    return series
 
-    checks = [
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    return [
         Check(
             "RNNs show no considerable scheduler sensitivity",
             all(
@@ -55,9 +68,14 @@ def run(runner: Runner) -> ExperimentResult:
             "LRR <= TLV for AlexNet and ResNet",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig15",
         title="Warp Scheduler Sensitivity (normalized to GTO)",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

@@ -10,29 +10,51 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.harness.common import SCHEDULERS, default_options, sim_platform
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.common import SCHEDULERS, sim_platform
+from repro.harness.report import Check
+from repro.runs import Experiment, RunSpec, RunView
+from repro.runs.registry import register
+from repro.runs.spec import PlanContext
+
+NETWORK = "alexnet"
 
 
-def run(runner: Runner) -> ExperimentResult:
-    """Regenerate Figure 16."""
+def _plan(ctx: PlanContext) -> tuple[RunSpec, ...]:
+    platform = sim_platform()
+    return tuple(
+        RunSpec(name, platform, replace(ctx.options, scheduler=scheduler))
+        for name in ctx.nets((NETWORK,))
+        for scheduler in SCHEDULERS
+    )
+
+
+def _per_sched(view: RunView) -> dict[str, dict[str, float]]:
     platform = sim_platform()
     per_sched: dict[str, dict[str, float]] = {}
     for scheduler in SCHEDULERS:
-        options = replace(default_options(), scheduler=scheduler)
-        result = runner.run("alexnet", platform, options)
+        options = replace(view.ctx.options, scheduler=scheduler)
+        result = view.run(NETWORK, platform, options)
         per_node: dict[str, float] = {}
         for k in result.kernels:
             per_node[k.kernel.node_name] = per_node.get(k.kernel.node_name, 0.0) + k.stats.cycles
         per_sched[scheduler] = per_node
+    return per_sched
 
+
+def _aggregate(view: RunView) -> dict:
+    if NETWORK not in view.nets((NETWORK,)):
+        return {}
+    per_sched = _per_sched(view)
     series: dict[str, dict[str, float]] = {}
     for node, gto_cycles in per_sched["gto"].items():
         series[node] = {
             s.upper(): round(per_sched[s][node] / gto_cycles, 4) for s in SCHEDULERS
         }
+    return series
 
+
+def _checks(view: RunView, series: dict) -> list[Check]:
+    per_sched = _per_sched(view)
     conv_nodes = [n for n in series if n.startswith("conv")]
     conv_gain = sum(1.0 - series[n]["LRR"] for n in conv_nodes) / len(conv_nodes)
     pool_nodes = [n for n in series if n.startswith("pool")]
@@ -42,7 +64,7 @@ def run(runner: Runner) -> ExperimentResult:
         per_sched["gto"][n] - per_sched["lrr"][n] for n in conv_nodes
     )
     total_saved = total_gto - sum(per_sched["lrr"].values())
-    checks = [
+    return [
         Check(
             "convolution layers improve under LRR",
             conv_gain > 0.03,
@@ -59,9 +81,14 @@ def run(runner: Runner) -> ExperimentResult:
             f"pooling mean improvement = {pool_gain:.1%} vs conv {conv_gain:.1%}",
         ),
     ]
-    return ExperimentResult(
+
+
+EXPERIMENT = register(
+    Experiment(
         exp_id="fig16",
         title="Per-Layer Warp Scheduler Sensitivity of AlexNet",
-        series=series,
-        checks=checks,
+        plan=_plan,
+        aggregate=_aggregate,
+        checks=_checks,
     )
+)

@@ -1,12 +1,17 @@
 """Run the whole experiment harness: every table and figure.
 
 ``python -m repro.harness.suite`` regenerates all 20 experiments (4
-tables + 16 figures), prints each one's series and qualitative checks,
-and exits non-zero if any check fails.  Results are cached under
-``.tango_cache`` so a re-run is fast.
+tables + 16 figures) through the declarative plan -> execute ->
+aggregate pipeline: the planner collects every registered experiment's
+required runs and dedupes them into a minimal matrix, the executor
+materializes the matrix against the unified result store
+(``.repro-cache/`` or ``$REPRO_CACHE_DIR``), and each experiment then
+aggregates its series and checks from pure cache hits.  A re-run
+performs zero simulations.
 
 Options: ``--chart`` renders each figure's series as terminal bar
-charts; ``--json DIR`` writes each experiment's data as JSON.
+charts; ``--json DIR`` writes each experiment's data as JSON;
+``--jobs N`` fans fresh simulations over N worker processes.
 """
 
 from __future__ import annotations
@@ -16,81 +21,59 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable
 
-from repro.harness import fig01_exec_breakdown
-from repro.harness import fig02_l1_sensitivity
-from repro.harness import fig03_peak_power
-from repro.harness import fig04_layer_power
-from repro.harness import fig05_component_power
-from repro.harness import fig06_tx1_pynq
-from repro.harness import fig07_stall_breakdown
-from repro.harness import fig08_op_breakdown
-from repro.harness import fig09_top_ops
-from repro.harness import fig10_dtype_breakdown
-from repro.harness import fig11_memfootprint
-from repro.harness import fig12_register_usage
-from repro.harness import fig13_l2_misses
-from repro.harness import fig14_l2_miss_ratio
-from repro.harness import fig15_scheduler
-from repro.harness import fig16_scheduler_alexnet
-from repro.harness import tables
 from repro.harness.report import ExperimentResult
-from repro.harness.runner import Runner
+from repro.runs import Executor, PlanContext, ResultStore, build_plan, run_experiment
+from repro.runs.registry import all_experiments
 
-#: Every experiment in paper order: id -> run callable.
-EXPERIMENTS: dict[str, Callable[[Runner], ExperimentResult]] = {
-    "table1": tables.run_table1,
-    "table2": tables.run_table2,
-    "table3": tables.run_table3,
-    "table4": tables.run_table4,
-    "fig01": fig01_exec_breakdown.run,
-    "fig02": fig02_l1_sensitivity.run,
-    "fig03": fig03_peak_power.run,
-    "fig04": fig04_layer_power.run,
-    "fig05": fig05_component_power.run,
-    "fig06": fig06_tx1_pynq.run,
-    "fig07": fig07_stall_breakdown.run,
-    "fig08": fig08_op_breakdown.run,
-    "fig09": fig09_top_ops.run,
-    "fig10": fig10_dtype_breakdown.run,
-    "fig11": fig11_memfootprint.run,
-    "fig12": fig12_register_usage.run,
-    "fig13": fig13_l2_misses.run,
-    "fig14": fig14_l2_miss_ratio.run,
-    "fig15": fig15_scheduler.run,
-    "fig16": fig16_scheduler_alexnet.run,
-}
+#: Sentinel: ``run_all(cache_dir=DEFAULT_STORE)`` opens the unified
+#: store at its default location ($REPRO_CACHE_DIR or .repro-cache).
+DEFAULT_STORE = object()
+
+#: Every experiment in paper order: id -> Experiment spec (legacy name,
+#: kept for callers that enumerate the suite).
+EXPERIMENTS = all_experiments()
 
 
 def run_all(
     ids: list[str] | None = None,
-    cache_dir: str | None = ".tango_cache",
+    cache_dir=DEFAULT_STORE,
     verbose: bool = True,
     jobs: int = 1,
+    ctx: PlanContext | None = None,
 ) -> list[ExperimentResult]:
-    """Run the selected (default: all) experiments and return results.
+    """Plan, execute and aggregate the selected (default: all) experiments.
 
-    With ``jobs > 1`` every simulation the full suite needs is first
-    prefetched across that many worker processes
-    (:meth:`Runner.prefetch` over :func:`harness_combos`); the
-    experiments then run serially against the populated cache.
+    ``cache_dir=None`` keeps everything in memory (no disk IO); any
+    other value opens a :class:`~repro.runs.store.ResultStore` there;
+    the default resolves through ``$REPRO_CACHE_DIR``.  With
+    ``jobs > 1`` the plan's missing runs fan out across worker
+    processes before aggregation.
     """
-    runner = Runner(cache_dir=cache_dir, verbose=verbose)
-    if jobs > 1:
-        from repro.harness.common import harness_combos
-
-        fresh = runner.prefetch(harness_combos(), jobs)
-        if verbose and fresh:
-            print(f"[suite] prefetched {fresh} simulations with {jobs} jobs",
-                  flush=True)
-    selected = ids or list(EXPERIMENTS)
-    results = []
+    experiments = all_experiments()
+    selected = ids or list(experiments)
     for exp_id in selected:
-        if exp_id not in EXPERIMENTS:
+        if exp_id not in experiments:
             raise KeyError(f"unknown experiment {exp_id!r}")
+    if cache_dir is None:
+        store = None
+    elif cache_dir is DEFAULT_STORE:
+        store = ResultStore()
+    else:
+        store = ResultStore(cache_dir)
+    ctx = ctx or PlanContext()
+    chosen = [experiments[exp_id] for exp_id in selected]
+    plan = build_plan(chosen, ctx)
+    executor = Executor(store, verbose=verbose)
+    if verbose and plan.specs:
+        print(plan.describe(), flush=True)
+    report = executor.execute(plan, jobs=jobs)
+    if verbose and plan.specs:
+        print(report.summary(), flush=True)
+    results = []
+    for experiment in chosen:
         start = time.time()
-        result = EXPERIMENTS[exp_id](runner)
+        result = run_experiment(experiment, executor, ctx)
         result.notes = (result.notes + f" [{time.time() - start:.1f}s]").strip()
         results.append(result)
         if verbose:
@@ -108,12 +91,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="write each experiment's series/checks as JSON under DIR")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                        help="prefetch all needed simulations with N worker "
-                             "processes before running the experiments")
+                        help="execute the planned run matrix with N worker "
+                             "processes before aggregating")
     args = parser.parse_args(argv)
     results = run_all(
         ids=args.experiments or None,
-        cache_dir=None if args.no_cache else ".tango_cache",
+        cache_dir=None if args.no_cache else DEFAULT_STORE,
         jobs=args.jobs,
     )
     if args.chart:
@@ -124,21 +107,7 @@ def main(argv: list[str] | None = None) -> int:
             if chart:
                 print("\n" + chart)
     if args.json:
-        out_dir = Path(args.json)
-        out_dir.mkdir(parents=True, exist_ok=True)
-        for result in results:
-            payload = {
-                "id": result.exp_id,
-                "title": result.title,
-                "series": result.series,
-                "checks": [
-                    {"claim": c.claim, "passed": c.passed, "detail": c.detail}
-                    for c in result.checks
-                ],
-                "notes": result.notes,
-            }
-            (out_dir / f"{result.exp_id}.json").write_text(json.dumps(payload, indent=2))
-        print(f"wrote {len(results)} JSON files under {out_dir}/")
+        write_json(results, args.json)
     failed = [
         f"{r.exp_id}: {c.claim}" for r in results for c in r.checks if not c.passed
     ]
@@ -147,6 +116,25 @@ def main(argv: list[str] | None = None) -> int:
     for line in failed:
         print(f"  FAIL {line}")
     return 1 if failed else 0
+
+
+def write_json(results: list[ExperimentResult], out_dir: str | Path) -> None:
+    """Write one ``<exp_id>.json`` per result under *out_dir*."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for result in results:
+        payload = {
+            "id": result.exp_id,
+            "title": result.title,
+            "series": result.series,
+            "checks": [
+                {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+                for c in result.checks
+            ],
+            "notes": result.notes,
+        }
+        (out / f"{result.exp_id}.json").write_text(json.dumps(payload, indent=2))
+    print(f"wrote {len(results)} JSON files under {out}/")
 
 
 if __name__ == "__main__":

@@ -6,16 +6,18 @@
 * Table IV — the FPGA platform.
 
 Table III is the load-bearing one: its grid/block geometries are
-checked against the paper's listed entries exactly.
+checked against the paper's listed entries exactly.  All four tables
+are analytic (compile-time) experiments: they plan no simulations.
 """
 
 from __future__ import annotations
 
 from repro.core.suite import BENCHMARK_INFO, NETWORK_ORDER
-from repro.harness.report import Check, ExperimentResult
-from repro.harness.runner import Runner
+from repro.harness.report import Check
 from repro.kernels.compile import compiled_network
 from repro.platforms import GK210, GP102, PYNQ_Z1, TX1
+from repro.runs import Experiment, RunView
+from repro.runs.registry import register
 
 #: Paper Table III entries (kernel name -> (grid, block)) used as the
 #: ground truth for the geometry checks.  Names follow our kernel names.
@@ -87,9 +89,11 @@ PAPER_TABLE3: dict[str, dict[str, tuple[tuple[int, int, int], tuple[int, int, in
 }
 
 
-def run_table1(runner: Runner) -> ExperimentResult:
-    """Table I: inputs, pre-trained models and outputs."""
-    series = {
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def _table1_aggregate(view: RunView) -> dict:
+    return {
         info.display_name: {
             "input": info.input_description,
             "model": info.model_description,
@@ -97,18 +101,22 @@ def run_table1(runner: Runner) -> ExperimentResult:
         }
         for info in (BENCHMARK_INFO[name] for name in NETWORK_ORDER)
     }
-    checks = [
+
+
+def _table1_checks(view: RunView, series: dict) -> list[Check]:
+    return [
         Check(
             "all seven networks carry Table I metadata",
             len(series) == 7,
             f"{len(series)} networks",
         )
     ]
-    return ExperimentResult("table1", "Input/Output and Pre-trained Models", series, checks)
 
 
-def run_table2(runner: Runner) -> ExperimentResult:
-    """Table II: GPU architectures used for evaluation."""
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+def _table2_aggregate(view: RunView) -> dict:
     series = {}
     for config in (GK210, TX1, GP102):
         series[config.name] = {
@@ -119,7 +127,11 @@ def run_table2(runner: Runner) -> ExperimentResult:
             "registers_per_sm": config.registers_per_sm,
             "clock_ghz": config.clock_ghz,
         }
-    checks = [
+    return series
+
+
+def _table2_checks(view: RunView, series: dict) -> list[Check]:
+    return [
         Check(
             "TX1 has 256 CUDA cores (Table II)",
             TX1.total_cuda_cores == 256,
@@ -136,12 +148,29 @@ def run_table2(runner: Runner) -> ExperimentResult:
             f"{TX1.registers_per_sm}",
         ),
     ]
-    return ExperimentResult("table2", "GPU architectures used for evaluation", series, checks)
 
 
-def run_table3(runner: Runner) -> ExperimentResult:
-    """Table III: network configuration and SRAM usage."""
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+def _table3_aggregate(view: RunView) -> dict:
     series: dict[str, dict] = {}
+    for network in PAPER_TABLE3:
+        kernels = {k.name: k for k in compiled_network(network)}
+        series[network] = {
+            k.name: {
+                "grid": list(k.grid),
+                "block": list(k.block),
+                "regs": k.regs,
+                "smem": k.smem_bytes,
+                "cmem": k.cmem_bytes,
+            }
+            for k in list(kernels.values())[:24]
+        }
+    return series
+
+
+def _table3_checks(view: RunView, series: dict) -> list[Check]:
     checks: list[Check] = []
     for network, expected in PAPER_TABLE3.items():
         kernels = {k.name: k for k in compiled_network(network)}
@@ -162,16 +191,6 @@ def run_table3(runner: Runner) -> ExperimentResult:
                 "; ".join(mismatches) or f"{len(expected)} entries match",
             )
         )
-        series[network] = {
-            k.name: {
-                "grid": list(k.grid),
-                "block": list(k.block),
-                "regs": k.regs,
-                "smem": k.smem_bytes,
-                "cmem": k.cmem_bytes,
-            }
-            for k in list(kernels.values())[:24]
-        }
     all_regs = [
         k.regs for network in PAPER_TABLE3 for k in compiled_network(network)
     ]
@@ -182,17 +201,15 @@ def run_table3(runner: Runner) -> ExperimentResult:
             f"min={min(all_regs)} max={max(all_regs)}",
         )
     )
-    return ExperimentResult(
-        "table3", "Network Configuration and SRAM Usage", series, checks,
-        notes="regs/smem/cmem are derived from our builders (approximate); "
-        "grid/block geometries are exact.",
-    )
+    return checks
 
 
-def run_table4(runner: Runner) -> ExperimentResult:
-    """Table IV: FPGA platform used for evaluation."""
+# ----------------------------------------------------------------------
+# Table IV
+# ----------------------------------------------------------------------
+def _table4_aggregate(view: RunView) -> dict:
     p = PYNQ_Z1
-    series = {
+    return {
         p.name: {
             "processor": p.processor,
             "memory": p.memory,
@@ -202,8 +219,54 @@ def run_table4(runner: Runner) -> ExperimentResult:
             "bram_kb": p.bram_bytes // 1024,
         }
     }
-    checks = [
+
+
+def _table4_checks(view: RunView, series: dict) -> list[Check]:
+    p = PYNQ_Z1
+    return [
         Check("Zynq Z7020 with 13,300 logic slices", p.logic_slices == 13300, ""),
         Check("630KB BRAM", p.bram_bytes == 630 * 1024, ""),
     ]
-    return ExperimentResult("table4", "FPGA platform used for evaluation", series, checks)
+
+
+TABLE1 = register(
+    Experiment(
+        exp_id="table1",
+        title="Input/Output and Pre-trained Models",
+        aggregate=_table1_aggregate,
+        checks=_table1_checks,
+        render="none",
+    )
+)
+
+TABLE2 = register(
+    Experiment(
+        exp_id="table2",
+        title="GPU architectures used for evaluation",
+        aggregate=_table2_aggregate,
+        checks=_table2_checks,
+        render="none",
+    )
+)
+
+TABLE3 = register(
+    Experiment(
+        exp_id="table3",
+        title="Network Configuration and SRAM Usage",
+        aggregate=_table3_aggregate,
+        checks=_table3_checks,
+        render="none",
+        notes="regs/smem/cmem are derived from our builders (approximate); "
+        "grid/block geometries are exact.",
+    )
+)
+
+TABLE4 = register(
+    Experiment(
+        exp_id="table4",
+        title="FPGA platform used for evaluation",
+        aggregate=_table4_aggregate,
+        checks=_table4_checks,
+        render="none",
+    )
+)

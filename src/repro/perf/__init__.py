@@ -1,9 +1,10 @@
-"""Performance infrastructure: result caching and benchmarking.
+"""Performance infrastructure: benchmarking plus a caching facade.
 
-* :mod:`repro.perf.cache` — persistent cross-run kernel-result cache
-  keyed by (kernel signature, config, options, engine version).
-* :mod:`repro.perf.bench` — the ``repro bench`` harness timing cold and
-  warm-cache whole-network simulations (emits ``BENCH_sim.json``).
+* :mod:`repro.perf.cache` — back-compat re-exports of the kernel-cache
+  layer, which now lives in the unified :mod:`repro.runs.store`.
+* :mod:`repro.perf.bench` — the ``repro bench`` harness timing cold,
+  warm-kernel-cache and warm-run-store whole-network simulations
+  (emits ``BENCH_sim.json``).
 """
 
 from repro.perf.cache import (

@@ -4,16 +4,19 @@ Backs the ``repro bench`` subcommand.  For each network it times
 
 * **cold** — a plain :func:`~repro.gpu.simulator.simulate_network` call,
   no persistent cache (pure engine speed);
-* **warm** — the same call against a freshly opened
-  :class:`~repro.perf.cache.KernelResultCache` whose directory was
+* **warm** — the same call against the kernel layer of a freshly
+  opened :class:`~repro.runs.store.ResultStore` whose directory was
   populated by a prior run, so every unique kernel is a disk hit;
+* **run-warm** — an :class:`~repro.runs.executor.Executor` read of the
+  whole-network run entry (the harness/serve fast path: one file, no
+  per-kernel replay);
 * **seed** (optional) — the frozen reference engine in
   :mod:`repro.gpu.seed_engine`, for before/after speedup reporting.
 
 Timings take the minimum over ``repeats`` runs (classic
 best-of-N to suppress scheduler noise).  The emitted JSON maps each
-network to ``{cold_s, warm_s, kernels, engine_version}`` (plus
-``seed_s`` when requested) — the schema of the committed
+network to ``{cold_s, warm_s, run_warm_s, kernels, engine_version}``
+(plus ``seed_s`` when requested) — the schema of the committed
 ``BENCH_sim.json``.
 """
 
@@ -27,7 +30,7 @@ from pathlib import Path
 from repro.gpu.config import GpuConfig, SimOptions
 from repro.gpu.simulator import simulate_network
 from repro.gpu.sm import ENGINE_VERSION
-from repro.perf.cache import KernelResultCache
+from repro.runs import Executor, ResultStore, RunSpec
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -56,17 +59,22 @@ def bench_network(
         "kernels": len(result.kernels),
         "engine_version": ENGINE_VERSION,
     }
-    # Populate the persistent cache, then time disk-hit reloads through
-    # fresh cache objects (no in-memory layer carry-over).
-    simulate_network(name, config, options, cache=KernelResultCache(cache_dir))
+    # Populate the unified store through the shared executor, then time
+    # disk-hit reloads through fresh store objects (no in-memory layer
+    # carry-over): per-kernel replays first, whole-run entries second.
+    spec = RunSpec(name, config, options)
+    Executor(ResultStore(cache_dir)).run(spec)
     entry["warm_s"] = round(
         _best_of(
             lambda: simulate_network(
-                name, config, options, cache=KernelResultCache(cache_dir)
+                name, config, options, cache=ResultStore(cache_dir).kernels
             ),
             repeats,
         ),
         4,
+    )
+    entry["run_warm_s"] = round(
+        _best_of(lambda: Executor(ResultStore(cache_dir)).run(spec), repeats), 4
     )
     if seed:
         from repro.gpu import seed_engine
@@ -98,7 +106,9 @@ def run_bench(
         out[name] = entry
         if verbose:
             line = (f"{name:12s} cold={entry['cold_s']:8.3f}s "
-                    f"warm={entry['warm_s']:7.4f}s kernels={entry['kernels']}")
+                    f"warm={entry['warm_s']:7.4f}s "
+                    f"run-warm={entry['run_warm_s']:7.4f}s "
+                    f"kernels={entry['kernels']}")
             if seed:
                 ratio = entry["seed_s"] / entry["cold_s"] if entry["cold_s"] else 0.0
                 line += f" seed={entry['seed_s']:8.3f}s ({ratio:.1f}x)"

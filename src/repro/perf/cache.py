@@ -1,206 +1,34 @@
-"""Persistent cross-run kernel-result cache.
+"""Back-compat facade over the unified result store.
 
-Kernel simulations are deterministic functions of (kernel signature,
-machine config, simulation options, engine version), so their scaled
-:class:`~repro.profiling.stats.KernelStats` can be memoized across
-processes.  :class:`KernelResultCache` stores one JSON file per key
-under a cache directory (default ``.repro-cache/``, overridable with
-the ``REPRO_CACHE_DIR`` environment variable) plus an in-memory layer
-for repeat lookups within one process.
-
-The key contract (DESIGN.md section 8):
-
-* **signature** — ``KernelLaunch.signature()``, the same identity the
-  in-run dedup of ``simulate_network`` already relies on (program
-  shape, launch geometry, register/shared usage, canonical addresses);
-* **config** — every field of the frozen :class:`GpuConfig` dataclass;
-* **options** — every field of the frozen :class:`SimOptions`
-  dataclass;
-* **engine** — :data:`repro.gpu.sm.ENGINE_VERSION`, bumped whenever
-  issue-loop semantics change.
-
-Any field change anywhere in that tuple yields a different SHA-256 key,
-so stale entries are never returned — they are simply never looked up
-again.  Corrupt, truncated or schema-mismatched cache files are treated
-as misses (and rewritten on the next store), never as errors: the cache
-must not be able to make a simulation fail.
+The persistent kernel-result cache moved into
+:mod:`repro.runs.store` when the run-orchestration layer unified it
+with the harness's former network-result cache (one directory, one key
+contract — DESIGN.md section 9).  This module re-exports the kernel
+layer's public names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from dataclasses import asdict, dataclass
-from pathlib import Path
-
-from repro.gpu.config import GpuConfig, SimOptions
-from repro.gpu.occupancy import Occupancy
+from repro.runs.store import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    CachedKernel,
+    KernelResultCache,
+    cache_key,
+    cache_stats,
+    clear_cache,
+    default_cache_dir,
+)
 from repro.gpu.sm import ENGINE_VERSION
-from repro.profiling.stats import KernelStats
 
-#: Environment variable overriding the cache directory.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Default on-disk location, relative to the working directory.
-DEFAULT_CACHE_DIR = ".repro-cache"
-
-
-def default_cache_dir() -> Path:
-    """The cache directory honouring ``REPRO_CACHE_DIR``."""
-    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
-
-
-def cache_key(signature: str, config: GpuConfig, options: SimOptions) -> str:
-    """SHA-256 over the full key tuple, as a hex digest."""
-    payload = json.dumps(
-        {
-            "engine": ENGINE_VERSION,
-            "signature": signature,
-            "config": asdict(config),
-            "options": asdict(options),
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
-
-
-@dataclass
-class CachedKernel:
-    """One deserialized cache entry (everything a hit must restore)."""
-
-    stats: KernelStats
-    occupancy: Occupancy
-    sample_factor: float
-    block_factor: float
-
-
-class KernelResultCache:
-    """Content-addressed store of scaled per-kernel simulation results.
-
-    ``cache_dir=None`` resolves through ``REPRO_CACHE_DIR`` to the
-    default location.  The in-memory layer keeps raw payload dicts, not
-    live objects: every :meth:`get` deserializes afresh so callers own
-    their stats and cannot alias each other's counters.
-    """
-
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-        self._memory: dict[str, dict] = {}
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-
-    # ------------------------------------------------------------------
-    def _path(self, key: str) -> Path:
-        return self.cache_dir / f"{key}.json"
-
-    def get(
-        self, signature: str, config: GpuConfig, options: SimOptions
-    ) -> CachedKernel | None:
-        """Look up one kernel result; None on miss or unreadable entry."""
-        key = cache_key(signature, config, options)
-        payload = self._memory.get(key)
-        if payload is None:
-            try:
-                payload = json.loads(self._path(key).read_text())
-            except (OSError, ValueError):
-                self.misses += 1
-                return None
-        entry = _decode(payload)
-        if entry is None:
-            # Corrupt/stale schema: forget it so a store can heal it.
-            self._memory.pop(key, None)
-            self.misses += 1
-            return None
-        self._memory[key] = payload
-        self.hits += 1
-        return entry
-
-    def put(
-        self,
-        signature: str,
-        config: GpuConfig,
-        options: SimOptions,
-        stats: KernelStats,
-        occupancy: Occupancy,
-        sample_factor: float,
-        block_factor: float,
-    ) -> None:
-        """Store one kernel result (best-effort; IO errors are ignored)."""
-        key = cache_key(signature, config, options)
-        payload = {
-            "engine": ENGINE_VERSION,
-            "stats": stats.to_dict(),
-            "occupancy": asdict(occupancy),
-            "sample_factor": sample_factor,
-            "block_factor": block_factor,
-        }
-        self._memory[key] = payload
-        self.stores += 1
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            path = self._path(key)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(payload))
-            tmp.replace(path)
-        except OSError:
-            pass
-
-
-def cache_stats(cache_dir: str | Path | None = None) -> dict:
-    """Entry count / byte size summary of the on-disk cache.
-
-    Backs ``repro cache stats``; a missing directory reads as an empty
-    cache, never an error.
-    """
-    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    entries = 0
-    total_bytes = 0
-    engines: dict[str, int] = {}
-    if directory.is_dir():
-        for path in sorted(directory.glob("*.json")):
-            try:
-                total_bytes += path.stat().st_size
-                engine = json.loads(path.read_text()).get("engine", "?")
-            except (OSError, ValueError):
-                engine = "corrupt"
-            entries += 1
-            engines[engine] = engines.get(engine, 0) + 1
-    return {
-        "dir": str(directory),
-        "entries": entries,
-        "bytes": total_bytes,
-        "engine_version": ENGINE_VERSION,
-        "by_engine": dict(sorted(engines.items())),
-    }
-
-
-def clear_cache(cache_dir: str | Path | None = None) -> int:
-    """Delete every cache entry (and stray ``.tmp`` files); returns the
-    number of entries removed.  Backs ``repro cache clear``."""
-    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    removed = 0
-    if directory.is_dir():
-        for path in list(directory.glob("*.json")) + list(directory.glob("*.tmp")):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-    return removed
-
-
-def _decode(payload: dict) -> CachedKernel | None:
-    """Payload dict -> CachedKernel, or None when malformed."""
-    try:
-        if payload["engine"] != ENGINE_VERSION:
-            return None
-        return CachedKernel(
-            stats=KernelStats.from_dict(payload["stats"]),
-            occupancy=Occupancy(**payload["occupancy"]),
-            sample_factor=payload["sample_factor"],
-            block_factor=payload["block_factor"],
-        )
-    except (KeyError, TypeError, ValueError, AttributeError):
-        return None
+__all__ = [
+    "CACHE_DIR_ENV",
+    "DEFAULT_CACHE_DIR",
+    "CachedKernel",
+    "ENGINE_VERSION",
+    "KernelResultCache",
+    "cache_key",
+    "cache_stats",
+    "clear_cache",
+    "default_cache_dir",
+]

@@ -1,0 +1,156 @@
+"""Execute a run plan against the unified store.
+
+:class:`Executor` is the cached read-through front door to
+:func:`repro.gpu.simulator.simulate_network`: memory -> stored network
+run -> fresh simulation (which itself reads/writes the store's kernel
+layer, so even a network-entry miss is cheap when sibling combos share
+kernels).  :meth:`Executor.execute` fans a plan's missing entries out
+over a process pool, merging results in submission order so the store's
+contents are deterministic regardless of worker completion order.
+
+Both live and cached paths return :class:`StoredNetworkResult` decoded
+from the JSON payload, so every consumer sees byte-identical values
+whether the run was fresh or a hit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.runs.planner import Plan
+from repro.runs.spec import RunSpec
+from repro.runs.store import (
+    ResultStore,
+    StoredNetworkResult,
+    result_from_payload,
+    result_to_payload,
+)
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one :meth:`Executor.execute` pass."""
+
+    planned: int
+    fresh: int
+    cached: int
+
+    def summary(self) -> str:
+        """One-line log: '[plan] N unique runs: F fresh, C cached'."""
+        return (
+            f"[plan] {self.planned} unique runs: "
+            f"{self.fresh} fresh, {self.cached} cached"
+        )
+
+
+class Executor:
+    """Cached, parallelizable runner of :class:`RunSpec` simulations.
+
+    ``store=None`` keeps results in memory only (no disk IO) — used by
+    ``--no-cache`` runs and unit tests.
+    """
+
+    def __init__(self, store: ResultStore | None = None, verbose: bool = False) -> None:
+        self.store = store
+        self.verbose = verbose
+        self._memory: dict[str, StoredNetworkResult] = {}
+        #: Fresh simulations performed through this executor.
+        self.fresh = 0
+        #: Lookups served from memory or the store.
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> StoredNetworkResult:
+        """Run (or load) one network simulation."""
+        key = spec.key()
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        if self.store is not None:
+            stored = self.store.get_run(spec)
+            if stored is not None:
+                self._memory[key] = stored
+                self.hits += 1
+                return stored
+        if self.verbose:
+            print(f"[run] simulating {spec.describe()}", flush=True)
+        payload = _simulate_spec(spec, self.store)
+        if self.store is not None:
+            self.store.put_run(spec, payload)
+        result = result_from_payload(payload, spec.config, spec.options)
+        assert result is not None  # freshly encoded payloads always decode
+        self._memory[key] = result
+        self.fresh += 1
+        return result
+
+    def execute(self, plan: Plan | Sequence[RunSpec], jobs: int = 1) -> ExecutionReport:
+        """Materialize every planned run, fanning misses over *jobs*
+        worker processes; returns fresh/cached counts."""
+        specs = plan.specs if isinstance(plan, Plan) else tuple(plan)
+        pending = self._missing(specs)
+        if jobs > 1 and len(pending) > 1:
+            self._execute_parallel(pending, jobs)
+        else:
+            for spec in pending:
+                self.run(spec)
+        # Touch every planned spec so memory holds the full matrix and
+        # the hit/fresh counters reflect the whole plan.
+        for spec in specs:
+            if spec.key() not in self._memory:
+                self.run(spec)
+        fresh = len(pending)
+        return ExecutionReport(
+            planned=len(specs), fresh=fresh, cached=len(specs) - fresh
+        )
+
+    # ------------------------------------------------------------------
+    def _missing(self, specs: Iterable[RunSpec]) -> list[RunSpec]:
+        """Planned specs with no memory or store entry (dedup by key)."""
+        missing: list[RunSpec] = []
+        seen: set[str] = set()
+        for spec in specs:
+            key = spec.key()
+            if key in seen or key in self._memory:
+                continue
+            seen.add(key)
+            if self.store is not None and self.store.run_path(spec).exists():
+                continue
+            missing.append(spec)
+        return missing
+
+    def _execute_parallel(self, pending: list[RunSpec], jobs: int) -> None:
+        cache_dir = None if self.store is None else self.store.cache_dir
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = [
+                pool.submit(_simulate_spec_worker, spec, cache_dir)
+                for spec in pending
+            ]
+            # Canonical-order merge: collect in submission order so the
+            # store contents are deterministic no matter which worker
+            # finishes first.
+            for spec, future in zip(pending, futures):
+                payload = future.result()
+                if self.store is not None:
+                    self.store.put_run(spec, payload)
+                result = result_from_payload(payload, spec.config, spec.options)
+                assert result is not None
+                self._memory[spec.key()] = result
+                self.fresh += 1
+
+
+def _simulate_spec(spec: RunSpec, store: ResultStore | None) -> dict:
+    """One full network simulation, as a JSON-ready payload."""
+    from repro.gpu.simulator import simulate_network
+
+    cache = store.kernels if store is not None else None
+    live = simulate_network(spec.network, spec.config, spec.options, cache=cache)
+    return result_to_payload(live)
+
+
+def _simulate_spec_worker(spec: RunSpec, cache_dir) -> dict:
+    """Module-level (picklable) worker: simulate via a private store."""
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    return _simulate_spec(spec, store)

@@ -1,0 +1,60 @@
+"""Plan the minimal run matrix for a set of experiments.
+
+Every registered :class:`~repro.runs.experiment.Experiment` declares the
+:class:`~repro.runs.spec.RunSpec` set it needs.  The planner collects
+them in experiment order and dedupes by content key, so the executor
+simulates each unique (network, config, options, scheduler) combination
+exactly once no matter how many experiments share it — Figure 15's GTO
+column, Figure 16's AlexNet runs and Figure 1's default-config runs all
+collapse into the Figure 2 sweep's entries, the way FPGA toolflows
+converge many networks onto one mapping pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.runs.experiment import Experiment
+from repro.runs.spec import PlanContext, RunSpec
+
+
+@dataclass
+class Plan:
+    """A deduped, canonically ordered run matrix."""
+
+    #: Unique specs in first-seen (experiment declaration) order.
+    specs: tuple[RunSpec, ...] = ()
+    #: exp_id -> the specs that experiment requires (pre-dedup view).
+    by_experiment: dict[str, tuple[RunSpec, ...]] = field(default_factory=dict)
+
+    @property
+    def total_requested(self) -> int:
+        """Sum of per-experiment requirements before deduplication."""
+        return sum(len(specs) for specs in self.by_experiment.values())
+
+    def describe(self) -> str:
+        """Planner log: the dedup ratio and each unique run."""
+        lines = [
+            f"[plan] {len(self.by_experiment)} experiments requested "
+            f"{self.total_requested} runs -> {len(self.specs)} unique"
+        ]
+        lines.extend(f"[plan]   {spec.describe()}" for spec in self.specs)
+        return "\n".join(lines)
+
+
+def build_plan(experiments: Iterable[Experiment], ctx: PlanContext | None = None) -> Plan:
+    """Collect and dedupe every experiment's required runs."""
+    ctx = ctx or PlanContext()
+    seen: dict[str, RunSpec] = {}
+    ordered: list[RunSpec] = []
+    by_experiment: dict[str, tuple[RunSpec, ...]] = {}
+    for experiment in experiments:
+        required = tuple(experiment.plan(ctx))
+        by_experiment[experiment.exp_id] = required
+        for spec in required:
+            key = spec.key()
+            if key not in seen:
+                seen[key] = spec
+                ordered.append(spec)
+    return Plan(specs=tuple(ordered), by_experiment=by_experiment)

@@ -17,9 +17,12 @@ amortizes across the batch (the RNNs batch almost for free) while
 compute saturates once grids fill the chip (VGG-sized CNNs batch
 sublinearly, then linearly).
 
-Profile building goes through :class:`repro.perf.cache.KernelResultCache`
-when one is supplied, so a fleet × network profile matrix costs one
-cold simulation per pair ever, and milliseconds thereafter.
+Profile building requests its batch-1 simulations as
+:class:`~repro.runs.spec.RunSpec` entries through the shared
+:class:`~repro.runs.executor.Executor`, so it reads the same unified
+result store the experiment harness fills: a prior ``repro harness run``
+sweep makes ``repro serve`` start warm, and a fleet × network profile
+matrix costs one cold simulation per pair ever, milliseconds thereafter.
 """
 
 from __future__ import annotations
@@ -137,28 +140,39 @@ def build_profiles(
     networks: Iterable[str],
     platforms: Iterable[GpuConfig],
     options: SimOptions | None = None,
-    cache=None,
+    store=None,
+    jobs: int = 1,
+    executor=None,
 ) -> dict[tuple[str, str], LatencyProfile]:
-    """Profile every (network, platform) pair via ``simulate_network``.
+    """Profile every (network, platform) pair via the shared executor.
 
     Extension networks (``mobilenet``) are first-class here: anything
     :func:`repro.kernels.compile.compiled_network` accepts can be
     profiled.  Device *instances* sharing a platform share one profile,
     keyed ``(network, platform.name)``.  Pass a
-    :class:`~repro.perf.cache.KernelResultCache` to make repeat builds
-    near-instant.
+    :class:`~repro.runs.store.ResultStore` (or let ``executor`` carry
+    one) to make repeat builds — and builds after a harness sweep over
+    the same combos — near-instant.
     """
-    from repro.gpu.simulator import simulate_network
+    from repro.runs.executor import Executor
+    from repro.runs.spec import RunSpec
 
     options = options or SimOptions()
     unique: dict[str, GpuConfig] = {}
     for platform in platforms:
         unique.setdefault(platform.name, platform)
+    if executor is None:
+        executor = Executor(store)
+    specs = [
+        RunSpec(name, platform, options)
+        for name in dict.fromkeys(networks)
+        for platform in unique.values()
+    ]
+    executor.execute(specs, jobs=jobs)
     profiles: dict[tuple[str, str], LatencyProfile] = {}
-    for name in dict.fromkeys(networks):
-        for platform in unique.values():
-            result = simulate_network(name, platform, options, cache=cache)
-            profiles[(name, platform.name)] = profile_from_result(result)
+    for spec in specs:
+        result = executor.run(spec)
+        profiles[(spec.network, spec.config.name)] = profile_from_result(result)
     return profiles
 
 

@@ -1,0 +1,36 @@
+"""Regenerate the golden series files (run from the repo root).
+
+    PYTHONPATH=src python tests/golden/regen.py fixture   # seconds
+    PYTHONPATH=src python tests/golden/regen.py full      # minutes
+
+Only regenerate for an *intentional* behavioral change (engine bump,
+new network weights); the tests pin these bytes on purpose.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from test_golden_series import FIXTURE_CTX, canonical, series_of  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "fixture"
+    if which == "fixture":
+        path = GOLDEN_DIR / "fixture_series.json"
+        path.write_text(canonical(series_of(FIXTURE_CTX)) + "\n")
+    elif which == "full":
+        path = GOLDEN_DIR / "suite_series.json"
+        path.write_text(canonical(series_of()) + "\n")
+    else:
+        raise SystemExit(f"unknown target {which!r} (expected fixture|full)")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Golden-series regression tests for the experiment harness.
+
+The aggregated series of every registered experiment are pinned against
+committed JSON.  The tier-1 fixture runs the whole registry over a
+restricted (cifarnet, gru) context with light sampling — seconds, no
+disk cache — and must stay **byte-stable**: both the simulator and the
+JSON float round-trip are deterministic, so any diff is a real
+behavioral change.  The slow full-suite golden pins all 20 experiments'
+paper-matrix series (pre-refactor values; regenerate with
+``python tests/golden/regen.py`` only for an intentional engine change).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.gpu.config import SimOptions
+from repro.harness.suite import run_all
+from repro.runs import PlanContext
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The tier-1 fixture context: two cheap networks, light sampling.
+FIXTURE_CTX = PlanContext(networks=("cifarnet", "gru"), options=SimOptions().light())
+
+
+def series_of(ctx: PlanContext | None = None) -> dict:
+    """exp_id -> aggregated series for every registered experiment."""
+    results = run_all(cache_dir=None, verbose=False, ctx=ctx)
+    return {result.exp_id: result.series for result in results}
+
+
+def canonical(series: dict) -> str:
+    return json.dumps(series, indent=2, sort_keys=False)
+
+
+class TestFixtureGolden:
+    def test_fixture_series_byte_stable(self):
+        golden = (GOLDEN_DIR / "fixture_series.json").read_text()
+        assert canonical(series_of(FIXTURE_CTX)) + "\n" == golden
+
+    def test_fixture_covers_all_experiments(self):
+        golden = json.loads((GOLDEN_DIR / "fixture_series.json").read_text())
+        assert len(golden) == 20
+
+
+@pytest.mark.slow
+class TestFullSuiteGolden:
+    def test_full_series_match_pre_refactor_golden(self):
+        golden = json.loads((GOLDEN_DIR / "suite_series.json").read_text())
+        assert series_of() == golden

@@ -1,0 +1,54 @@
+"""Tests for ``repro harness list|run`` (the unified-pipeline CLI)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestHarnessList:
+    def test_lists_all_experiments_with_run_counts(self, capsys):
+        assert main(["harness", "list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 20
+        assert any(line.startswith("table1") and "analytic" in line for line in lines)
+        assert any(line.startswith("fig02") and "28 runs" in line for line in lines)
+
+
+class TestHarnessRun:
+    def test_runs_selected_analytic_experiments(self, capsys):
+        assert main(["harness", "run", "table2", "fig09", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig09" in out
+        assert "2 experiments" in out and "0 failed" in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["harness", "run", "fig99", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_json_output(self, capsys, tmp_path):
+        out_dir = tmp_path / "json"
+        assert main(["harness", "run", "table4", "--no-cache",
+                     "--json", str(out_dir)]) == 0
+        payload = json.loads((out_dir / "table4.json").read_text())
+        assert payload["id"] == "table4"
+        assert payload["series"] and payload["checks"]
+        assert all(check["passed"] for check in payload["checks"])
+
+    def test_chart_renders_series(self, capsys):
+        assert main(["harness", "run", "fig09", "--no-cache", "--chart"]) == 0
+        out = capsys.readouterr().out
+        # The bar chart glyph only appears in rendered charts.
+        assert "█" in out or "#" in out
+
+    def test_cache_dir_fills_unified_store(self, capsys, tmp_path):
+        cache = tmp_path / "store"
+        assert main(["harness", "run", "fig16", "--cache-dir", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "3 fresh, 0 cached" in first
+        assert (cache / "runs").is_dir()
+        assert main(["harness", "run", "fig16", "--cache-dir", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "0 fresh, 3 cached" in second

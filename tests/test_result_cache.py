@@ -16,9 +16,9 @@ import pytest
 
 from repro.gpu.config import GpuConfig, SimOptions
 from repro.gpu.simulator import simulate_network
-from repro.perf import cache as cache_mod
-from repro.perf.cache import KernelResultCache, cache_key, default_cache_dir
 from repro.platforms import GP102
+from repro.runs import store as store_mod
+from repro.runs.store import KernelResultCache, cache_key, default_cache_dir
 
 #: A replacement value per field type, distinct from any default.
 _BUMP = {
@@ -65,7 +65,7 @@ class TestKeyContract:
     def test_engine_version_invalidates(self, monkeypatch):
         base = SimOptions()
         before = cache_key(self.SIG, GP102, base)
-        monkeypatch.setattr(cache_mod, "ENGINE_VERSION", "test-engine")
+        monkeypatch.setattr(store_mod, "ENGINE_VERSION", "test-engine")
         assert cache_key(self.SIG, GP102, base) != before
 
     def test_stale_engine_entry_not_returned(self, tmp_path, monkeypatch):

@@ -1,0 +1,183 @@
+"""The run pipeline: planner dedup, executor read-through, unified store.
+
+The planner must collapse the 20 registered experiments' requested runs
+into the minimal unique matrix; the executor must simulate each unique
+spec at most once (memory -> store -> simulate); the store must round-
+trip whole-network results byte-identically and invalidate on any key
+ingredient change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.gpu.config import SimOptions
+from repro.platforms import GP102, TX1
+from repro.runs import (
+    Executor,
+    PlanContext,
+    ResultStore,
+    RunSpec,
+    build_plan,
+    run_key,
+)
+from repro.runs import store as store_mod
+from repro.runs.registry import all_experiments
+from repro.runs.store import cache_stats, clear_cache, result_from_payload, result_to_payload
+
+LIGHT = SimOptions(max_trips=4, max_outer_trips=1, max_sim_blocks=1)
+
+
+class TestPlanner:
+    def test_full_suite_dedupes_to_55_unique_runs(self):
+        plan = build_plan(all_experiments().values())
+        assert len(plan.specs) == 55
+        assert plan.total_requested > len(plan.specs)
+        # Dedup really is by content: no two specs share a key.
+        keys = [spec.key() for spec in plan.specs]
+        assert len(set(keys)) == len(keys)
+
+    def test_every_simulating_experiment_contributes(self):
+        plan = build_plan(all_experiments().values())
+        assert set(plan.by_experiment) == set(all_experiments())
+        analytic = {exp_id for exp_id, specs in plan.by_experiment.items() if not specs}
+        assert analytic == {
+            "table1", "table2", "table3", "table4",
+            "fig08", "fig09", "fig10", "fig11", "fig12",
+        }
+
+    def test_shared_runs_planned_once(self):
+        experiments = all_experiments()
+        plan = build_plan([experiments["fig01"], experiments["fig02"]])
+        # Figure 1's default-config CNN runs are inside Figure 2's L1
+        # sweep: together they need no more than the sweep alone.
+        assert len(plan.specs) == len(build_plan([experiments["fig02"]]).specs)
+
+    def test_restricted_context_shrinks_matrix(self):
+        ctx = PlanContext(networks=("cifarnet", "gru"), options=LIGHT)
+        plan = build_plan(all_experiments().values(), ctx)
+        assert 0 < len(plan.specs) < 55
+        assert {spec.network for spec in plan.specs} == {"cifarnet", "gru"}
+
+    def test_describe_lists_each_unique_run_once(self):
+        plan = build_plan(all_experiments().values())
+        lines = plan.describe().splitlines()
+        assert "-> 55 unique" in lines[0]
+        assert len(lines) == 1 + 55
+
+
+class TestRunKey:
+    def test_key_differs_by_network(self):
+        assert run_key("gru", GP102, LIGHT) != run_key("lstm", GP102, LIGHT)
+
+    def test_key_differs_by_config(self):
+        assert run_key("gru", GP102, LIGHT) != run_key("gru", TX1, LIGHT)
+        assert run_key("gru", GP102, LIGHT) != run_key("gru", GP102.with_l1(0), LIGHT)
+
+    def test_key_differs_by_options(self):
+        assert run_key("gru", GP102, LIGHT) != run_key(
+            "gru", GP102, replace(LIGHT, scheduler="lrr")
+        )
+
+    def test_key_differs_by_engine_version(self, monkeypatch):
+        import repro.gpu.sm as sm
+
+        before = run_key("gru", GP102, LIGHT)
+        monkeypatch.setattr(sm, "ENGINE_VERSION", "test-engine")
+        assert run_key("gru", GP102, LIGHT) != before
+
+
+class TestExecutor:
+    def test_memory_read_through(self):
+        executor = Executor()
+        spec = RunSpec("gru", GP102, LIGHT)
+        first = executor.run(spec)
+        second = executor.run(spec)
+        assert executor.fresh == 1
+        assert second is first
+
+    def test_store_read_through_is_value_identical(self, tmp_path):
+        spec = RunSpec("gru", GP102, LIGHT)
+        fresh = Executor(ResultStore(tmp_path)).run(spec)
+        cached = Executor(ResultStore(tmp_path)).run(spec)
+        assert cached.total_cycles == fresh.total_cycles
+        assert cached.total_time_ms == fresh.total_time_ms
+        assert cached.cycles_by_category() == fresh.cycles_by_category()
+        assert cached.aggregate().issued == fresh.aggregate().issued
+
+    def test_execute_reports_fresh_then_cached(self, tmp_path):
+        specs = [RunSpec("gru", GP102, LIGHT), RunSpec("gru", TX1, LIGHT)]
+        store = ResultStore(tmp_path)
+        report = Executor(store).execute(specs)
+        assert (report.planned, report.fresh, report.cached) == (2, 2, 0)
+        rerun = Executor(ResultStore(tmp_path)).execute(specs)
+        assert (rerun.planned, rerun.fresh, rerun.cached) == (2, 0, 2)
+        assert "2 unique runs: 0 fresh, 2 cached" in rerun.summary()
+
+    def test_parallel_execute_matches_serial(self, tmp_path):
+        specs = [RunSpec("gru", GP102, LIGHT), RunSpec("cifarnet", GP102, LIGHT)]
+        serial = Executor()
+        for spec in specs:
+            serial.run(spec)
+        parallel = Executor(ResultStore(tmp_path))
+        report = parallel.execute(specs, jobs=2)
+        assert report.fresh == 2
+        for spec in specs:
+            assert parallel.run(spec).total_cycles == serial.run(spec).total_cycles
+
+
+class TestStore:
+    def test_payload_roundtrip_is_exact(self):
+        result = Executor().run(RunSpec("gru", GP102, LIGHT))
+        payload = json.loads(json.dumps(result_to_payload(result)))
+        clone = result_from_payload(payload, "gru", GP102)
+        assert clone.total_cycles == result.total_cycles
+        assert clone.cycles_by_category() == result.cycles_by_category()
+        for ka, kb in zip(result.kernels, clone.kernels):
+            assert ka.stats.to_dict() == kb.stats.to_dict()
+            assert ka.kernel.signature() == kb.kernel.signature()
+
+    def test_single_store_holds_both_granularities(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(store).run(RunSpec("gru", GP102, LIGHT))
+        stats = cache_stats(tmp_path)
+        assert stats["kernel_entries"] > 0
+        assert stats["run_entries"] == 1
+        assert stats["entries"] == stats["kernel_entries"] + stats["run_entries"]
+        assert stats["bytes"] > 0
+
+    def test_clear_covers_runs_and_legacy_dir(self, tmp_path, monkeypatch):
+        # The pre-unification .tango_cache lived in the working directory.
+        monkeypatch.chdir(tmp_path)
+        store = ResultStore(tmp_path)
+        Executor(store).run(RunSpec("gru", GP102, LIGHT))
+        legacy = tmp_path / store_mod.LEGACY_TANGO_DIR
+        legacy.mkdir()
+        (legacy / "stale.json").write_text("{}")
+        assert cache_stats(tmp_path)["legacy_tango_entries"] == 1
+        removed = clear_cache(tmp_path)
+        assert removed > 0
+        assert not legacy.exists()
+        assert cache_stats(tmp_path)["entries"] == 0
+
+    def test_corrupt_run_entry_reads_as_miss(self, tmp_path):
+        spec = RunSpec("gru", GP102, LIGHT)
+        store = ResultStore(tmp_path)
+        Executor(store).run(spec)
+        store.run_path(spec).write_text("{broken")
+        reread = ResultStore(tmp_path)
+        assert reread.get_run(spec) is None
+        result = Executor(reread).run(spec)
+        assert result.total_cycles > 0
+
+    def test_engine_bump_misses_stale_run(self, tmp_path, monkeypatch):
+        import repro.gpu.sm as sm
+
+        spec = RunSpec("gru", GP102, LIGHT)
+        Executor(ResultStore(tmp_path)).run(spec)
+        monkeypatch.setattr(sm, "ENGINE_VERSION", "test-engine")
+        monkeypatch.setattr(store_mod, "ENGINE_VERSION", "test-engine")
+        assert ResultStore(tmp_path).get_run(spec) is None

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.gpu.simulator import simulate_network
-from repro.perf.cache import KernelResultCache
+from repro.runs import ResultStore
 from repro.platforms import GP102
 from repro.serve.profiles import (
     LatencyProfile,
@@ -54,13 +54,13 @@ class TestProfileFromResult:
 
 
 class TestBuildProfiles:
-    def test_build_uses_cache(self, light_options, tmp_path):
-        cache = KernelResultCache(tmp_path)
-        first = build_profiles(["gru"], [GP102], light_options, cache)
-        assert cache.stores > 0
-        warm = KernelResultCache(tmp_path)
+    def test_build_uses_store(self, light_options, tmp_path):
+        store = ResultStore(tmp_path)
+        first = build_profiles(["gru"], [GP102], light_options, store)
+        assert store.run_stores > 0
+        warm = ResultStore(tmp_path)
         second = build_profiles(["gru"], [GP102], light_options, warm)
-        assert warm.hits > 0 and warm.stores == 0
+        assert warm.run_hits > 0 and warm.run_stores == 0
         key = ("gru", "GP102")
         assert second[key].latency_ms(4) == first[key].latency_ms(4)
 
