@@ -21,7 +21,7 @@ Subcommands:
 ``repro bench [networks...]``
     Time cold vs warm-cache simulations per network and write
     ``BENCH_sim.json`` (``--seed`` also times the frozen reference
-    engine for speedup ratios).
+    engine for speedup ratios).  ``--json`` also prints the payload.
 
 ``repro harness list`` / ``repro harness run [exp-ids...]``
     The paper-experiment harness: ``list`` prints every registered
@@ -29,8 +29,9 @@ Subcommands:
     the selected experiments' minimal run matrix, executes it against
     the unified result store (``--jobs N`` fans fresh simulations out),
     aggregates each experiment's series and evaluates the paper-claim
-    checks.  Exit status 1 when any check fails.  ``--json DIR`` and
-    ``--chart`` mirror ``python -m repro.harness.suite``.
+    checks.  Exit status 1 when any check fails.  ``--json`` prints all
+    results as one JSON document, ``--json-dir DIR`` writes one file
+    per experiment, ``--chart`` renders terminal bar charts.
 
 ``repro serve``
     Run the discrete-event inference-serving simulator over a fleet of
@@ -43,13 +44,31 @@ Subcommands:
     violations and per-device utilization; ``--json`` and ``--report``
     emit machine- and markdown-readable forms.
 
+``repro trace simulate [networks...]`` / ``repro trace serve``
+    Record an execution trace (:mod:`repro.obs`) of a simulation or a
+    serving run and write it as Chrome-trace-event JSON — load the file
+    in https://ui.perfetto.dev.  ``trace simulate`` re-simulates the
+    named networks (default: alexnet) so GPU kernel and warp-phase
+    spans are always captured; ``trace serve`` accepts the full ``repro
+    serve`` option set and additionally captures request/batch/queue
+    spans.  ``--output PATH`` names the artifact, ``--no-warps`` drops
+    the (voluminous) per-warp stall phases, ``--max-events N`` bounds
+    trace memory (overflow is counted, never silent).
+
 ``repro cache``
     Inspect (``stats``) or empty (``clear``) the unified result store —
     kernel entries and whole-network run entries in one directory
     (plus any stale pre-unification ``.tango_cache/``).
 
 ``repro networks``
-    List the benchmark suite (paper networks plus extensions).
+    List the benchmark suite (paper networks plus extensions);
+    ``--json`` emits machine-readable rows.
+
+Shared flags behave identically everywhere they appear: ``--json``
+(machine-readable stdout), ``--jobs N`` (worker processes),
+``--cache-dir DIR`` / ``--no-cache`` (the unified result store) and
+``--fidelity default|light`` (simulation sampling; ``--light`` is the
+legacy spelling).
 
 Also invocable as ``python -m repro ...``.
 """
@@ -101,11 +120,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _light_requested(args: argparse.Namespace) -> bool:
+    """Either spelling of the fast sampling mode: ``--fidelity light``
+    or the legacy ``--light``."""
+    return (
+        getattr(args, "light", False)
+        or getattr(args, "fidelity", "default") == "light"
+    )
+
+
 def _sim_options(args: argparse.Namespace):
     from repro.gpu.config import SimOptions
 
     options = SimOptions(scheduler=args.scheduler)
-    if getattr(args, "light", False):
+    if _light_requested(args):
         options = options.light()
     return options
 
@@ -168,7 +196,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     write_bench(payload, args.output)
-    print(f"wrote {args.output}")
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -198,13 +231,22 @@ def _make_workload(args: argparse.Namespace, names: list[str]):
     return TraceWorkload.from_json(args.trace)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    import json
-    import time
-    from dataclasses import replace
+def _serve_prepare(
+    args: argparse.Namespace, quiet: bool = False, refresh: bool = False
+):
+    """Validate serve arguments and build fleet, profiles and workload.
 
+    Returns an int exit code on error, else the tuple
+    ``(fleet, profiles, workload, schedulers, base_config)``.  Shared
+    by ``repro serve`` and ``repro trace serve`` (which passes
+    ``refresh=True`` so profile building re-simulates and the trace
+    captures the GPU layer too).
+    """
+    import time
+
+    from repro.gpu.config import SimOptions
     from repro.runs import Executor, ResultStore
-    from repro.serve import ServeConfig, build_fleet, build_profiles, run_serve
+    from repro.serve import ServeConfig, build_fleet, build_profiles
     from repro.serve.schedulers import SCHEDULERS
 
     names = [name for name in args.networks.split(",") if name]
@@ -231,19 +273,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # Profiles use the simulator's default warp scheduler; ``--scheduler``
     # here names the *serving* policy, not the warp scheduler.
-    from repro.gpu.config import SimOptions
-
     options = SimOptions(scheduler=args.sim_scheduler)
-    if args.light:
+    if _light_requested(args):
         options = options.light()
     store = None if args.no_cache else ResultStore(args.cache_dir)
     executor = Executor(store)
     start = time.perf_counter()
     profiles = build_profiles(
-        names, [device.platform for device in fleet], options, executor=executor
+        names, [device.platform for device in fleet], options,
+        executor=executor, jobs=getattr(args, "jobs", 1), refresh=refresh,
     )
     build_s = time.perf_counter() - start
-    if not args.json:
+    if not quiet and not args.json:
         print(f"fleet: {' '.join(device.name for device in fleet)}")
         if store is not None:
             print(f"profiles: {len(profiles)} built in {build_s:.2f} s "
@@ -258,6 +299,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.queue,
         seed=args.seed,
     )
+    return fleet, profiles, workload, schedulers, base
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.serve import run_serve
+
+    prep = _serve_prepare(args)
+    if isinstance(prep, int):
+        return prep
+    fleet, profiles, workload, schedulers, base = prep
     runs = [
         run_serve(fleet, profiles, workload, replace(base, scheduler=name))
         for name in schedulers
@@ -290,7 +344,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.serve.report import write_serve_report
 
         scenario = {
-            "networks": ",".join(names),
+            "networks": args.networks,
             "devices": args.devices,
             "arrival": args.arrival,
             "rps": args.rps,
@@ -304,6 +358,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_serve_report(args.report, runs, scenario)
         if not args.json:
             print(f"\nwrote {args.report}")
+    return 0
+
+
+def _trace_tracer(args: argparse.Namespace):
+    from repro.obs import Tracer
+
+    return Tracer(warps=not args.no_warps, max_events=args.max_events)
+
+
+def _print_trace_outcome(args: argparse.Namespace, tracer, payload) -> None:
+    if args.json:
+        import json
+
+        print(json.dumps(payload))
+    else:
+        dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+        print(f"wrote {args.output}: {len(tracer.spans)} spans, "
+              f"{len(tracer.instants)} instants{dropped}")
+
+
+def _cmd_trace_simulate(args: argparse.Namespace) -> int:
+    from repro.obs import set_tracer, write_trace
+    from repro.platforms import get_platform
+    from repro.runs import Executor, ResultStore, RunSpec
+
+    names = args.networks or ["alexnet"]
+    err = _check_networks(names)
+    if err is not None:
+        return err
+    config = get_platform(args.platform)
+    options = _sim_options(args)
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    tracer = _trace_tracer(args)
+    previous = set_tracer(tracer)
+    try:
+        executor = Executor(store)
+        for name in names:
+            # refresh=True: re-simulate even on a warm store so the
+            # trace always contains live GPU spans.
+            executor.run(RunSpec(name, config, options), refresh=True)
+    finally:
+        set_tracer(previous)
+    payload = write_trace(tracer, args.output, meta={
+        "command": "trace simulate",
+        "networks": names,
+        "platform": config.name,
+        "scheduler": args.scheduler,
+        "fidelity": "light" if _light_requested(args) else "default",
+    })
+    _print_trace_outcome(args, tracer, payload)
+    return 0
+
+
+def _cmd_trace_serve(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.obs import set_tracer, write_trace
+    from repro.serve import run_serve
+
+    tracer = _trace_tracer(args)
+    previous = set_tracer(tracer)
+    schedulers: list[str] = []
+    try:
+        prep = _serve_prepare(args, quiet=True, refresh=True)
+        if isinstance(prep, int):
+            return prep
+        fleet, profiles, workload, schedulers, base = prep
+        for name in schedulers:
+            run_serve(fleet, profiles, workload, replace(base, scheduler=name))
+    finally:
+        set_tracer(previous)
+    payload = write_trace(tracer, args.output, meta={
+        "command": "trace serve",
+        "networks": args.networks,
+        "devices": args.devices,
+        "schedulers": ",".join(schedulers),
+        "arrival": args.arrival,
+    })
+    _print_trace_outcome(args, tracer, payload)
     return 0
 
 
@@ -353,7 +486,12 @@ def _cmd_harness(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    from repro.harness.suite import DEFAULT_STORE, run_all, write_json
+    from repro.harness.suite import (
+        DEFAULT_STORE,
+        result_payload,
+        run_all,
+        write_json,
+    )
 
     if args.no_cache:
         cache_dir = None
@@ -363,8 +501,9 @@ def _cmd_harness(args: argparse.Namespace) -> int:
         ids=args.experiments or None,
         cache_dir=cache_dir,
         jobs=args.jobs,
+        verbose=not args.json,
     )
-    if args.chart:
+    if args.chart and not args.json:
         from repro.harness.render import render_experiment
 
         for result in results:
@@ -372,40 +511,177 @@ def _cmd_harness(args: argparse.Namespace) -> int:
             if chart:
                 print("\n" + chart)
     if args.json:
-        write_json(results, args.json)
+        import json
+
+        print(json.dumps([result_payload(r) for r in results], indent=2))
+    if args.json_dir:
+        write_json(results, args.json_dir, verbose=not args.json)
     failed = [
         f"{r.exp_id}: {c.claim}" for r in results for c in r.checks if not c.passed
     ]
-    print(f"\n{len(results)} experiments, "
-          f"{sum(len(r.checks) for r in results)} checks, {len(failed)} failed")
-    for line in failed:
-        print(f"  FAIL {line}")
+    if not args.json:
+        print(f"\n{len(results)} experiments, "
+              f"{sum(len(r.checks) for r in results)} checks, {len(failed)} failed")
+        for line in failed:
+            print(f"  FAIL {line}")
     return 1 if failed else 0
 
 
 def _cmd_networks(args: argparse.Namespace) -> int:
-    for name in NETWORK_ORDER + EXTENSION_NETWORKS:
-        info = BENCHMARK_INFO[name]
-        extra = " (extension)" if name in EXTENSION_NETWORKS else ""
-        print(f"{name:12s} {info.display_name} [{info.kind}]{extra}")
+    rows = [
+        {
+            "name": name,
+            "display_name": BENCHMARK_INFO[name].display_name,
+            "kind": BENCHMARK_INFO[name].kind,
+            "extension": name in EXTENSION_NETWORKS,
+        }
+        for name in NETWORK_ORDER + EXTENSION_NETWORKS
+    ]
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            extra = " (extension)" if row["extension"] else ""
+            print(f"{row['name']:12s} {row['display_name']} "
+                  f"[{row['kind']}]{extra}")
     return 0
+
+
+def _shared_parents() -> dict[str, argparse.ArgumentParser]:
+    """Parent parsers for the flags that must behave identically across
+    subcommands (one definition, shared help text)."""
+    json_p = argparse.ArgumentParser(add_help=False)
+    json_p.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON on stdout")
+    jobs_p = argparse.ArgumentParser(add_help=False)
+    jobs_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan fresh simulations out across N worker "
+                             "processes (default: 1)")
+    cache_dir_p = argparse.ArgumentParser(add_help=False)
+    cache_dir_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="result-store directory (default: "
+                                  "$REPRO_CACHE_DIR or .repro-cache)")
+    no_cache_p = argparse.ArgumentParser(add_help=False)
+    no_cache_p.add_argument("--no-cache", action="store_true",
+                            help="skip the persistent result store")
+    return {
+        "json": json_p,
+        "jobs": jobs_p,
+        "cache_dir": cache_dir_p,
+        "no_cache": no_cache_p,
+    }
+
+
+def _add_sim_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``simulate``, ``bench`` and ``trace simulate``."""
+    sub_parser.add_argument("--platform", default="gp102",
+                            help="platform model (default: gp102)")
+    sub_parser.add_argument("--scheduler", default="gto",
+                            choices=("gto", "lrr", "tlv"),
+                            help="warp scheduler (default: gto)")
+    _add_fidelity_args(sub_parser)
+
+
+def _add_fidelity_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--fidelity", default="default",
+                            choices=("default", "light"),
+                            help="simulation sampling fidelity: 'light' "
+                                 "is fast for smoke tests but not "
+                                 "comparable to default runs")
+    sub_parser.add_argument("--light", action="store_true",
+                            help="alias for --fidelity light")
+
+
+def _add_serve_args(sub_parser: argparse.ArgumentParser) -> None:
+    """Workload/fleet/policy arguments shared by ``serve`` and
+    ``trace serve`` (store and output flags come from the parents)."""
+    sub_parser.add_argument("--networks", default="alexnet,resnet",
+                            metavar="A,B",
+                            help="comma-separated networks to serve "
+                                 "(default: alexnet,resnet; extensions like "
+                                 "mobilenet are accepted)")
+    sub_parser.add_argument("--devices", default="gp102:2,tx1", metavar="SPEC",
+                            help="fleet spec, e.g. gp102:2,tx1 "
+                                 "(default: gp102:2,tx1)")
+    sub_parser.add_argument("--arrival", default="poisson",
+                            choices=("poisson", "bursty", "trace", "closed"),
+                            help="workload shape (default: poisson)")
+    sub_parser.add_argument("--rps", type=float, default=100.0,
+                            help="offered request rate for poisson/bursty "
+                                 "(default: 100)")
+    sub_parser.add_argument("--requests", type=int, default=10000, metavar="N",
+                            help="number of requests (default: 10000)")
+    sub_parser.add_argument("--slo-ms", type=float, default=50.0,
+                            help="latency SLO in milliseconds (default: 50)")
+    sub_parser.add_argument("--batch", type=int, default=8, metavar="B",
+                            help="dynamic batcher max batch size (default: 8)")
+    sub_parser.add_argument("--batch-timeout-ms", type=float, default=2.0,
+                            help="max co-batching wait for a queued head "
+                                 "request (default: 2)")
+    sub_parser.add_argument("--queue", type=int, default=256, metavar="Q",
+                            help="per-device admission queue bound; overflow "
+                                 "is shed (default: 256)")
+    sub_parser.add_argument("--scheduler", default="latency-aware",
+                            metavar="NAME[,NAME]",
+                            help="scheduling policies to run, comma-separated "
+                                 "(round-robin, least-loaded, latency-aware; "
+                                 "default: latency-aware)")
+    sub_parser.add_argument("--seed", type=int, default=0,
+                            help="workload/simulation seed (default: 0)")
+    sub_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="JSON request log for --arrival trace")
+    sub_parser.add_argument("--clients", type=int, default=32,
+                            help="closed-loop client count (default: 32)")
+    sub_parser.add_argument("--think-ms", type=float, default=10.0,
+                            help="closed-loop mean think time (default: 10)")
+    sub_parser.add_argument("--burst-on-ms", type=float, default=100.0,
+                            help="bursty: burst window length (default: 100)")
+    sub_parser.add_argument("--burst-off-ms", type=float, default=400.0,
+                            help="bursty: quiet window length (default: 400)")
+    sub_parser.add_argument("--burst-off-factor", type=float, default=0.1,
+                            help="bursty: quiet-window rate factor "
+                                 "(default: 0.1)")
+    sub_parser.add_argument("--sim-scheduler", default="gto",
+                            choices=("gto", "lrr", "tlv"),
+                            help="warp scheduler used when building latency "
+                                 "profiles (default: gto)")
+    _add_fidelity_args(sub_parser)
+
+
+def _add_trace_args(
+    sub_parser: argparse.ArgumentParser, default_output: str
+) -> None:
+    """Output/volume arguments shared by the ``trace`` subcommands."""
+    sub_parser.add_argument("--output", default=default_output, metavar="PATH",
+                            help=f"Chrome-trace JSON artifact path "
+                                 f"(default: {default_output})")
+    sub_parser.add_argument("--no-warps", action="store_true",
+                            help="skip per-warp stall-phase spans (much "
+                                 "smaller traces)")
+    sub_parser.add_argument("--max-events", type=int, default=2_000_000,
+                            metavar="N",
+                            help="cap on recorded events; overflow is "
+                                 "counted in otherData.dropped_events "
+                                 "(default: 2000000)")
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level ``repro`` argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+    p = _shared_parents()
 
     lint = sub.add_parser(
         "lint",
+        parents=[p["json"]],
         help="statically verify the compiled kernels of suite networks",
         description="Run the static kernel-IR verifier (def-use, address "
         "intervals, shared-memory races, lints) over compiled networks.",
     )
     lint.add_argument("networks", nargs="*",
                       help="network names (default: the paper's seven)")
-    lint.add_argument("--json", action="store_true",
-                      help="emit machine-readable JSON instead of text")
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as failures too")
     lint.add_argument("--quiet", action="store_true",
@@ -414,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser(
         "simulate",
+        parents=[p["json"], p["jobs"], p["cache_dir"], p["no_cache"]],
         help="run whole-network GPU simulations (cached, parallelizable)",
         description="Simulate suite networks on a platform model, using "
         "the persistent cross-run kernel-result cache.",
@@ -421,19 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("networks", nargs="*",
                           help="network names (default: the paper's seven)")
     _add_sim_args(simulate)
-    simulate.add_argument("--jobs", type=int, default=1, metavar="N",
-                          help="simulate networks across N worker processes")
-    simulate.add_argument("--no-cache", action="store_true",
-                          help="skip the persistent kernel-result cache")
-    simulate.add_argument("--cache-dir", default=None, metavar="DIR",
-                          help="cache directory (default: $REPRO_CACHE_DIR "
-                               "or .repro-cache)")
-    simulate.add_argument("--json", action="store_true",
-                          help="emit per-network results as JSON")
     simulate.set_defaults(func=_cmd_simulate)
 
     bench = sub.add_parser(
         "bench",
+        parents=[p["json"], p["cache_dir"]],
         help="time cold vs warm-cache simulations (writes BENCH_sim.json)",
         description="Benchmark the simulation engine per network and emit "
         "a JSON timing report.",
@@ -447,83 +716,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of-N timing repeats (default: 1)")
     bench.add_argument("--seed", action="store_true",
                        help="also time the frozen reference engine")
-    bench.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="warm-cache directory (default: a temp dir)")
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
         "serve",
+        parents=[p["json"], p["jobs"], p["cache_dir"], p["no_cache"]],
         help="simulate inference serving over a fleet of devices",
         description="Discrete-event serving simulation: per-(network, "
         "device) latency profiles from the GPU simulator (cached), a "
         "generated or replayed request stream, dynamic batching, "
         "bounded queues and pluggable schedulers.",
     )
-    serve.add_argument("--networks", default="alexnet,resnet", metavar="A,B",
-                       help="comma-separated networks to serve "
-                            "(default: alexnet,resnet; extensions like "
-                            "mobilenet are accepted)")
-    serve.add_argument("--devices", default="gp102:2,tx1", metavar="SPEC",
-                       help="fleet spec, e.g. gp102:2,tx1 "
-                            "(default: gp102:2,tx1)")
-    serve.add_argument("--arrival", default="poisson",
-                       choices=("poisson", "bursty", "trace", "closed"),
-                       help="workload shape (default: poisson)")
-    serve.add_argument("--rps", type=float, default=100.0,
-                       help="offered request rate for poisson/bursty "
-                            "(default: 100)")
-    serve.add_argument("--requests", type=int, default=10000, metavar="N",
-                       help="number of requests (default: 10000)")
-    serve.add_argument("--slo-ms", type=float, default=50.0,
-                       help="latency SLO in milliseconds (default: 50)")
-    serve.add_argument("--batch", type=int, default=8, metavar="B",
-                       help="dynamic batcher max batch size (default: 8)")
-    serve.add_argument("--batch-timeout-ms", type=float, default=2.0,
-                       help="max co-batching wait for a queued head "
-                            "request (default: 2)")
-    serve.add_argument("--queue", type=int, default=256, metavar="Q",
-                       help="per-device admission queue bound; overflow "
-                            "is shed (default: 256)")
-    serve.add_argument("--scheduler", default="latency-aware",
-                       metavar="NAME[,NAME]",
-                       help="scheduling policies to run, comma-separated "
-                            "(round-robin, least-loaded, latency-aware; "
-                            "default: latency-aware)")
-    serve.add_argument("--seed", type=int, default=0,
-                       help="workload/simulation seed (default: 0)")
-    serve.add_argument("--trace", default=None, metavar="PATH",
-                       help="JSON request log for --arrival trace")
-    serve.add_argument("--clients", type=int, default=32,
-                       help="closed-loop client count (default: 32)")
-    serve.add_argument("--think-ms", type=float, default=10.0,
-                       help="closed-loop mean think time (default: 10)")
-    serve.add_argument("--burst-on-ms", type=float, default=100.0,
-                       help="bursty: burst window length (default: 100)")
-    serve.add_argument("--burst-off-ms", type=float, default=400.0,
-                       help="bursty: quiet window length (default: 400)")
-    serve.add_argument("--burst-off-factor", type=float, default=0.1,
-                       help="bursty: quiet-window rate factor (default: 0.1)")
-    serve.add_argument("--sim-scheduler", default="gto",
-                       choices=("gto", "lrr", "tlv"),
-                       help="warp scheduler used when building latency "
-                            "profiles (default: gto)")
-    serve.add_argument("--light", action="store_true",
-                       help="light-sampling latency profiles (fast smoke "
-                            "runs; not comparable to default profiles)")
-    serve.add_argument("--no-cache", action="store_true",
-                       help="skip the persistent kernel-result cache when "
-                            "building profiles")
-    serve.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="cache directory (default: $REPRO_CACHE_DIR "
-                            "or .repro-cache)")
-    serve.add_argument("--json", action="store_true",
-                       help="emit ServeStats JSON instead of text")
+    _add_serve_args(serve)
     serve.add_argument("--report", default=None, metavar="PATH",
                        help="also write a markdown report to PATH")
     serve.set_defaults(func=_cmd_serve)
 
+    trace = sub.add_parser(
+        "trace",
+        help="record a Chrome-trace (Perfetto) JSON of a run",
+        description="Record spans and metrics through the GPU, "
+        "run-orchestration and serving layers (repro.obs) and write "
+        "Chrome-trace-event JSON, loadable in https://ui.perfetto.dev.",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_sim = trace_sub.add_parser(
+        "simulate",
+        parents=[p["json"], p["cache_dir"], p["no_cache"]],
+        help="trace whole-network GPU simulations",
+        description="Re-simulate the named networks (cache refreshed, "
+        "never read) with the tracer installed and write the trace.",
+    )
+    trace_sim.add_argument("networks", nargs="*",
+                           help="network names (default: alexnet)")
+    _add_sim_args(trace_sim)
+    _add_trace_args(trace_sim, "trace-simulate.json")
+    trace_sim.set_defaults(func=_cmd_trace_simulate)
+    trace_serve = trace_sub.add_parser(
+        "serve",
+        parents=[p["json"], p["cache_dir"], p["no_cache"]],
+        help="trace an inference-serving run",
+        description="Run the serving simulator (same options as 'repro "
+        "serve') with the tracer installed — profile building included, "
+        "so GPU and executor spans appear too — and write the trace.",
+    )
+    _add_serve_args(trace_serve)
+    _add_trace_args(trace_serve, "trace-serve.json")
+    trace_serve.set_defaults(func=_cmd_trace_serve)
+
     harness = sub.add_parser(
         "harness",
+        parents=[p["json"], p["jobs"], p["cache_dir"], p["no_cache"]],
         help="plan and run the paper-experiment harness",
         description="List the registered table/figure experiments or "
         "run a selection: plan the minimal simulation matrix, execute "
@@ -534,23 +777,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="list experiments, or run a selection")
     harness.add_argument("experiments", nargs="*", metavar="EXP",
                          help="experiment ids for 'run' (default: all)")
-    harness.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="execute fresh simulations across N worker "
-                              "processes")
-    harness.add_argument("--json", metavar="DIR", default=None,
+    harness.add_argument("--json-dir", metavar="DIR", default=None,
                          help="write each experiment's series/checks as "
                               "JSON under DIR")
     harness.add_argument("--chart", action="store_true",
                          help="render series as terminal bar charts")
-    harness.add_argument("--no-cache", action="store_true",
-                         help="skip the unified result store")
-    harness.add_argument("--cache-dir", default=None, metavar="DIR",
-                         help="store directory (default: $REPRO_CACHE_DIR "
-                              "or .repro-cache)")
     harness.set_defaults(func=_cmd_harness)
 
     cache = sub.add_parser(
         "cache",
+        parents=[p["json"], p["cache_dir"]],
         help="inspect or clear the unified result store",
         description="Summarize (stats) or empty (clear) the cross-run "
         "result store shared by simulate/bench/serve/harness: kernel "
@@ -558,28 +794,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("action", choices=("stats", "clear"),
                        help="what to do with the cache")
-    cache.add_argument("--cache-dir", default=None, metavar="DIR",
-                       help="cache directory (default: $REPRO_CACHE_DIR "
-                            "or .repro-cache)")
-    cache.add_argument("--json", action="store_true",
-                       help="emit stats as JSON")
     cache.set_defaults(func=_cmd_cache)
 
-    networks = sub.add_parser("networks", help="list the benchmark suite")
+    networks = sub.add_parser(
+        "networks",
+        parents=[p["json"]],
+        help="list the benchmark suite",
+    )
     networks.set_defaults(func=_cmd_networks)
     return parser
-
-
-def _add_sim_args(sub_parser: argparse.ArgumentParser) -> None:
-    """Arguments shared by ``simulate`` and ``bench``."""
-    sub_parser.add_argument("--platform", default="gp102",
-                            help="platform model (default: gp102)")
-    sub_parser.add_argument("--scheduler", default="gto",
-                            choices=("gto", "lrr", "tlv"),
-                            help="warp scheduler (default: gto)")
-    sub_parser.add_argument("--light", action="store_true",
-                            help="light sampling options (fast, for smoke "
-                                 "tests; not comparable to default runs)")
 
 
 def main(argv: list[str] | None = None) -> int:

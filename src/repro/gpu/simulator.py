@@ -30,6 +30,7 @@ from repro.kernels.compile import compiled_network
 from repro.kernels.launch import KernelLaunch
 from repro.kernels.program_builder import build_guard_program
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.tracer import CYCLES, get_tracer
 from repro.profiling.stats import KernelStats
 
 #: Guard program shared by all kernels (fully-inactive warps),
@@ -203,20 +204,23 @@ def simulate_network(
     result.
 
     *cache*, when given, is a
-    :class:`repro.perf.cache.KernelResultCache`: unique-signature
+    :class:`repro.runs.store.KernelResultCache`: unique-signature
     kernels are looked up there before simulating and stored after.
     The default (no persistent cache) leaves library behaviour
     unchanged; the ``repro simulate`` CLI and the run pipeline opt in.
     """
     options = options or SimOptions()
+    tracer = get_tracer()
     result = NetworkResult(network=name, config=config, options=options)
     local: dict[str, KernelResult] = {}
+    offset = 0.0  # back-to-back network timeline position, in cycles
     for kernel in compiled_network(name):
         signature = kernel.signature()
         hit = local.get(signature)
         if hit is None:
             entry = cache.get(signature, config, options) if cache is not None else None
             if entry is not None:
+                source = "cache"
                 hit = KernelResult(
                     kernel=kernel,
                     stats=entry.stats,
@@ -225,6 +229,7 @@ def simulate_network(
                     block_factor=entry.block_factor,
                 )
             else:
+                source = "fresh"
                 hit = simulate_kernel(kernel, config, options)
                 if cache is not None:
                     cache.put(
@@ -234,6 +239,7 @@ def simulate_network(
                     )
             local[signature] = hit
         else:
+            source = "local"
             hit = KernelResult(
                 kernel=kernel,
                 stats=_copy_stats(hit.stats),
@@ -242,6 +248,14 @@ def simulate_network(
                 block_factor=hit.block_factor,
             )
         result.kernels.append(hit)
+        if tracer.enabled:
+            tracer.span(
+                kernel.name, "kernel", CYCLES, offset, hit.stats.cycles,
+                process="gpu.network", thread=f"{name}@{config.name}",
+                args={"category": hit.category, "source": source},
+            )
+            tracer.metrics.counter(f"gpu.kernel_{source}").inc()
+            offset += hit.stats.cycles
     return result
 
 

@@ -51,11 +51,12 @@ from repro.gpu.warp import Warp
 from repro.kernels.launch import KernelLaunch, WARP_SIZE
 from repro.memory.coalescer import TRANSACTION_BYTES
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.tracer import CYCLES, get_tracer
 from repro.profiling.stall import StallReason
 from repro.profiling.stats import KernelStats
 
 #: Bumped whenever an engine change could alter simulated numbers; part
-#: of the persistent result-cache key (:mod:`repro.perf.cache`).
+#: of the persistent result-cache key (:mod:`repro.runs.store`).
 ENGINE_VERSION = "fast-2"
 
 #: Cycles lost to an instruction-buffer refill.
@@ -238,6 +239,16 @@ class SmWave:
         wtx = self._warm_txs
         kernel_name = self.kernel.name
 
+        # Warp-phase tracing (repro.obs): gated on one local bool; when
+        # off, the issue loop pays nothing beyond these two reads.  When
+        # on, sleep phases are buffered as plain tuples at the (rare)
+        # sleep/park/done sites and converted to spans after the loop.
+        tracer = get_tracer()
+        trace = tracer.enabled and tracer.warps
+        tev: list = []         # (start, end, reason_index, warp_id)
+        park_at: dict = {}     # warp_id -> barrier park cycle
+        done_at: dict = {}     # warp_id -> retirement cycle
+
         # Per-pipe next-free cycle, indexed like decode.PIPES.
         pf = [0, 0, 0, 0, 0]
         # Per-pipe bitmask of warps whose fetch/scoreboard checks passed
@@ -386,6 +397,8 @@ class SmWave:
                             if npc >= w.n:
                                 w.done = True
                                 live -= 1
+                                if trace:
+                                    done_at[w.warp_id] = cycle
                             blk = w.block
                             blk.arrived += 1
                             if blk.arrived >= blk.expected:
@@ -398,6 +411,10 @@ class SmWave:
                                 for o in blk.warps:
                                     if o.at_barrier:
                                         o.at_barrier = False
+                                        if trace:
+                                            ps = park_at.pop(o.warp_id, None)
+                                            if ps is not None:
+                                                tev.append((ps, cycle, _R_SYNC, o.warp_id))
                                         if not o.done:
                                             nxt.append(o)
                                             parked -= 1
@@ -411,6 +428,8 @@ class SmWave:
                                     bcnt[_R_SYNC] += 1
                                     sync_parked += 1
                                     parked += 1
+                                    if trace:
+                                        park_at[w.warp_id] = cycle
                             nissued += 1
                             if gto:
                                 cur = w
@@ -425,6 +444,11 @@ class SmWave:
                             w.bucket = _R_INST_FETCH
                             bcnt[_R_INST_FETCH] += 1
                             heappush(heap, (cycle + _FETCH_BUBBLE, w.warp_id))
+                            if trace:
+                                tev.append(
+                                    (cycle, cycle + _FETCH_BUBBLE,
+                                     _R_INST_FETCH, w.warp_id)
+                                )
                             continue
                         # Scoreboard: all sources ready?  First maximum
                         # wins the attribution (strict >), as in the
@@ -449,6 +473,8 @@ class SmWave:
                                     w.bucket = ri
                                     bcnt[ri] += 1
                                     heappush(heap, (worst, w.warp_id))
+                                    if trace:
+                                        tev.append((cycle, worst, ri, w.warp_id))
                                 continue
                         # Both checks are monotonic while the warp
                         # sleeps, so replays skip straight to the pipe
@@ -473,6 +499,10 @@ class SmWave:
                                 w.bucket = _R_PIPE_BUSY
                                 bcnt[_R_PIPE_BUSY] += 1
                                 heappush(heap, (free, w.warp_id))
+                                if trace:
+                                    tev.append(
+                                        (cycle, free, _R_PIPE_BUSY, w.warp_id)
+                                    )
                             continue
                     # ---- issue ----------------------------------
                     if rec is None:
@@ -507,6 +537,11 @@ class SmWave:
                                         w.bucket = _R_THROTTLE
                                         bcnt[_R_THROTTLE] += 1
                                         heappush(heap, (wk, w.warp_id))
+                                        if trace:
+                                            tev.append(
+                                                (cycle, wk, _R_THROTTLE,
+                                                 w.warp_id)
+                                            )
                                     continue
                                 w.reg_ready[dst] = rc
                                 w.reg_kind[dst] = 1  # KIND_MEM
@@ -563,6 +598,8 @@ class SmWave:
                     if npc >= w.n:
                         w.done = True
                         live -= 1
+                        if trace:
+                            done_at[w.warp_id] = cycle
                     else:
                         imask |= bit
                     nissued += 1
@@ -670,4 +707,43 @@ class SmWave:
         st.rf_writes = rf_writes
         st.wave_cycles = cycle
         st.resident_warps = len(warps)
+        if trace:
+            self._emit_trace(tracer, tev, park_at, done_at, cycle)
         return st
+
+    # ------------------------------------------------------------------
+    def _emit_trace(
+        self, tracer, tev: list, park_at: dict, done_at: dict, final_cycle: int
+    ) -> None:
+        """Convert buffered warp-phase tuples into tracer spans.
+
+        Each warp gets one life span ``[0, retirement]`` plus a span per
+        recorded sleep phase (named by stall reason), all on the same
+        thread row so Perfetto nests the phases inside the life span.
+        Timestamps are wave-local cycles (:data:`repro.obs.tracer.CYCLES`).
+        """
+        kernel_name = self.kernel.name
+        span = tracer.span
+        # A parked warp with no release on record was still waiting at
+        # wave end (its block's barrier released on the final cycle).
+        for wid, start in park_at.items():
+            tev.append((start, final_cycle, _R_SYNC, wid))
+        stall_cycles = 0
+        for w in self.warps:
+            wid = w.warp_id
+            span(
+                "warp", "warp", CYCLES, 0.0,
+                float(done_at.get(wid, final_cycle)),
+                process="gpu.wave", thread=f"{kernel_name}:w{wid}",
+                args={"warp": wid, "block": wid // self.kernel.warps_per_block},
+            )
+        for start, end, ri, wid in tev:
+            span(
+                _REASONS[ri].value, "stall", CYCLES, float(start),
+                float(end - start),
+                process="gpu.wave", thread=f"{kernel_name}:w{wid}",
+            )
+            stall_cycles += end - start
+        metrics = tracer.metrics
+        metrics.counter("gpu.stall_phases").inc(len(tev))
+        metrics.counter("gpu.stall_cycles").inc(float(stall_cycles))

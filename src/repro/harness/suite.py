@@ -118,23 +118,32 @@ def main(argv: list[str] | None = None) -> int:
     return 1 if failed else 0
 
 
-def write_json(results: list[ExperimentResult], out_dir: str | Path) -> None:
+def result_payload(result: ExperimentResult) -> dict:
+    """One experiment's JSON form (shared by file and stdout output)."""
+    return {
+        "id": result.exp_id,
+        "title": result.title,
+        "series": result.series,
+        "checks": [
+            {"claim": c.claim, "passed": c.passed, "detail": c.detail}
+            for c in result.checks
+        ],
+        "notes": result.notes,
+    }
+
+
+def write_json(
+    results: list[ExperimentResult], out_dir: str | Path, verbose: bool = True
+) -> None:
     """Write one ``<exp_id>.json`` per result under *out_dir*."""
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     for result in results:
-        payload = {
-            "id": result.exp_id,
-            "title": result.title,
-            "series": result.series,
-            "checks": [
-                {"claim": c.claim, "passed": c.passed, "detail": c.detail}
-                for c in result.checks
-            ],
-            "notes": result.notes,
-        }
-        (out / f"{result.exp_id}.json").write_text(json.dumps(payload, indent=2))
-    print(f"wrote {len(results)} JSON files under {out}/")
+        (out / f"{result.exp_id}.json").write_text(
+            json.dumps(result_payload(result), indent=2)
+        )
+    if verbose:
+        print(f"wrote {len(results)} JSON files under {out}/")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,76 @@
+"""``repro.obs`` — execution tracing and metrics for every layer.
+
+The evaluation this project reproduces is fundamentally about
+*timelines and breakdowns* — per-layer execution-time decomposition,
+stall-cycle attribution, nvprof-style per-kernel characterization — yet
+aggregate result containers only say *how much*, never *when*.  This
+package adds the missing observability layer:
+
+* :mod:`repro.obs.tracer` — a span-based tracer.  Spans carry a clock
+  **domain** (GPU core cycles, serving simulated milliseconds, or host
+  wall-clock seconds) plus a (process, thread) track, so events from
+  the GPU issue loop, the run executor and the serving engine coexist
+  in one trace.  A process-global :data:`NULL_TRACER` keeps the
+  disabled path allocation-free: instrumented code checks one ``bool``
+  attribute and does nothing else.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  (cache hits, queue depths, SLO violations, batch sizes) attached to
+  the active tracer.
+* :mod:`repro.obs.export` — Chrome-trace-event JSON export, loadable
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``, plus
+  the minimal schema validator the tests and CI smoke job run.
+
+Instrumented layers (all guarded by ``get_tracer().enabled``):
+
+* :mod:`repro.gpu` — per-kernel spans on the network timeline and
+  per-warp stall/issue phases inside :class:`repro.gpu.sm.SmWave`;
+* :mod:`repro.runs` — plan, cache-probe and fresh-simulation spans in
+  the executor;
+* :mod:`repro.serve` — request arrival instants, queue-wait spans and
+  batch-execution spans in the serving engine.
+
+Enable tracing either through the ``repro trace`` CLI or in code::
+
+    from repro.obs import capture_trace, write_trace
+
+    with capture_trace() as tracer:
+        simulate_network("alexnet", GP102)
+    write_trace(tracer, "alexnet.trace.json")
+"""
+
+from repro.obs.export import to_chrome_trace, validate_chrome_trace, write_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    CYCLES,
+    NULL_TRACER,
+    SIM_MS,
+    WALL_S,
+    Instant,
+    NullTracer,
+    Span,
+    Tracer,
+    capture_trace,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "CYCLES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SIM_MS",
+    "Span",
+    "Tracer",
+    "WALL_S",
+    "capture_trace",
+    "get_tracer",
+    "set_tracer",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_trace",
+]

@@ -1,0 +1,164 @@
+"""Chrome-trace-event JSON export and the minimal schema validator.
+
+The emitted object follows the Trace Event Format's "JSON Object
+Format": a ``traceEvents`` array of complete (``X``), instant (``i``),
+counter (``C``) and metadata (``M``) events, plus extra top-level keys
+viewers ignore (``metrics``, ``otherData``).  Both Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing`` load it directly.
+
+Clock mapping: Chrome-trace timestamps are microseconds.  Each span
+carries a clock domain (:mod:`repro.obs.tracer`), scaled as
+
+* ``cycles`` — 1 cycle -> 1 us (a 1.5 GHz kernel renders ~1500x slower
+  than real time; relative widths are what matter);
+* ``sim_ms`` — 1 simulated ms -> 1000 us (real scale);
+* ``wall_s`` — 1 s -> 1e6 us (real scale).
+
+Domains never share a track: each unique (domain, process) pair maps
+to its own pid, so cross-domain timestamps are never compared on one
+timeline.  Process/thread names arrive as ``M`` metadata events.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import Gauge
+from repro.obs.tracer import CYCLES, SIM_MS, WALL_S, Tracer
+
+#: Microseconds per unit of each clock domain.
+DOMAIN_SCALE_US = {CYCLES: 1.0, SIM_MS: 1_000.0, WALL_S: 1_000_000.0}
+
+#: Human label appended to process names, naming the clock.
+DOMAIN_LABEL = {CYCLES: "cycles", SIM_MS: "simulated time", WALL_S: "wall clock"}
+
+
+class _TrackMap:
+    """Assigns stable pids/tids to (domain, process, thread) tracks."""
+
+    def __init__(self) -> None:
+        self._pids: dict[tuple[str, str], int] = {}
+        self._tids: dict[tuple[int, str], int] = {}
+        self.metadata: list[dict] = []
+
+    def resolve(self, domain: str, process: str, thread: str) -> tuple[int, int]:
+        pkey = (domain, process)
+        pid = self._pids.get(pkey)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[pkey] = pid
+            self.metadata.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": f"{process} [{DOMAIN_LABEL[domain]}]"},
+            })
+        tkey = (pid, thread)
+        tid = self._tids.get(tkey)
+        if tid is None:
+            tid = sum(1 for existing in self._tids if existing[0] == pid) + 1
+            self._tids[tkey] = tid
+            self.metadata.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": thread},
+            })
+        return pid, tid
+
+
+def to_chrome_trace(tracer: Tracer, meta: dict | None = None) -> dict:
+    """Build the Chrome-trace JSON object for one captured trace."""
+    tracks = _TrackMap()
+    events: list[dict] = []
+    for span in tracer.spans:
+        pid, tid = tracks.resolve(span.domain, span.process, span.thread)
+        scale = DOMAIN_SCALE_US[span.domain]
+        event = {
+            "name": span.name, "cat": span.cat, "ph": "X",
+            "ts": span.ts * scale, "dur": span.dur * scale,
+            "pid": pid, "tid": tid,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for inst in tracer.instants:
+        pid, tid = tracks.resolve(inst.domain, inst.process, inst.thread)
+        scale = DOMAIN_SCALE_US[inst.domain]
+        event = {
+            "name": inst.name, "cat": inst.cat, "ph": "i", "s": "t",
+            "ts": inst.ts * scale, "pid": pid, "tid": tid,
+        }
+        if inst.args:
+            event["args"] = inst.args
+        events.append(event)
+    for gauge in tracer.metrics.gauges():
+        if not isinstance(gauge, Gauge) or not gauge.timeline:
+            continue
+        pid, _ = tracks.resolve(gauge.domain, "metrics", gauge.name)
+        scale = DOMAIN_SCALE_US[gauge.domain]
+        for ts, value in gauge.timeline:
+            events.append({
+                "name": gauge.name, "cat": "metric", "ph": "C",
+                "ts": ts * scale, "pid": pid, "tid": 0,
+                "args": {"value": value},
+            })
+    payload = {
+        "traceEvents": tracks.metadata + events,
+        "displayTimeUnit": "ms",
+        "metrics": tracer.metrics.to_dict(),
+        "otherData": {
+            "tool": "repro trace",
+            "spans": len(tracer.spans),
+            "instants": len(tracer.instants),
+            "dropped_events": tracer.dropped,
+            **(meta or {}),
+        },
+    }
+    return payload
+
+
+def write_trace(tracer: Tracer, path: str | Path, meta: dict | None = None) -> dict:
+    """Export *tracer* and write the JSON artifact; returns the payload."""
+    payload = to_chrome_trace(tracer, meta)
+    Path(path).write_text(json.dumps(payload))
+    return payload
+
+
+def validate_chrome_trace(payload: dict) -> list[str]:
+    """Minimal schema check; returns a list of problems (empty = valid).
+
+    Checks what a viewer actually needs: a ``traceEvents`` list whose
+    entries carry a phase, numeric non-negative timestamps/durations
+    where the phase requires them, and integer pid/tid.  Used by the
+    tracer tests and the CI trace-smoke job.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "C", "M"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int) or not isinstance(
+            event.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems

@@ -1,13 +1,15 @@
 """Performance infrastructure: benchmarking plus a caching facade.
 
-* :mod:`repro.perf.cache` — back-compat re-exports of the kernel-cache
-  layer, which now lives in the unified :mod:`repro.runs.store`.
+* :mod:`repro.perf.cache` — deprecated back-compat re-exports of the
+  kernel-cache layer, which now lives in the unified
+  :mod:`repro.runs.store` (importing it warns; see CHANGES.md for the
+  removal path).
 * :mod:`repro.perf.bench` — the ``repro bench`` harness timing cold,
   warm-kernel-cache and warm-run-store whole-network simulations
   (emits ``BENCH_sim.json``).
 """
 
-from repro.perf.cache import (
+from repro.runs.store import (
     CACHE_DIR_ENV,
     DEFAULT_CACHE_DIR,
     CachedKernel,

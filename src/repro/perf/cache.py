@@ -1,13 +1,27 @@
-"""Back-compat facade over the unified result store.
+"""Deprecated back-compat facade over the unified result store.
 
 The persistent kernel-result cache moved into
 :mod:`repro.runs.store` when the run-orchestration layer unified it
 with the harness's former network-result cache (one directory, one key
 contract — DESIGN.md section 9).  This module re-exports the kernel
-layer's public names so existing imports keep working.
+layer's public names so existing imports keep working, but it is on a
+removal path (see CHANGES.md): importing it raises
+``DeprecationWarning``, and no in-repo code imports it any more —
+update imports to :mod:`repro.runs.store` (or :data:`ENGINE_VERSION`
+to :mod:`repro.gpu.sm`).
 """
 
 from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.perf.cache is deprecated and will be removed; import the "
+    "cache layer from repro.runs.store (and ENGINE_VERSION from "
+    "repro.gpu.sm) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.runs.store import (
     CACHE_DIR_ENV,

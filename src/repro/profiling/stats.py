@@ -137,6 +137,15 @@ class KernelStats:
             stats.stalls[StallReason(reason_name)] = value
         return stats
 
+    def summary(self) -> str:
+        """One-line rendering (the :class:`repro.stats.Stats` protocol)."""
+        return (
+            f"cycles={self.cycles:.0f} issued={self.issued:.0f} "
+            f"stalls={self.total_stalls:.0f} "
+            f"l1={self.l1_miss_ratio:.1%} l2={self.l2_miss_ratio:.1%} "
+            f"dram={self.dram_bytes:.0f}B"
+        )
+
     # ------------------------------------------------------------------
     @property
     def l1_miss_ratio(self) -> float:

@@ -11,6 +11,13 @@ contents are deterministic regardless of worker completion order.
 Both live and cached paths return :class:`StoredNetworkResult` decoded
 from the JSON payload, so every consumer sees byte-identical values
 whether the run was fresh or a hit.
+
+When a tracer is installed (:mod:`repro.obs`), the executor records
+wall-clock spans for store probes, fresh simulations and whole-plan
+passes, plus ``runs.*`` hit/miss counters.  Worker processes spawned by
+:meth:`Executor.execute` do not inherit the tracer — only in-process
+work appears in a trace (the ``repro trace`` CLI therefore runs
+serially).
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs.tracer import WALL_S, get_tracer
 from repro.runs.planner import Plan
 from repro.runs.spec import RunSpec
 from repro.runs.store import (
@@ -44,6 +52,17 @@ class ExecutionReport:
             f"{self.fresh} fresh, {self.cached} cached"
         )
 
+    def to_dict(self) -> dict:
+        """Stable JSON form (the :class:`repro.stats.Stats` protocol)."""
+        return {"planned": self.planned, "fresh": self.fresh, "cached": self.cached}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionReport":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        return cls(
+            planned=data["planned"], fresh=data["fresh"], cached=data["cached"]
+        )
+
 
 class Executor:
     """Cached, parallelizable runner of :class:`RunSpec` simulations.
@@ -62,22 +81,52 @@ class Executor:
         self.hits = 0
 
     # ------------------------------------------------------------------
-    def run(self, spec: RunSpec) -> StoredNetworkResult:
-        """Run (or load) one network simulation."""
+    def run(self, spec: RunSpec, refresh: bool = False) -> StoredNetworkResult:
+        """Run (or load) one network simulation.
+
+        ``refresh=True`` skips the memory and store reads and simulates
+        unconditionally, re-storing the result — the ``repro trace``
+        CLI uses it so a trace always contains live GPU spans even when
+        the run is already cached.
+        """
+        tracer = get_tracer()
         key = spec.key()
-        cached = self._memory.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        if self.store is not None:
-            stored = self.store.get_run(spec)
-            if stored is not None:
-                self._memory[key] = stored
+        if not refresh:
+            cached = self._memory.get(key)
+            if cached is not None:
                 self.hits += 1
-                return stored
+                if tracer.enabled:
+                    tracer.metrics.counter("runs.memory_hits").inc()
+                return cached
+            if self.store is not None:
+                probe_start = tracer.wall()
+                stored = self.store.get_run(spec)
+                if tracer.enabled:
+                    tracer.span(
+                        f"probe {spec.network}", "cache", WALL_S,
+                        probe_start, tracer.wall() - probe_start,
+                        process="runs", thread="executor",
+                        args={"run": spec.describe(), "hit": stored is not None},
+                    )
+                    tracer.metrics.counter(
+                        "runs.store_hits" if stored is not None else "runs.store_misses"
+                    ).inc()
+                if stored is not None:
+                    self._memory[key] = stored
+                    self.hits += 1
+                    return stored
         if self.verbose:
             print(f"[run] simulating {spec.describe()}", flush=True)
+        sim_start = tracer.wall()
         payload = _simulate_spec(spec, self.store)
+        if tracer.enabled:
+            tracer.span(
+                f"simulate {spec.network}", "run", WALL_S,
+                sim_start, tracer.wall() - sim_start,
+                process="runs", thread="executor",
+                args={"run": spec.describe(), "refresh": refresh},
+            )
+            tracer.metrics.counter("runs.fresh").inc()
         if self.store is not None:
             self.store.put_run(spec, payload)
         result = result_from_payload(payload, spec.config, spec.options)
@@ -89,6 +138,8 @@ class Executor:
     def execute(self, plan: Plan | Sequence[RunSpec], jobs: int = 1) -> ExecutionReport:
         """Materialize every planned run, fanning misses over *jobs*
         worker processes; returns fresh/cached counts."""
+        tracer = get_tracer()
+        pass_start = tracer.wall()
         specs = plan.specs if isinstance(plan, Plan) else tuple(plan)
         pending = self._missing(specs)
         if jobs > 1 and len(pending) > 1:
@@ -102,9 +153,17 @@ class Executor:
             if spec.key() not in self._memory:
                 self.run(spec)
         fresh = len(pending)
-        return ExecutionReport(
+        report = ExecutionReport(
             planned=len(specs), fresh=fresh, cached=len(specs) - fresh
         )
+        if tracer.enabled:
+            tracer.span(
+                "execute-plan", "plan", WALL_S,
+                pass_start, tracer.wall() - pass_start,
+                process="runs", thread="executor",
+                args={**report.to_dict(), "jobs": jobs},
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _missing(self, specs: Iterable[RunSpec]) -> list[RunSpec]:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs.tracer import WALL_S, get_tracer
 from repro.runs.experiment import Experiment
 from repro.runs.spec import PlanContext, RunSpec
 
@@ -46,6 +47,8 @@ class Plan:
 def build_plan(experiments: Iterable[Experiment], ctx: PlanContext | None = None) -> Plan:
     """Collect and dedupe every experiment's required runs."""
     ctx = ctx or PlanContext()
+    tracer = get_tracer()
+    plan_start = tracer.wall()
     seen: dict[str, RunSpec] = {}
     ordered: list[RunSpec] = []
     by_experiment: dict[str, tuple[RunSpec, ...]] = {}
@@ -57,4 +60,15 @@ def build_plan(experiments: Iterable[Experiment], ctx: PlanContext | None = None
             if key not in seen:
                 seen[key] = spec
                 ordered.append(spec)
-    return Plan(specs=tuple(ordered), by_experiment=by_experiment)
+    plan = Plan(specs=tuple(ordered), by_experiment=by_experiment)
+    if tracer.enabled:
+        tracer.span(
+            "plan", "plan", WALL_S, plan_start, tracer.wall() - plan_start,
+            process="runs", thread="planner",
+            args={
+                "experiments": len(by_experiment),
+                "requested": plan.total_requested,
+                "unique": len(plan.specs),
+            },
+        )
+    return plan

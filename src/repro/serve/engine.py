@@ -21,6 +21,12 @@ device that frees up takes the oldest ready batch at once.
 Determinism: all randomness flows from one ``random.Random(seed)``, the
 event heap breaks ties by insertion order, and every fleet scan is in
 fleet order — a fixed seed reproduces :class:`ServeStats` exactly.
+
+When a tracer is installed (:mod:`repro.obs`), each request leaves a
+queue-wait span (arrival → launch) and an execute span nested inside
+its batch's span, all in simulated milliseconds
+(:data:`repro.obs.tracer.SIM_MS`), plus shed/SLO counters, batch-size
+and latency histograms and a per-device queue-depth gauge.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from dataclasses import dataclass
 from random import Random
 from typing import Mapping, Sequence
 
+from repro.obs.tracer import SIM_MS, get_tracer
 from repro.serve.batching import Request
 from repro.serve.devices import DeviceState, ServeDevice
 from repro.serve.events import ARRIVAL, COMPLETE, FLUSH, EventQueue
@@ -99,6 +106,8 @@ class ServeSim:
         self._clock = 0.0
         self._latencies: list[float] = []
         self._per_network: dict[str, list[float]] = {}
+        self._tracer = get_tracer()
+        self._batch_seq = 0
 
         for arrival in self.workload.prime(rng):
             queue.push(arrival.time_ms, ARRIVAL, arrival)
@@ -128,11 +137,19 @@ class ServeSim:
         self._push_arrival(self.workload.next_arrival(arrival, rng), queue)
         request = Request(self._offered, arrival.network, now)
         self._offered += 1
+        tracer = self._tracer
         index = self.scheduler.choose(request, self.devices, now)
         if index is None or self.devices[index].full:
             self._shed += 1
             if index is not None:
                 self.devices[index].shed += 1
+            if tracer.enabled:
+                tracer.instant(
+                    f"shed {request.network}", "serve", SIM_MS, now,
+                    process="serve", thread="workload",
+                    args={"request": request.id},
+                )
+                tracer.metrics.counter("serve.shed").inc()
             # Closed-loop clients observe the rejection and issue again.
             self._push_arrival(
                 self.workload.on_completion(request, now, self._issued, rng), queue
@@ -140,6 +157,13 @@ class ServeSim:
             return
         state = self.devices[index]
         state.enqueue(request, now)
+        if tracer.enabled:
+            tracer.instant(
+                f"enqueue {request.network}", "serve", SIM_MS, now,
+                process="serve", thread="workload",
+                args={"request": request.id, "device": state.device.name},
+            )
+            tracer.metrics.counter("serve.enqueued").inc()
         self._dispatch(state, index, now, queue)
 
     def _on_flush(self, index: int, now: float, queue: EventQueue) -> None:
@@ -155,10 +179,17 @@ class ServeSim:
         index, batch = payload
         state = self.devices[index]
         state.busy = False
+        tracer = self._tracer
         for request in batch:
             latency = request.latency_ms
             self._latencies.append(latency)
             self._per_network.setdefault(request.network, []).append(latency)
+            if tracer.enabled:
+                metrics = tracer.metrics
+                metrics.histogram("serve.latency_ms").observe(latency)
+                metrics.counter("serve.completed").inc()
+                if latency > self.config.slo_ms:
+                    metrics.counter("serve.slo_violations").inc()
             self._push_arrival(
                 self.workload.on_completion(request, now, self._issued, rng), queue
             )
@@ -209,6 +240,36 @@ class ServeSim:
             request.start_ms = now
             request.finish_ms = finish
         state.record_depth(now)
+        tracer = self._tracer
+        if tracer.enabled:
+            device = state.device.name
+            batch_id = self._batch_seq
+            self._batch_seq += 1
+            # Batch first, then its member requests on the same thread
+            # and interval: Perfetto nests the request spans inside.
+            tracer.span(
+                f"batch {network}", "batch", SIM_MS, now, duration,
+                process="serve", thread=device,
+                args={"batch_id": batch_id, "size": len(batch), "network": network},
+            )
+            for request in batch:
+                tracer.span(
+                    f"execute r{request.id}", "request", SIM_MS, now, duration,
+                    process="serve", thread=device,
+                    args={"request": request.id, "batch_id": batch_id},
+                )
+                tracer.span(
+                    f"queue r{request.id}", "queue", SIM_MS,
+                    request.arrival_ms, now - request.arrival_ms,
+                    process="serve", thread=f"{device} queue",
+                    args={"request": request.id, "batch_id": batch_id},
+                )
+            metrics = tracer.metrics
+            metrics.histogram("serve.batch_size").observe(float(len(batch)))
+            depth = state.depth_timeline[-1][1] if state.depth_timeline else 0
+            metrics.gauge(f"serve.queue_depth.{device}", domain=SIM_MS).set(
+                float(depth), now
+            )
         queue.push(finish, COMPLETE, (index, batch))
 
     # ------------------------------------------------------------------

@@ -143,6 +143,7 @@ def build_profiles(
     store=None,
     jobs: int = 1,
     executor=None,
+    refresh: bool = False,
 ) -> dict[tuple[str, str], LatencyProfile]:
     """Profile every (network, platform) pair via the shared executor.
 
@@ -153,6 +154,10 @@ def build_profiles(
     :class:`~repro.runs.store.ResultStore` (or let ``executor`` carry
     one) to make repeat builds — and builds after a harness sweep over
     the same combos — near-instant.
+
+    ``refresh=True`` re-simulates every pair serially instead of
+    reading the store — ``repro trace serve`` uses it so an installed
+    tracer (:mod:`repro.obs`) always sees the GPU layer.
     """
     from repro.runs.executor import Executor
     from repro.runs.spec import RunSpec
@@ -168,7 +173,11 @@ def build_profiles(
         for name in dict.fromkeys(networks)
         for platform in unique.values()
     ]
-    executor.execute(specs, jobs=jobs)
+    if refresh:
+        for spec in specs:
+            executor.run(spec, refresh=True)
+    else:
+        executor.execute(specs, jobs=jobs)
     profiles: dict[tuple[str, str], LatencyProfile] = {}
     for spec in specs:
         result = executor.run(spec)

@@ -61,6 +61,29 @@ class DeviceServeStats:
             "queue_depth": [[t, d] for t, d in self.queue_depth],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeviceServeStats":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        return cls(
+            name=data["name"],
+            platform=data["platform"],
+            requests=data["requests"],
+            batches=data["batches"],
+            shed=data["shed"],
+            busy_ms=data["busy_ms"],
+            utilization=data["utilization"],
+            mean_batch=data["mean_batch"],
+            queue_depth=[(t, d) for t, d in data["queue_depth"]],
+        )
+
+    def summary(self) -> str:
+        """One-line rendering (the :class:`repro.stats.Stats` protocol)."""
+        return (
+            f"{self.name} ({self.platform}): util={self.utilization:.3f} "
+            f"requests={self.requests} batches={self.batches} "
+            f"mean_batch={self.mean_batch:.2f} shed={self.shed}"
+        )
+
 
 @dataclass
 class ServeStats:
@@ -115,6 +138,43 @@ class ServeStats:
             "devices": [device.to_dict() for device in self.devices],
             "per_network": self.per_network,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeStats":
+        """Inverse of :meth:`to_dict`; raises on malformed input.
+
+        ``slo_attainment`` is a derived property, so it is read back
+        only implicitly (recomputed from completed/violations).
+        """
+        latency = data["latency_ms"]
+        return cls(
+            scheduler=data["scheduler"],
+            seed=data["seed"],
+            slo_ms=data["slo_ms"],
+            offered=data["offered"],
+            completed=data["completed"],
+            shed=data["shed"],
+            slo_violations=data["slo_violations"],
+            duration_ms=data["duration_ms"],
+            latency_p50_ms=latency["p50"],
+            latency_p95_ms=latency["p95"],
+            latency_p99_ms=latency["p99"],
+            latency_mean_ms=latency["mean"],
+            latency_max_ms=latency["max"],
+            throughput_rps=data["throughput_rps"],
+            goodput_rps=data["goodput_rps"],
+            devices=[DeviceServeStats.from_dict(d) for d in data["devices"]],
+            per_network=dict(data["per_network"]),
+        )
+
+    def summary(self) -> str:
+        """One-line rendering (the :class:`repro.stats.Stats` protocol)."""
+        return (
+            f"{self.scheduler}: {self.completed}/{self.offered} completed "
+            f"p99={self.latency_p99_ms:.2f}ms "
+            f"slo={self.slo_attainment:.1%} "
+            f"goodput={self.goodput_rps:.1f}rps shed={self.shed}"
+        )
 
 
 def latency_summary(latencies: list[float], slo_ms: float) -> dict:

@@ -1,0 +1,39 @@
+"""The common protocol every result container speaks.
+
+Three layers emit aggregate results — :class:`repro.profiling.stats.KernelStats`
+from the GPU simulator, :class:`repro.serve.stats.ServeStats` from the
+serving engine and :class:`repro.runs.executor.ExecutionReport` from the
+run pipeline — and before this protocol each grew its own ad-hoc
+serialization surface.  :class:`Stats` pins the shared contract:
+
+* ``to_dict()`` — a stable, JSON-serializable mapping;
+* ``from_dict(data)`` — the exact inverse (classmethod), raising on
+  malformed input rather than guessing;
+* ``summary()`` — a one-line human rendering for logs and CLIs.
+
+The protocol is ``runtime_checkable``, so consumers (the tracer's span
+metadata, report writers, tests) can ``isinstance``-gate on it without
+importing any concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Stats(Protocol):
+    """Structural interface of every aggregate result container."""
+
+    def to_dict(self) -> dict:
+        """Stable JSON-serializable form."""
+        ...
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Stats":
+        """Inverse of :meth:`to_dict`; raises on malformed input."""
+        ...
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        ...

@@ -19,7 +19,7 @@ import pytest
 from repro.gpu import seed_engine
 from repro.gpu.config import SimOptions
 from repro.gpu.simulator import simulate_network
-from repro.perf.cache import KernelResultCache
+from repro.runs.store import KernelResultCache
 from repro.platforms import GK210, GP102
 
 from repro.core.suite import NETWORK_ORDER

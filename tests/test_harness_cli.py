@@ -28,14 +28,20 @@ class TestHarnessRun:
         assert main(["harness", "run", "fig99", "--no-cache"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
-    def test_json_output(self, capsys, tmp_path):
+    def test_json_dir_output(self, capsys, tmp_path):
         out_dir = tmp_path / "json"
         assert main(["harness", "run", "table4", "--no-cache",
-                     "--json", str(out_dir)]) == 0
+                     "--json-dir", str(out_dir)]) == 0
         payload = json.loads((out_dir / "table4.json").read_text())
         assert payload["id"] == "table4"
         assert payload["series"] and payload["checks"]
         assert all(check["passed"] for check in payload["checks"])
+
+    def test_json_stdout(self, capsys):
+        assert main(["harness", "run", "table4", "--no-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload[0]["id"] == "table4"
+        assert payload[0]["series"] and payload[0]["checks"]
 
     def test_chart_renders_series(self, capsys):
         assert main(["harness", "run", "fig09", "--no-cache", "--chart"]) == 0

@@ -1,0 +1,89 @@
+"""Tests for ``repro trace simulate|serve`` (Chrome-trace artifacts)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+
+class TestTraceSimulate:
+    def test_writes_valid_chrome_trace_with_kernel_spans(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "simulate", "gru", "--fidelity", "light",
+                     "--no-cache", "--output", str(out)]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        kernels = [e for e in payload["traceEvents"]
+                   if e.get("ph") == "X" and e.get("cat") == "kernel"]
+        assert kernels
+        assert payload["otherData"]["command"] == "trace simulate"
+        assert payload["otherData"]["dropped_events"] == 0
+
+    def test_refreshes_even_when_store_is_warm(self, capsys, tmp_path):
+        cache = tmp_path / "store"
+        out = tmp_path / "trace.json"
+        args = ["trace", "simulate", "gru", "--light",
+                "--cache-dir", str(cache), "--output", str(out)]
+        assert main(args) == 0
+        first = json.loads(out.read_text())
+        assert main(args) == 0
+        second = json.loads(out.read_text())
+        # A warm store must not starve the trace of GPU spans.
+        for payload in (first, second):
+            assert any(e.get("cat") == "kernel"
+                       for e in payload["traceEvents"])
+
+    def test_no_warps_drops_stall_spans(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "simulate", "gru", "--light", "--no-cache",
+                     "--no-warps", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        cats = {e.get("cat") for e in payload["traceEvents"]}
+        assert "kernel" in cats and "stall" not in cats
+
+    def test_json_prints_payload_to_stdout(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "simulate", "gru", "--light", "--no-cache",
+                     "--output", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(out.read_text())
+
+    def test_max_events_overflow_is_counted(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "simulate", "gru", "--light", "--no-cache",
+                     "--max-events", "10", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["otherData"]["dropped_events"] > 0
+        assert "dropped" in capsys.readouterr().out
+
+    def test_unknown_network_exits_2(self, capsys, tmp_path):
+        assert main(["trace", "simulate", "nope", "--no-cache",
+                     "--output", str(tmp_path / "t.json")]) == 2
+        assert "unknown network" in capsys.readouterr().err
+
+
+class TestTraceServe:
+    def test_captures_all_three_layers(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "serve", "--networks", "gru",
+                     "--devices", "tx1", "--requests", "40",
+                     "--rps", "200", "--fidelity", "light", "--no-cache",
+                     "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        cats = {e.get("cat") for e in payload["traceEvents"]
+                if e.get("ph") in ("X", "i")}
+        # GPU, executor and serving spans all present in one trace.
+        assert "kernel" in cats
+        assert "run" in cats
+        assert "batch" in cats and "request" in cats
+        counters = payload["metrics"]["counters"]
+        assert counters["serve.completed"]["value"] > 0
+
+    def test_bad_scheduler_exits_2(self, capsys, tmp_path):
+        assert main(["trace", "serve", "--scheduler", "nope",
+                     "--no-cache", "--output", str(tmp_path / "t.json")]) == 2
+        assert "unknown scheduler" in capsys.readouterr().err
