@@ -19,6 +19,15 @@ without executing the simulator:
    (uncoalesced warps, degenerate loops, dtype mixing, stranded
    geometry).
 
+Two whole-network companions extend the per-kernel passes:
+
+5. :mod:`repro.analysis.netflow` — inter-kernel dataflow over the
+   serial launch order (undefined tensor reads, dead writes, WAR/WAW
+   reorder hazards, producer/consumer extent mismatches);
+6. :mod:`repro.analysis.canonical` — translation-invariant canonical
+   kernel forms whose SHA-256 signatures the simulator uses to
+   deduplicate repeated launches (see DESIGN.md section 12).
+
 Entry points::
 
     from repro.analysis import analyze_network
@@ -35,6 +44,11 @@ error-severity diagnostic is found.
 """
 
 from repro.analysis.addresses import check_addresses
+from repro.analysis.canonical import (
+    CANONICAL_VERSION,
+    canonical_launch,
+    canonical_signature,
+)
 from repro.analysis.defuse import check_defuse
 from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
 from repro.analysis.driver import (
@@ -46,20 +60,33 @@ from repro.analysis.driver import (
 )
 from repro.analysis.intervals import Interval
 from repro.analysis.lints import check_lints
+from repro.analysis.netflow import (
+    TensorAccess,
+    analyze_network_flow,
+    check_network_flow,
+    launch_flow,
+)
 from repro.analysis.races import check_shared
 
 __all__ = [
+    "CANONICAL_VERSION",
     "Diagnostic",
     "Interval",
     "KernelVerificationError",
     "LintReport",
     "Severity",
+    "TensorAccess",
     "analyze_launch",
     "analyze_launches",
     "analyze_network",
+    "analyze_network_flow",
+    "canonical_launch",
+    "canonical_signature",
     "check_addresses",
     "check_defuse",
     "check_lints",
+    "check_network_flow",
     "check_shared",
+    "launch_flow",
     "verify_launches",
 ]

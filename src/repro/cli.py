@@ -107,7 +107,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     failed = False
     json_reports = []
     for name in names:
-        report = analyze_network(name)
+        if getattr(args, "netflow", False):
+            from repro.analysis import analyze_network_flow
+
+            report = analyze_network_flow(name)
+        else:
+            report = analyze_network(name)
         failed |= report.has_errors or (
             args.strict and report.count(Severity.WARNING) > 0
         )
@@ -457,6 +462,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"engine:    {stats['engine_version']}")
             for engine, count in stats["by_engine"].items():
                 print(f"  {engine}: {count}")
+            dedup = stats["dedup"]
+            if dedup["kernels_requested"]:
+                print(f"dedup:     {dedup['kernels_simulated']} kernels "
+                      f"simulated for {dedup['kernels_requested']} requested "
+                      f"({dedup['replicated']} deduplicated)")
             if stats["legacy_tango_entries"]:
                 print(f"legacy .tango_cache entries: "
                       f"{stats['legacy_tango_entries']} (run 'repro cache clear')")
@@ -684,6 +694,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="network names (default: the paper's seven)")
     lint.add_argument("--strict", action="store_true",
                       help="treat warnings as failures too")
+    lint.add_argument("--netflow", action="store_true",
+                      help="run the whole-network inter-kernel dataflow "
+                           "verifier instead of the per-kernel passes")
     lint.add_argument("--quiet", action="store_true",
                       help="hide note-severity diagnostics in text output")
     lint.set_defaults(func=_cmd_lint)

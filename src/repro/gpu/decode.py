@@ -99,6 +99,8 @@ class DecodedProgram:
         "warm_pcs",
         "_tparts",
         "_tlines",
+        "_cparts",
+        "_clines",
     )
 
     def __init__(self, instrs, nregs, has_barrier):
@@ -120,6 +122,16 @@ class DecodedProgram:
         #: by ``(scalar // line) * line`` (line sets are
         #: translation-invariant in whole lines).
         self._tlines = {}
+        #: Content-keyed twins of the two pc-keyed caches above.  Loop
+        #: expansion gives every sampled iteration its own pc while the
+        #: thread-term tuple — the only input that matters — repeats, so
+        #: keying by ``(tterms, lane_start)`` / ``(tterms, w1,
+        #: lane_start, rem)`` computes each distinct pattern once per
+        #: program instead of once per loop iteration.  Values are then
+        #: aliased into the pc-keyed dicts so the direct ``_tlines``
+        #: probe in :func:`repro.gpu.sm._gmem_txs` keeps its flat key.
+        self._cparts = {}
+        self._clines = {}
 
     def thread_part(self, pc: int, gmem: GMem, warp) -> tuple:
         """Deduplicated thread-term address components for *warp*.
@@ -131,11 +143,15 @@ class DecodedProgram:
         key = (pc, warp.lane_start)
         vals = self._tparts.get(key)
         if vals is None:
-            total = None
-            for term in gmem.tterms:
-                part = term.apply(warp.lane_syms[term.sym])
-                total = part if total is None else total + part
-            vals = tuple(sorted(set(total[warp.active_lanes].tolist())))
+            ckey = (gmem.tterms, warp.lane_start)
+            vals = self._cparts.get(ckey)
+            if vals is None:
+                total = None
+                for term in gmem.tterms:
+                    part = term.apply(warp.lane_syms[term.sym])
+                    total = part if total is None else total + part
+                vals = tuple(sorted(set(total[warp.active_lanes].tolist())))
+                self._cparts[ckey] = vals
             self._tparts[key] = vals
         return vals
 
@@ -156,13 +172,17 @@ class DecodedProgram:
         lines = self._tlines.get(key)
         if lines is None:
             w1 = gmem.w1
-            acc = set()
-            for part in self.thread_part(pc, gmem, warp):
-                a = part + rem
-                acc.add(a >> _TRANSACTION_SHIFT)
-                if w1:
-                    acc.add((a + w1) >> _TRANSACTION_SHIFT)
-            lines = tuple(v << _TRANSACTION_SHIFT for v in sorted(acc))
+            ckey = (gmem.tterms, w1, warp.lane_start, rem)
+            lines = self._clines.get(ckey)
+            if lines is None:
+                acc = set()
+                for part in self.thread_part(pc, gmem, warp):
+                    a = part + rem
+                    acc.add(a >> _TRANSACTION_SHIFT)
+                    if w1:
+                        acc.add((a + w1) >> _TRANSACTION_SHIFT)
+                lines = tuple(v << _TRANSACTION_SHIFT for v in sorted(acc))
+                self._clines[ckey] = lines
             self._tlines[key] = lines
         return lines
 

@@ -358,15 +358,15 @@ class SeedSmWave:
                 if addrs.size:
                     txs = coalesce(addrs, instr.width_bytes)
                     if instr.is_load:
-                        result = self.hier.load(now, txs, weight)
-                        if result.ready_cycle is None:
+                        ready_cycle = self.hier.load(now, txs, weight)
+                        if ready_cycle is None:
                             warp.reason = StallReason.MEMORY_THROTTLE
                             release = self.hier.mshr.next_release()
                             warp.wake = max(
                                 now + 1, release if release is not None else now + 8
                             )
                             return None
-                        warp.set_reg(instr.dst, result.ready_cycle, KIND_MEM)
+                        warp.set_reg(instr.dst, ready_cycle, KIND_MEM)
                     else:
                         self.hier.store(now, txs, weight)
             elif space is MemSpace.SHARED:

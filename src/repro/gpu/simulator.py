@@ -13,7 +13,20 @@
 :func:`simulate_network` drives a compiled network kernel-by-kernel,
 reusing results across signature-identical kernels (ResNet repeats its
 bottleneck shapes dozens of times) and returning per-kernel and
-per-layer-type aggregates.
+per-layer-type aggregates.  Reuse happens at two levels, both keyed by
+the canonical identities of :mod:`repro.analysis.canonical`:
+
+* **launch level** — equal :meth:`~repro.kernels.launch.KernelLaunch.signature`
+  launches share one scaled :class:`KernelResult` (stats copied per
+  occurrence so aggregation stays independent);
+* **wave level** — launches in the same :func:`~repro.analysis.canonical.wave_class`
+  (same program and block geometry, *any* grid) share one expensive
+  :class:`~repro.gpu.sm.SmWave` run and redo only the cheap per-launch
+  scaling, e.g. an element-wise kernel over two different map sizes.
+
+``dedup=False`` disables both levels (every launch simulates from
+scratch); ``tests/test_engine_equivalence.py`` pins that the two modes
+are bit-identical on every suite network.
 """
 
 from __future__ import annotations
@@ -74,6 +87,9 @@ class NetworkResult:
     config: GpuConfig
     options: SimOptions
     kernels: list[KernelResult] = field(default_factory=list)
+    #: Distinct canonical signatures among the launches (dedup collapses
+    #: the launch list to this many simulations on a cold run).
+    unique_kernels: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -133,16 +149,41 @@ def _make_hierarchy(config: GpuConfig) -> MemoryHierarchy:
 _INPUT_SLOT = (1 << 30, 2 << 30)
 
 
-def simulate_kernel(
-    kernel: KernelLaunch, config: GpuConfig, options: SimOptions | None = None
-) -> KernelResult:
-    """Simulate one kernel launch and scale to the full grid."""
-    options = options or SimOptions()
-    occupancy = compute_occupancy(kernel, config)
-    sim_blocks = occupancy.blocks
-    if options.max_sim_blocks is not None:
-        sim_blocks = max(1, min(sim_blocks, options.max_sim_blocks))
+class _WaveRun:
+    """Unscaled outcome of one resident-wave simulation.
 
+    Holds everything the per-launch scaling step reads: the raw wave
+    statistics plus the hierarchy counters of the wave's private memory
+    system.  Instances are immutable by convention — scaling always
+    operates on a copy — so one ``_WaveRun`` can back every launch of a
+    :func:`~repro.analysis.canonical.wave_class`.
+    """
+
+    __slots__ = (
+        "stats", "n_expanded",
+        "l1_accesses", "l1_misses", "l2_accesses", "l2_misses",
+        "dram_bytes", "load_transactions", "store_transactions",
+        "shared_accesses", "const_accesses",
+    )
+
+    def __init__(self, stats: KernelStats, n_expanded: int, hierarchy: MemoryHierarchy):
+        self.stats = stats
+        self.n_expanded = n_expanded
+        self.l1_accesses = hierarchy.l1.stats.accesses
+        self.l1_misses = hierarchy.l1.stats.misses
+        self.l2_accesses = hierarchy.l2.stats.accesses
+        self.l2_misses = hierarchy.l2.stats.misses
+        self.dram_bytes = hierarchy.dram.bytes_served
+        self.load_transactions = hierarchy.load_transactions
+        self.store_transactions = hierarchy.store_transactions
+        self.shared_accesses = hierarchy.shared_accesses
+        self.const_accesses = hierarchy.const_accesses
+
+
+def _run_wave(
+    kernel: KernelLaunch, config: GpuConfig, options: SimOptions, sim_blocks: int
+) -> _WaveRun:
+    """Expand, decode and execute one resident wave on one SM."""
     expanded = expand_program(kernel.program, options.max_trips, options.max_outer_trips)
     decoded = decode_program(expanded)
     hierarchy = _make_hierarchy(config)
@@ -150,10 +191,49 @@ def simulate_kernel(
     if kernel.shared_input and kernel.total_blocks > sim_blocks:
         wave.warm_shared_input()
     stats = wave.run()
+    return _WaveRun(stats, len(expanded), hierarchy)
+
+
+def simulate_kernel(
+    kernel: KernelLaunch,
+    config: GpuConfig,
+    options: SimOptions | None = None,
+    _wave_cache: dict | None = None,
+) -> KernelResult:
+    """Simulate one kernel launch and scale to the full grid.
+
+    *_wave_cache* (internal, used by :func:`simulate_network`) maps
+    :func:`~repro.analysis.canonical.wave_class` keys to :class:`_WaveRun`
+    records so launches in the same class run the SM issue loop once.
+    The cache is only valid for a fixed ``(config, options)`` pair —
+    callers own that scoping.
+    """
+    options = options or SimOptions()
+    occupancy = compute_occupancy(kernel, config)
+    sim_blocks = occupancy.blocks
+    if options.max_sim_blocks is not None:
+        sim_blocks = max(1, min(sim_blocks, options.max_sim_blocks))
+
+    run = None
+    wave_key = None
+    if _wave_cache is not None:
+        from repro.analysis.canonical import wave_class
+
+        warm = kernel.shared_input and kernel.total_blocks > sim_blocks
+        wave_key = wave_class(kernel, sim_blocks, warm)
+        run = _wave_cache.get(wave_key)
+    if run is None:
+        run = _run_wave(kernel, config, options, sim_blocks)
+        if _wave_cache is not None:
+            _wave_cache[wave_key] = run
 
     # --- scaling ------------------------------------------------------
+    # Always scale a copy: the cached wave stats stay pristine for the
+    # next launch of the class (copying is exact, so the dedup-off path
+    # produces bit-identical numbers).
+    stats = _copy_stats(run.stats)
     dynamic = kernel.program.dynamic_count()
-    sample_factor = dynamic / max(1, len(expanded))
+    sample_factor = dynamic / max(1, run.n_expanded)
     block_factor = kernel.total_blocks / sim_blocks
     waves = math.ceil(kernel.total_blocks / (occupancy.blocks * config.num_sms))
 
@@ -167,15 +247,15 @@ def simulate_kernel(
     # kernels weight correctly in per-layer aggregates.
     for reason in stats.stalls:
         stats.stalls[reason] *= sample_factor
-    stats.l1_accesses = hierarchy.l1.stats.accesses * block_factor
-    stats.l1_misses = hierarchy.l1.stats.misses * block_factor
-    stats.l2_accesses = hierarchy.l2.stats.accesses * block_factor
-    stats.l2_misses = hierarchy.l2.stats.misses * block_factor
-    stats.dram_bytes = hierarchy.dram.bytes_served * block_factor
-    stats.load_transactions = hierarchy.load_transactions * block_factor
-    stats.store_transactions = hierarchy.store_transactions * block_factor
-    stats.shared_accesses = hierarchy.shared_accesses * block_factor
-    stats.const_accesses = hierarchy.const_accesses * block_factor
+    stats.l1_accesses = run.l1_accesses * block_factor
+    stats.l1_misses = run.l1_misses * block_factor
+    stats.l2_accesses = run.l2_accesses * block_factor
+    stats.l2_misses = run.l2_misses * block_factor
+    stats.dram_bytes = run.dram_bytes * block_factor
+    stats.load_transactions = run.load_transactions * block_factor
+    stats.store_transactions = run.store_transactions * block_factor
+    stats.shared_accesses = run.shared_accesses * block_factor
+    stats.const_accesses = run.const_accesses * block_factor
     stats.active_sms = min(
         config.num_sms, math.ceil(kernel.total_blocks / occupancy.blocks)
     )
@@ -195,13 +275,17 @@ def simulate_network(
     config: GpuConfig,
     options: SimOptions | None = None,
     cache=None,
+    dedup: bool = True,
 ) -> NetworkResult:
     """Simulate every kernel of the named suite network, in order.
 
-    Signature-identical kernels (same program shape and launch geometry,
-    canonical addresses) reuse one simulation; each occurrence still
-    contributes its own entry — and its own launch overhead — to the
-    result.
+    With *dedup* (the default), signature-identical kernels (same
+    canonical form, :mod:`repro.analysis.canonical`) reuse one
+    simulation and launches sharing a wave class reuse one SM issue-loop
+    run; each occurrence still contributes its own entry — and its own
+    launch overhead — to the result.  ``dedup=False`` simulates every
+    launch from scratch; the two modes are bit-identical by construction
+    and by test.
 
     *cache*, when given, is a
     :class:`repro.runs.store.KernelResultCache`: unique-signature
@@ -213,10 +297,15 @@ def simulate_network(
     tracer = get_tracer()
     result = NetworkResult(network=name, config=config, options=options)
     local: dict[str, KernelResult] = {}
+    wave_cache: dict | None = {} if dedup else None
+    seen: set[str] = set()
+    requested = 0
     offset = 0.0  # back-to-back network timeline position, in cycles
     for kernel in compiled_network(name):
+        requested += 1
         signature = kernel.signature()
-        hit = local.get(signature)
+        seen.add(signature)
+        hit = local.get(signature) if dedup else None
         if hit is None:
             entry = cache.get(signature, config, options) if cache is not None else None
             if entry is not None:
@@ -230,14 +319,15 @@ def simulate_network(
                 )
             else:
                 source = "fresh"
-                hit = simulate_kernel(kernel, config, options)
+                hit = simulate_kernel(kernel, config, options, _wave_cache=wave_cache)
                 if cache is not None:
                     cache.put(
                         signature, config, options,
                         hit.stats, hit.occupancy,
                         hit.sample_factor, hit.block_factor,
                     )
-            local[signature] = hit
+            if dedup:
+                local[signature] = hit
         else:
             source = "local"
             hit = KernelResult(
@@ -256,6 +346,11 @@ def simulate_network(
             )
             tracer.metrics.counter(f"gpu.kernel_{source}").inc()
             offset += hit.stats.cycles
+    result.unique_kernels = len(seen)
+    if tracer.enabled:
+        tracer.metrics.counter("analysis.dedup.requested").inc(requested)
+        tracer.metrics.counter("analysis.dedup.unique").inc(len(seen))
+        tracer.metrics.counter("analysis.dedup.replicated").inc(requested - len(seen))
     return result
 
 

@@ -57,7 +57,10 @@ from repro.profiling.stats import KernelStats
 
 #: Bumped whenever an engine change could alter simulated numbers; part
 #: of the persistent result-cache key (:mod:`repro.runs.store`).
-ENGINE_VERSION = "fast-2"
+#: "fast-2.1": canonical signatures + simulation dedup (PR 6) — numbers
+#: are bit-identical to "fast-2" but signatures changed meaning, so old
+#: store entries must not alias the new keys.
+ENGINE_VERSION = "fast-2.1"
 
 #: Cycles lost to an instruction-buffer refill.
 _FETCH_BUBBLE = 2
@@ -232,10 +235,20 @@ class SmWave:
         hier = self.hier
         hier_load = hier.load
         hier_store = hier.store
-        hier_shared = hier.shared
-        hier_const = hier.const
         mshr_release = hier.mshr.next_release
         lat_l1 = hier.lat_l1
+        # Shared/constant accesses inlined from MemoryHierarchy: a fixed
+        # scratchpad latency and a single hot constant line (first touch
+        # misses to L2 latency, the rest hit), with the weighted access
+        # counters accumulated locally in the same order and folded back
+        # after the loop — bit-identical, without two method calls per
+        # access on the hottest kernels.
+        lat_shared = hier.lat_shared
+        lat_const = hier.lat_const
+        lat_l2 = hier.lat_l2
+        shared_acc = 0.0
+        const_acc = 0.0
+        cc_hot = hier.const_cache.contains(0)
         wtx = self._warm_txs
         kernel_name = self.kernel.name
 
@@ -476,18 +489,20 @@ class SmWave:
                                     if trace:
                                         tev.append((cycle, worst, ri, w.warp_id))
                                 continue
-                        # Both checks are monotonic while the warp
-                        # sleeps, so replays skip straight to the pipe
-                        # gate.
-                        w.chk = pc
                         iv = rec[6]
                         rpi = rec[5]
-                        w.civ = iv
-                        w.cpi = rpi
                     # Pipeline port availability.
                     if iv:
                         free = pf[rpi]
                         if free > cycle:
+                            # Record that fetch and scoreboard passed
+                            # (both monotonic while the warp sleeps), so
+                            # the replay skips straight back to this
+                            # gate.  Deferred to the fail paths: issuing
+                            # warps — the common case — never need it.
+                            w.chk = pc
+                            w.civ = iv
+                            w.cpi = rpi
                             if w.cm < 0:
                                 w.cm = rpi
                                 cmask[rpi] |= bit
@@ -514,17 +529,26 @@ class SmWave:
                         w.reg_kind[dst] = 0  # KIND_ALU
                     elif kind == K_GMEM:
                         mem = True
-                        if wtx:
-                            txs = wtx.pop((w.warp_id, pc), None)
-                            if txs is None:
+                        txs = w.ctxs
+                        if txs is False:
+                            if wtx:
+                                txs = wtx.pop((w.warp_id, pc), None)
+                                if txs is None:
+                                    txs = _gmem_txs(w, pc, aux)
+                            else:
                                 txs = _gmem_txs(w, pc, aux)
-                        else:
-                            txs = _gmem_txs(w, pc, aux)
                         if txs is not None:
                             if aux.is_load:
-                                rc = hier_load(cycle, txs, weight).ready_cycle
+                                rc = hier_load(cycle, txs, weight)
                                 if rc is None:
-                                    # MSHRs exhausted: replay later.
+                                    # MSHRs exhausted: replay later with
+                                    # the same (deterministic) coalesced
+                                    # transactions, skipping straight to
+                                    # the pipe gate.
+                                    w.ctxs = txs
+                                    w.chk = pc
+                                    w.civ = iv
+                                    w.cpi = pi
                                     rel = mshr_release()
                                     wk = rel if rel is not None else cycle + 8
                                     if wk < nxtc:
@@ -543,6 +567,7 @@ class SmWave:
                                                  w.warp_id)
                                             )
                                     continue
+                                w.ctxs = False
                                 w.reg_ready[dst] = rc
                                 w.reg_kind[dst] = 1  # KIND_MEM
                             else:
@@ -551,13 +576,19 @@ class SmWave:
                         pass
                     elif kind == K_CMEM:
                         mem = True
-                        rc = hier_const(cycle, weight)[0]
+                        const_acc += weight
+                        if cc_hot:
+                            rc = cycle + lat_const
+                        else:
+                            cc_hot = True
+                            rc = cycle + lat_l2
                         if aux:  # is_load
                             w.reg_ready[dst] = rc
                             w.reg_kind[dst] = 2  # KIND_CONST
                     elif kind == K_SMEM:
                         mem = True
-                        rc = hier_shared(cycle, weight)
+                        shared_acc += weight
+                        rc = cycle + lat_shared
                         if aux:  # is_load
                             w.reg_ready[dst] = rc
                             w.reg_kind[dst] = 1  # KIND_MEM
@@ -691,6 +722,8 @@ class SmWave:
                 o.bucket = -1
                 mask |= 1 << o.warp_id
 
+        hier.shared_accesses += shared_acc
+        hier.const_accesses += const_acc
         st = self.stats
         st.issued = issued_acc
         by_pipe = st.issued_by_pipe

@@ -52,6 +52,7 @@ class Warp:
         "cpi",
         "bucket",
         "cm",
+        "ctxs",
     )
 
     def __init__(
@@ -96,6 +97,12 @@ class Warp:
         #: while the warp sits at the current pc with checks passed;
         #: cleared on issue (the only event that moves the pc).
         self.cm = -1
+        #: Coalesced transactions of the current pc's global access,
+        #: cached across MSHR-throttle replays (False when not cached —
+        #: a real transaction list is never empty).  Deterministic per
+        #: (warp, pc), so reuse is exact; cleared when the access
+        #: completes.
+        self.ctxs = False
 
         bx_dim, by_dim, _ = block_dims
         lanes = np.arange(lane_start, lane_start + WARP_SIZE, dtype=np.int64)

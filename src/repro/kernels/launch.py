@@ -106,13 +106,17 @@ class KernelLaunch:
     def signature(self) -> str:
         """Stable identity for result caching across identical kernels.
 
-        Two launches with the same program shape, launch geometry and
-        register/shared usage behave identically in the simulator (their
-        absolute tensor addresses are normalized by the compiler), so
-        e.g. ResNet's many repeated bottleneck kernels simulate once.
+        Delegates to :func:`repro.analysis.canonical.canonical_signature`:
+        a SHA-256 over the launch geometry plus the full alpha-renamed
+        program, so two launches share a signature exactly when the
+        simulator is guaranteed to produce bit-identical
+        :class:`~repro.profiling.stats.KernelStats` for them — e.g.
+        ResNet's repeated bottleneck kernels simulate once, while
+        AlexNet's channel-split halves (same geometry and instruction
+        counts, different address slices) stay distinct.
         """
-        return (
-            f"{self.category}|{self.grid}|{self.block}|{self.regs}|"
-            f"{self.smem_bytes}|{self.active_threads}|{self.shared_input}|"
-            f"{self.program.static_count()}|{self.program.dynamic_count()}"
-        )
+        # Imported lazily: repro.analysis depends on repro.kernels, so a
+        # top-level import here would be circular.
+        from repro.analysis.canonical import canonical_signature
+
+        return canonical_signature(self)

@@ -10,7 +10,7 @@ MSHR file whose exhaustion produces ``memory_throttle`` stalls
 from repro.memory.cache import Cache
 from repro.memory.coalescer import coalesce
 from repro.memory.dram import Dram
-from repro.memory.hierarchy import AccessResult, MemoryHierarchy
+from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.mshr import MshrFile
 
-__all__ = ["AccessResult", "Cache", "Dram", "MemoryHierarchy", "MshrFile", "coalesce"]
+__all__ = ["Cache", "Dram", "MemoryHierarchy", "MshrFile", "coalesce"]

@@ -55,6 +55,9 @@ class Cache:
         # evicting the first key equals popping an LRU list's head.
         self._sets: list[dict[int, None]] = [{} for _ in range(self.n_sets)]
         self._index_shift = max(1, self.n_sets.bit_length() - 1)
+        # line_bytes is a power of two (checked above): tag extraction
+        # is a shift, measurably cheaper than division on the hot path.
+        self._line_shift = line_bytes.bit_length() - 1
         self.stats = CacheStats()
 
     def _set_index(self, line: int) -> int:
@@ -83,7 +86,7 @@ class Cache:
         if not n_sets:  # bypassed
             stats.misses += weight
             return False
-        tag = addr // self.line_bytes
+        tag = addr >> self._line_shift
         entry = self._sets[(tag ^ (tag >> self._index_shift)) % n_sets]
         if tag in entry:
             # Move to MRU position (re-insertion puts the key last).
@@ -116,14 +119,14 @@ class Cache:
                 stats.misses += weight
                 missed.append(int(addr))
             return missed
-        line_bytes = self.line_bytes
+        line_shift = self._line_shift
         shift = self._index_shift
         sets = self._sets
         assoc = self.assoc
         for addr in addrs:
             stats.accesses += weight
             addr = int(addr)
-            tag = addr // line_bytes
+            tag = addr >> line_shift
             entry = sets[(tag ^ (tag >> shift)) % n_sets]
             if tag in entry:
                 del entry[tag]
@@ -142,21 +145,35 @@ class Cache:
         n_sets = self.n_sets
         if not n_sets:
             return False
-        line = addr // self.line_bytes
+        line = int(addr) >> self._line_shift
         return line in self._sets[(line ^ (line >> self._index_shift)) % n_sets]
 
-    def count_missing(self, addrs) -> int:
+    def count_missing(self, addrs, limit: int | None = None) -> int:
         """How many of *addrs* are absent (bulk ``contains``; no stats,
-        no LRU update)."""
+        no LRU update).
+
+        With *limit*, the scan stops as soon as the count exceeds it and
+        returns the (partial, ``> limit``) count — for callers that only
+        compare against a threshold, e.g. the MSHR throttle check, where
+        a wide all-miss access would otherwise probe every address.
+        """
         n_sets = self.n_sets
         if not n_sets:
             return len(addrs)
-        line_bytes = self.line_bytes
+        line_shift = self._line_shift
         shift = self._index_shift
         sets = self._sets
         missing = 0
+        if limit is not None:
+            for addr in addrs:
+                line = int(addr) >> line_shift
+                if line not in sets[(line ^ (line >> shift)) % n_sets]:
+                    missing += 1
+                    if missing > limit:
+                        return missing
+            return missing
         for addr in addrs:
-            line = int(addr) // line_bytes
+            line = int(addr) >> line_shift
             if line not in sets[(line ^ (line >> shift)) % n_sets]:
                 missing += 1
         return missing

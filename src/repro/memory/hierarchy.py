@@ -9,8 +9,6 @@ shared-memory accesses complete at a fixed scratchpad latency.
 
 from __future__ import annotations
 
-from typing import NamedTuple
-
 import numpy as np
 
 from repro.memory.cache import Cache
@@ -19,22 +17,6 @@ from repro.memory.mshr import MshrFile
 
 #: Transaction/line size in bytes, matching the coalescer granularity.
 LINE_BYTES = 128
-
-
-class AccessResult(NamedTuple):
-    """Outcome of one warp memory instruction.
-
-    ``ready_cycle`` is ``None`` when the access was throttled (MSHRs
-    exhausted) and must replay; ``transactions`` is how many memory
-    transactions the coalescer produced.  A named tuple rather than a
-    frozen dataclass: one is built per memory instruction, squarely on
-    the simulator's hot path.
-    """
-
-    ready_cycle: int | None
-    transactions: int
-    l1_hits: int = 0
-    l2_hits: int = 0
 
 
 class MemoryHierarchy:
@@ -71,29 +53,43 @@ class MemoryHierarchy:
         self.const_accesses = 0.0
 
     # ------------------------------------------------------------------
-    def load(self, now: int, tx_addrs: np.ndarray, weight: float) -> AccessResult:
+    def load(self, now: int, tx_addrs: np.ndarray, weight: float) -> int | None:
         """Service a coalesced global load; may throttle on MSHRs.
 
-        The MSHR check runs *before* any cache/DRAM side effects so a
+        Returns the cycle the load's data is ready, or ``None`` when the
+        access was throttled (MSHRs exhausted) and must replay.  The
+        MSHR check runs *before* any cache/DRAM side effects so a
         throttled access can replay without perturbing state or
         double-counting statistics.
         """
         mshr = self.mshr
-        mshr.drain(now)
+        # Inline fast path for drain(): most loads arrive with nothing
+        # releasable, and the full call pays heap peeks plus the lazy
+        # ``_held`` update even then.  The guard replicates both — the
+        # ``_held`` refresh must happen on every path, since
+        # ``hold_until()`` defers it to the next drain.
+        releases = mshr._releases
+        if releases and releases[0][0] <= now:
+            mshr.drain(now)
+        else:
+            mshr._held = now < mshr._hold_until
         l1 = self.l1
         # Throttle when the file cannot take this access.  An access
         # wider than the whole file (e.g. a 32-transaction FC load on a
         # 16-entry file) proceeds once the file is empty — hardware
         # splits it across MSHR waves — otherwise it could never issue.
         # An empty file never throttles, so the miss pre-count (a
-        # non-mutating L1 probe per transaction) is skipped outright.
+        # non-mutating L1 probe per transaction) is skipped outright —
+        # as it is when the whole access fits the free entries even if
+        # every transaction missed; the limit makes a doomed probe of a
+        # wide access stop at the threshold instead of scanning it all.
         in_use = len(mshr._inflight) + (1 if mshr._held else 0)
         if in_use > 0:
-            if l1.count_missing(tx_addrs) > mshr.capacity - in_use:
+            free = mshr.capacity - in_use
+            if len(tx_addrs) > free and l1.count_missing(tx_addrs, free) > free:
                 mshr.throttle_events += weight
-                return AccessResult(None, len(tx_addrs))
+                return None
         ready = now + self.lat_l1
-        l2_hits = 0
         # Probe (and fill) the L1 for the whole transaction vector at
         # once, then walk only the misses through L2/DRAM.  The L1 never
         # depends on L2/DRAM side effects, so splitting the interleaved
@@ -107,14 +103,12 @@ class MemoryHierarchy:
                 # entry.
                 if l2_access(addr, weight):
                     completion = now + self.lat_l2
-                    l2_hits += 1
                 else:
                     completion = self.dram.service(now, LINE_BYTES, weight)
-                mshr.reserve(addr // LINE_BYTES, completion, now, weight)
+                mshr.reserve(addr >> 7, completion, now, weight)  # // LINE_BYTES
                 if completion > ready:
                     ready = completion
         misses = len(missed)
-        l1_hits = len(tx_addrs) - misses
         if misses > self.mshr.capacity:
             # The access is wider than the MSHR file: the LSU replays it
             # in capacity-sized waves, serializing the extra groups.
@@ -122,17 +116,19 @@ class MemoryHierarchy:
             ready += waves * self.lat_l1
             self.mshr.hold_until(int(ready))
         self.load_transactions += len(tx_addrs) * weight
-        return AccessResult(ready, len(tx_addrs), l1_hits, l2_hits)
+        return ready
 
-    def store(self, now: int, tx_addrs: np.ndarray, weight: float) -> AccessResult:
-        """Service a global store (write-through, no L1 allocate)."""
+    def store(self, now: int, tx_addrs: np.ndarray, weight: float) -> int:
+        """Service a global store (write-through, no L1 allocate).
+
+        Returns the cycle the store retires (stores never throttle)."""
         for addr in tx_addrs:
             addr = int(addr)
             self.l1.access(addr, weight, allocate=False)
             if not self.l2.access(addr, weight):
                 self.dram.service(now, LINE_BYTES, weight)
         self.store_transactions += len(tx_addrs) * weight
-        return AccessResult(now + 1, len(tx_addrs))
+        return now + 1
 
     def shared(self, now: int, weight: float) -> int:
         """Shared-memory access: fixed scratchpad latency."""

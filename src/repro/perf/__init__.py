@@ -1,12 +1,12 @@
-"""Performance infrastructure: benchmarking plus a caching facade.
+"""Performance infrastructure: benchmarking over the unified store.
 
-* :mod:`repro.perf.cache` — deprecated back-compat re-exports of the
-  kernel-cache layer, which now lives in the unified
-  :mod:`repro.runs.store` (importing it warns; see CHANGES.md for the
-  removal path).
 * :mod:`repro.perf.bench` — the ``repro bench`` harness timing cold,
   warm-kernel-cache and warm-run-store whole-network simulations
   (emits ``BENCH_sim.json``).
+
+The kernel-cache layer lives in :mod:`repro.runs.store`; the package
+re-exports its public names for convenience.  (The old
+``repro.perf.cache`` shim completed its deprecation cycle and is gone.)
 """
 
 from repro.runs.store import (

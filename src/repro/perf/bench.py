@@ -15,9 +15,11 @@ Backs the ``repro bench`` subcommand.  For each network it times
 
 Timings take the minimum over ``repeats`` runs (classic
 best-of-N to suppress scheduler noise).  The emitted JSON maps each
-network to ``{cold_s, warm_s, run_warm_s, kernels, engine_version}``
-(plus ``seed_s`` when requested) — the schema of the committed
-``BENCH_sim.json``.
+network to ``{cold_s, warm_s, run_warm_s, kernels, unique_kernels,
+engine_version}`` (plus ``seed_s`` when requested) — the schema of the
+committed ``BENCH_sim.json``.  The cold path runs with canonical-
+signature dedup on (the default), so ``unique_kernels`` is the number
+of simulations the engine actually performed per network.
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ def bench_network(
     entry: dict = {
         "cold_s": round(_best_of(lambda: simulate_network(name, config, options), repeats), 4),
         "kernels": len(result.kernels),
+        "unique_kernels": result.unique_kernels,
         "engine_version": ENGINE_VERSION,
     }
     # Populate the unified store through the shared executor, then time
@@ -108,7 +111,8 @@ def run_bench(
             line = (f"{name:12s} cold={entry['cold_s']:8.3f}s "
                     f"warm={entry['warm_s']:7.4f}s "
                     f"run-warm={entry['run_warm_s']:7.4f}s "
-                    f"kernels={entry['kernels']}")
+                    f"kernels={entry['kernels']} "
+                    f"unique={entry['unique_kernels']}")
             if seed:
                 ratio = entry["seed_s"] / entry["cold_s"] if entry["cold_s"] else 0.0
                 line += f" seed={entry['seed_s']:8.3f}s ({ratio:.1f}x)"

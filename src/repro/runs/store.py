@@ -219,6 +219,9 @@ class StoredNetworkResult:
     config: GpuConfig
     options: SimOptions
     kernels: list[StoredKernelResult] = field(default_factory=list)
+    #: Distinct canonical kernel signatures in the launch sequence —
+    #: the number of simulations the dedup path actually ran.
+    unique_kernels: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -257,6 +260,7 @@ def result_to_payload(result) -> dict:
     return {
         "engine": ENGINE_VERSION,
         "network": result.network,
+        "unique_kernels": len({k.kernel.signature() for k in result.kernels}),
         "kernels": [
             {
                 "name": k.kernel.name,
@@ -283,6 +287,10 @@ def result_from_payload(
             return None
         out = StoredNetworkResult(
             network=payload["network"], config=config, options=options
+        )
+        out.unique_kernels = payload.get(
+            "unique_kernels",
+            len({entry["signature"] for entry in payload["kernels"]}),
         )
         for entry in payload["kernels"]:
             out.kernels.append(
@@ -372,18 +380,29 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
     run_entries = 0
     total_bytes = 0
     engines: dict[str, int] = {}
+    kernels_requested = 0
+    kernels_simulated = 0
 
     def scan(paths) -> int:
-        nonlocal total_bytes
+        nonlocal total_bytes, kernels_requested, kernels_simulated
         count = 0
         for path in paths:
             try:
                 total_bytes += path.stat().st_size
-                engine = json.loads(path.read_text()).get("engine", "?")
+                payload = json.loads(path.read_text())
+                engine = payload.get("engine", "?")
             except (OSError, ValueError):
+                payload = {}
                 engine = "corrupt"
             count += 1
             engines[engine] = engines.get(engine, 0) + 1
+            kernels = payload.get("kernels")
+            if isinstance(kernels, list):  # a run entry
+                kernels_requested += len(kernels)
+                kernels_simulated += payload.get(
+                    "unique_kernels",
+                    len({k.get("signature") for k in kernels}),
+                )
         return count
 
     if directory.is_dir():
@@ -399,6 +418,11 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
         "bytes": total_bytes,
         "engine_version": ENGINE_VERSION,
         "by_engine": dict(sorted(engines.items())),
+        "dedup": {
+            "kernels_requested": kernels_requested,
+            "kernels_simulated": kernels_simulated,
+            "replicated": kernels_requested - kernels_simulated,
+        },
         "legacy_tango_entries": legacy_entries,
     }
 

@@ -73,6 +73,28 @@ class TestCacheEquivalence:
         assert first.kernels[0].stats is not second.kernels[0].stats
 
 
+class TestDedupEquivalence:
+    """The canonical-signature dedup gate: replicating a simulated
+    kernel's stats onto signature-identical launches must be
+    *bit-identical* to simulating every launch from scratch."""
+
+    @pytest.mark.parametrize("network", NETWORK_ORDER)
+    def test_dedup_on_matches_dedup_off(self, network):
+        options = SimOptions().light()
+        off = simulate_network(network, GP102, options, dedup=False)
+        on = simulate_network(network, GP102, options, dedup=True)
+        _assert_identical(off, on)
+        assert off.unique_kernels == on.unique_kernels
+        assert on.unique_kernels <= len(on.kernels)
+
+    def test_unique_kernel_count_is_signature_count(self):
+        result = simulate_network("resnet", GP102, SimOptions().light())
+        sigs = {k.kernel.signature() for k in result.kernels}
+        assert result.unique_kernels == len(sigs)
+        # ResNet repeats its residual blocks — dedup must actually bite.
+        assert result.unique_kernels < len(result.kernels)
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("network", NETWORK_ORDER)
 class TestFullFidelityEquivalence:
@@ -81,3 +103,9 @@ class TestFullFidelityEquivalence:
         seed = seed_engine.simulate_network(network, GP102, options)
         fast = simulate_network(network, GP102, options)
         _assert_identical(seed, fast)
+
+    def test_dedup_on_matches_dedup_off_full(self, network):
+        options = SimOptions()
+        off = simulate_network(network, GP102, options, dedup=False)
+        on = simulate_network(network, GP102, options, dedup=True)
+        _assert_identical(off, on)

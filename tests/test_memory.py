@@ -157,31 +157,31 @@ class TestHierarchy:
         addrs = np.array([0], dtype=np.int64)
         first = hier.load(0, addrs, 1.0)
         second = hier.load(0, addrs, 1.0)
-        assert second.ready_cycle < first.ready_cycle
+        assert second < first
 
     def test_throttle_when_mshrs_full(self):
         hier = self._hier(mshr=2)
         # Two outstanding misses fill the file.
         hier.load(0, np.array([0], dtype=np.int64), 1.0)
         hier.load(0, np.array([128], dtype=np.int64), 1.0)
-        result = hier.load(0, np.array([256], dtype=np.int64), 1.0)
-        assert result.ready_cycle is None
+        ready = hier.load(0, np.array([256], dtype=np.int64), 1.0)
+        assert ready is None
         assert hier.mshr.throttle_events == 1.0
 
     def test_throttle_leaves_no_side_effects(self):
         hier = self._hier(mshr=1)
         hier.load(0, np.array([0], dtype=np.int64), 1.0)
         before = hier.l2.stats.accesses
-        result = hier.load(0, np.array([128], dtype=np.int64), 1.0)
-        assert result.ready_cycle is None
+        ready = hier.load(0, np.array([128], dtype=np.int64), 1.0)
+        assert ready is None
         assert hier.l2.stats.accesses == before
 
     def test_wide_access_on_empty_file_proceeds(self):
         # An access wider than the whole MSHR file must not deadlock.
         hier = self._hier(mshr=2)
         addrs = np.arange(8, dtype=np.int64) * 4096
-        result = hier.load(0, addrs, 1.0)
-        assert result.ready_cycle is not None
+        ready = hier.load(0, addrs, 1.0)
+        assert ready is not None
 
     def test_no_l1_all_misses_counted(self):
         hier = self._hier(l1=0)

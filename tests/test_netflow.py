@@ -1,0 +1,292 @@
+"""Tests for the inter-kernel dataflow verifier (:mod:`repro.analysis.netflow`).
+
+Synthetic launch sequences plant each defect class — a read of a tensor
+nothing wrote, a write nothing consumes, cross-node WAW/WAR overlaps,
+producer/consumer extent disagreement — and assert the right code,
+severity and launch attribution.  The benign patterns the suite relies
+on (weights and graph inputs are externally initialised, recurrent
+launches rewrite their own state, concat nodes are zero-copy views) must
+stay clean, and the real seven-network suite must lint clean end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, analyze_network_flow
+from repro.analysis.netflow import (
+    GRAPH_INPUT,
+    check_network_flow,
+    launch_flow,
+    region_tensor,
+)
+from repro.core.suite import NETWORK_ORDER
+from repro.isa.dtypes import DType
+from repro.isa.instruction import Instruction, MemSpace
+from repro.isa.opcodes import Op
+from repro.isa.program import Loop, Program
+from repro.isa.registers import RegisterAllocator
+from repro.kernels.addressing import AddrExpr, Term
+from repro.kernels.launch import KernelLaunch, MemRegion
+
+#: Canonical slot bases, as repro.kernels.memory_layout places them.
+IN_BASE = 1 << 30
+WEIGHT_BASE = 2 << 30
+OUT_BASE = 3 << 30
+
+
+def make_launch(name, node, items, regions, reg_count=4):
+    return KernelLaunch(
+        name=name,
+        node_name=node,
+        category="Conv",
+        grid=(1, 1, 1),
+        block=(32, 1, 1),
+        program=Program(items=tuple(items), reg_count=reg_count),
+        regs=reg_count,
+        smem_bytes=0,
+        cmem_bytes=0,
+        active_threads=32,
+        regions=tuple(regions),
+    )
+
+
+def load(dst, base, span_threads=32):
+    """A global load covering ``4 * span_threads`` bytes from *base*."""
+    return Instruction(
+        Op.LD, DType.F32, dst=dst,
+        space=MemSpace.GLOBAL,
+        addr=AddrExpr(base, (Term("lin_tid", 4),)),
+    )
+
+
+def store(src, base):
+    return Instruction(
+        Op.ST, DType.F32, srcs=(src,),
+        space=MemSpace.GLOBAL,
+        addr=AddrExpr(base, (Term("lin_tid", 4),)),
+    )
+
+
+def producer_consumer(consumer_reads=IN_BASE):
+    """A two-launch chain: ``a`` writes its output, ``b`` reads it."""
+    ra = RegisterAllocator()
+    r = ra.fresh()
+    a = make_launch(
+        "A 1", "a",
+        [load(r, IN_BASE), store(r, OUT_BASE)],
+        [MemRegion("in", IN_BASE, 128), MemRegion("out", OUT_BASE, 128)],
+        reg_count=ra.count,
+    )
+    b = make_launch(
+        "B 1", "b",
+        [load(r, consumer_reads), store(r, OUT_BASE)],
+        [MemRegion("in", IN_BASE, 128), MemRegion("out", OUT_BASE, 128)],
+        reg_count=ra.count,
+    )
+    return a, b
+
+
+NODE_INPUTS = {"a": ("input",), "b": ("a",), "c": ("b",)}
+
+
+def run(launches, node_inputs=NODE_INPUTS, output="b"):
+    return check_network_flow(list(launches), dict(node_inputs), output)
+
+
+def codes(diags, severity=None):
+    return {
+        d.code for d in diags if severity is None or d.severity is severity
+    }
+
+
+class TestRegionTensor:
+    def test_slot_roles(self):
+        a, _ = producer_consumer()
+        assert region_tensor(a, a.regions[0], ("input",)) == (GRAPH_INPUT, "external")
+        assert region_tensor(a, a.regions[1], ("input",)) == ("a", "activation")
+        weight = MemRegion("weight", WEIGHT_BASE, 64)
+        assert region_tensor(a, weight, ("input",)) == ("a.weight", "param")
+
+    def test_indexed_inputs(self):
+        a, _ = producer_consumer()
+        r0 = MemRegion("in0", IN_BASE, 64)
+        r1 = MemRegion("in1", IN_BASE + (1 << 20), 64)
+        assert region_tensor(a, r0, ("x", "y"))[0] == "x"
+        assert region_tensor(a, r1, ("x", "y"))[0] == "y"
+
+
+class TestLaunchFlow:
+    def test_footprint_is_region_relative(self):
+        a, _ = producer_consumer()
+        accesses = launch_flow(a, ("input",))
+        by_key = {(acc.tensor, acc.is_write): acc for acc in accesses}
+        write = by_key[("a", True)]
+        assert write.spans[0].lo == 0 and write.spans[0].hi == 127
+        read = by_key[(GRAPH_INPUT, False)]
+        assert read.spans[0].lo == 0
+
+    def test_zero_trip_loop_body_is_skipped(self):
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        items = [
+            Loop("k", 0, (load(r, IN_BASE),)),
+            store(r, OUT_BASE),
+        ]
+        launch = make_launch(
+            "Z 1", "a", items,
+            [MemRegion("in", IN_BASE, 128), MemRegion("out", OUT_BASE, 128)],
+            reg_count=ra.count,
+        )
+        accesses = launch_flow(launch, ("input",))
+        assert all(acc.is_write for acc in accesses)
+
+
+class TestDiagnostics:
+    def test_clean_chain_has_no_findings(self):
+        a, b = producer_consumer()
+        assert run([a, b]) == []
+
+    def test_undefined_read_is_error(self):
+        _, b = producer_consumer()
+        diags = run([b])
+        assert codes(diags, Severity.ERROR) == {"netflow-undefined-read"}
+        [diag] = [d for d in diags if d.code == "netflow-undefined-read"]
+        assert diag.kernel == "B 1"
+        assert diag.data["tensor"] == "a"
+
+    def test_dead_write_is_warning(self):
+        a, b = producer_consumer()
+        # b's output is NOT the network output and nothing reads it.
+        diags = run([a, b], output="c-final")
+        assert codes(diags, Severity.WARNING) == {"netflow-dead-write"}
+        [diag] = [d for d in diags if d.code == "netflow-dead-write"]
+        assert diag.kernel == "B 1"
+
+    def test_network_output_write_is_not_dead(self):
+        a, b = producer_consumer()
+        assert "netflow-dead-write" not in codes(run([a, b], output="b"))
+
+    def test_recurrent_self_read_is_note_then_clean(self):
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        regions = [MemRegion("h_out", OUT_BASE, 128)]
+        step = lambda tag: make_launch(
+            f"RNN (t={tag})", "rnn",
+            [load(r, OUT_BASE), store(r, OUT_BASE)],
+            regions, reg_count=ra.count,
+        )
+        diags = check_network_flow(
+            [step(0), step(1)], {"rnn": ("input",)}, "rnn"
+        )
+        assert codes(diags) == {"netflow-recurrent-init"}
+        [note] = diags
+        assert note.severity is Severity.NOTE
+        assert note.kernel == "RNN (t=0)"
+
+    def test_rnn_timestep_rewrite_is_not_dead(self):
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        regions = [MemRegion("h_out", OUT_BASE, 128)]
+        steps = [
+            make_launch(
+                f"RNN (t={t})", "rnn", [store(r, OUT_BASE)],
+                regions, reg_count=ra.count,
+            )
+            for t in range(3)
+        ]
+        diags = check_network_flow(list(steps), {"rnn": ("input",)}, "rnn")
+        # t=0 and t=1 writes are overwritten by the same node; t=2 is
+        # the network output.
+        assert "netflow-dead-write" not in codes(diags)
+
+    def test_cross_node_waw_is_warning(self):
+        a, b = producer_consumer()
+        # c also writes tensor "b"'s... simulate by giving c an output
+        # region mapping to its own tensor but overlapping b via a
+        # shared input write: instead, two nodes writing one tensor is
+        # modelled through a virtual view below; here use node c
+        # writing into its declared *input* region (an in-place op on
+        # b's tensor).
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        c = make_launch(
+            "C 1", "c",
+            [store(r, IN_BASE)],
+            [MemRegion("in", IN_BASE, 128)],
+            reg_count=ra.count,
+        )
+        diags = run([a, b, c], output="b")
+        assert "netflow-waw" in codes(diags, Severity.WARNING)
+
+    def test_cross_node_war_is_warning(self):
+        a, b = producer_consumer()
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        # c writes tensor "a" (its declared input) after b read it.
+        c = make_launch(
+            "C 1", "c",
+            [store(r, IN_BASE)],
+            [MemRegion("in", IN_BASE, 128)],
+            reg_count=ra.count,
+        )
+        diags = check_network_flow(
+            [a, b, c], {"a": ("input",), "b": ("a",), "c": ("a",)}, "b"
+        )
+        assert "netflow-war" in codes(diags, Severity.WARNING)
+
+    def test_size_mismatch_is_warning(self):
+        a, b = producer_consumer()
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        b_small = make_launch(
+            "B 1", "b",
+            [load(r, IN_BASE), store(r, OUT_BASE)],
+            [MemRegion("in", IN_BASE, 64), MemRegion("out", OUT_BASE, 128)],
+            reg_count=ra.count,
+        )
+        diags = run([a, b_small])
+        assert "netflow-size-mismatch" in codes(diags, Severity.WARNING)
+
+    def test_virtual_view_resolves_to_constituents(self):
+        # Two producers, a virtual concat node, one consumer reading
+        # the view: no undefined reads, no dead writes.
+        ra = RegisterAllocator()
+        r = ra.fresh()
+        mk = lambda name: make_launch(
+            f"{name} 1", name, [store(r, OUT_BASE)],
+            [MemRegion("out", OUT_BASE, 128)], reg_count=ra.count,
+        )
+        p1, p2 = mk("p1"), mk("p2")
+        consumer = make_launch(
+            "D 1", "d",
+            [load(r, IN_BASE), store(r, OUT_BASE)],
+            [MemRegion("in", IN_BASE, 256), MemRegion("out", OUT_BASE, 64)],
+            reg_count=ra.count,
+        )
+        node_inputs = {
+            "p1": ("input",), "p2": ("input",),
+            "cat": ("p1", "p2"), "d": ("cat",),
+        }
+        diags = check_network_flow(
+            [p1, p2, consumer], node_inputs, "d", view_nodes={"cat"}
+        )
+        assert diags == []
+
+    def test_unlaunched_non_view_node_is_a_hole(self):
+        # A launch-less node that is NOT a declared view must not be
+        # silently resolved through: its consumer reads a tensor no
+        # launch produced.
+        _, b = producer_consumer()
+        diags = check_network_flow(
+            [b], dict(NODE_INPUTS), "b", view_nodes=frozenset()
+        )
+        assert codes(diags, Severity.ERROR) == {"netflow-undefined-read"}
+
+
+class TestSuiteCleanliness:
+    @pytest.mark.parametrize("network", NETWORK_ORDER)
+    def test_paper_networks_flow_clean(self, network):
+        report = analyze_network_flow(network)
+        assert not report.has_errors, report.format(min_severity=Severity.ERROR)
+        assert report.count(Severity.WARNING) == 0, report.format()

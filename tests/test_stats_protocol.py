@@ -93,24 +93,22 @@ class TestPackageSurface:
         assert repro.Stats is Stats
 
 
-class TestPerfCacheDeprecation:
-    def test_import_warns(self):
+class TestPerfCacheRemoval:
+    def test_shim_is_gone(self):
+        # The deprecated repro.perf.cache facade completed its removal
+        # cycle; the import must fail rather than silently resurrect a
+        # second cache surface.
         sys.modules.pop("repro.perf.cache", None)
-        with pytest.warns(DeprecationWarning, match="repro.runs.store"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.perf.cache")
 
-    def test_shim_still_re_exports(self):
-        sys.modules.pop("repro.perf.cache", None)
-        with pytest.warns(DeprecationWarning):
-            module = importlib.import_module("repro.perf.cache")
-        from repro.runs.store import KernelResultCache
-
-        assert module.KernelResultCache is KernelResultCache
-
-    def test_perf_package_does_not_warn(self):
+    def test_perf_package_re_exports_store_layer(self):
         import warnings
 
         sys.modules.pop("repro.perf", None)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            importlib.import_module("repro.perf")
+            module = importlib.import_module("repro.perf")
+        from repro.runs.store import KernelResultCache
+
+        assert module.KernelResultCache is KernelResultCache
