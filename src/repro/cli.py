@@ -135,8 +135,10 @@ def _light_requested(args: argparse.Namespace) -> bool:
 
 
 def _sim_options(args: argparse.Namespace):
+    from repro.gpu import engine
     from repro.gpu.config import SimOptions
 
+    engine.set_engine(getattr(args, "engine", None))
     options = SimOptions(scheduler=args.scheduler)
     if _light_requested(args):
         options = options.light()
@@ -183,7 +185,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_bench, write_bench
+    from repro.perf.bench import compare_bench, read_bench, run_bench, write_bench
     from repro.platforms import get_platform
 
     names = args.networks or list(NETWORK_ORDER)
@@ -192,12 +194,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return err
     config = get_platform(args.platform)
     options = _sim_options(args)
+    runs = args.runs if args.runs is not None else args.repeats
     payload = run_bench(
         names,
         config,
         options,
         cache_dir=args.cache_dir,
-        repeats=args.repeats,
+        runs=runs,
         seed=args.seed,
     )
     write_bench(payload, args.output)
@@ -207,6 +210,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
     else:
         print(f"wrote {args.output}")
+    if args.compare is None:
+        return 0
+    report = compare_bench(
+        read_bench(args.compare), payload,
+        threshold=args.threshold, alpha=args.alpha,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2))
+    else:
+        for name, verdict in report["networks"].items():
+            p = verdict["p"]
+            detail = (f"p={p:.3f}" if p is not None
+                      else f"{verdict['method']}")
+            mark = "REGRESSION" if verdict["slower"] else "ok"
+            print(f"{name:12s} {verdict['ratio']:6.2f}x vs baseline "
+                  f"({detail}) {mark}")
+        for name in report["skipped"]:
+            print(f"{name:12s} skipped (missing from one side)")
+    if report["regressions"]:
+        print(f"bench: {len(report['regressions'])} network(s) "
+              f"significantly slower than {args.compare}: "
+              f"{', '.join(report['regressions'])}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -591,6 +619,10 @@ def _add_sim_args(sub_parser: argparse.ArgumentParser) -> None:
     sub_parser.add_argument("--scheduler", default="gto",
                             choices=("gto", "lrr", "tlv"),
                             help="warp scheduler (default: gto)")
+    sub_parser.add_argument("--engine", default=None,
+                            choices=("seed", "fast", "vector"),
+                            help="simulation engine (default: $REPRO_ENGINE "
+                                 "or vector); all three are bit-identical")
     _add_fidelity_args(sub_parser)
 
 
@@ -725,8 +757,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sim_args(bench)
     bench.add_argument("--output", default="BENCH_sim.json", metavar="PATH",
                        help="output JSON path (default: BENCH_sim.json)")
+    bench.add_argument("--runs", type=int, default=None, metavar="N",
+                       help="timed runs per measurement; all samples are "
+                            "kept for statistics (default: 1; use >= 5 "
+                            "for significance testing)")
     bench.add_argument("--repeats", type=int, default=1, metavar="N",
-                       help="best-of-N timing repeats (default: 1)")
+                       help="deprecated alias for --runs")
+    bench.add_argument("--compare", default=None, metavar="PATH",
+                       help="compare against a baseline bench JSON and "
+                            "exit 1 on a statistically significant "
+                            "slowdown (same-machine baselines only)")
+    bench.add_argument("--threshold", type=float, default=1.10,
+                       metavar="RATIO",
+                       help="mean-ratio floor a slowdown must exceed to "
+                            "count as a regression (default: 1.10)")
+    bench.add_argument("--alpha", type=float, default=0.05, metavar="P",
+                       help="significance level for the Mann-Whitney "
+                            "test (default: 0.05)")
     bench.add_argument("--seed", action="store_true",
                        help="also time the frozen reference engine")
     bench.set_defaults(func=_cmd_bench)

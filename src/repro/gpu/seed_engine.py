@@ -35,6 +35,12 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.profiling.stall import StallReason
 from repro.profiling.stats import KernelStats
 
+#: Result-cache version string of the seed engine (see
+#: :func:`repro.gpu.engine.engine_version`).  The seed is frozen, so
+#: this should never change; it exists so runs executed under
+#: ``REPRO_ENGINE=seed`` key the result stores distinctly.
+ENGINE_VERSION = "seed-1"
+
 #: Register-producer kinds, used for stall attribution.
 KIND_ALU = 0
 KIND_MEM = 1

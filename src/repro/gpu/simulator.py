@@ -34,10 +34,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.gpu import engine as engine_registry
 from repro.gpu.config import GpuConfig, SimOptions
 from repro.gpu.decode import decode_program
 from repro.gpu.occupancy import Occupancy, compute_occupancy
-from repro.gpu.sm import SmWave
 from repro.isa.program import expand_program
 from repro.kernels.compile import compiled_network
 from repro.kernels.launch import KernelLaunch
@@ -183,11 +183,19 @@ class _WaveRun:
 def _run_wave(
     kernel: KernelLaunch, config: GpuConfig, options: SimOptions, sim_blocks: int
 ) -> _WaveRun:
-    """Expand, decode and execute one resident wave on one SM."""
+    """Expand, decode and execute one resident wave on one SM.
+
+    The wave class comes from the engine registry
+    (:func:`repro.gpu.engine.wave_class`): ``SmWave`` for the fast
+    engine, ``VectorWave`` for the vector engine.  The seed engine never
+    reaches here — :func:`simulate_kernel` delegates to its frozen
+    driver wholesale.
+    """
     expanded = expand_program(kernel.program, options.max_trips, options.max_outer_trips)
     decoded = decode_program(expanded)
     hierarchy = _make_hierarchy(config)
-    wave = SmWave(kernel, decoded, _GUARD_DECODED, sim_blocks, config, options, hierarchy)
+    wave_cls = engine_registry.wave_class()
+    wave = wave_cls(kernel, decoded, _GUARD_DECODED, sim_blocks, config, options, hierarchy)
     if kernel.shared_input and kernel.total_blocks > sim_blocks:
         wave.warm_shared_input()
     stats = wave.run()
@@ -207,7 +215,15 @@ def simulate_kernel(
     records so launches in the same class run the SM issue loop once.
     The cache is only valid for a fixed ``(config, options)`` pair —
     callers own that scoping.
+
+    When the seed engine is active (``REPRO_ENGINE=seed`` or
+    ``--engine seed``), the call delegates to the frozen seed driver
+    wholesale — no wave-class dedup, no pluggable wave class.
     """
+    if engine_registry.get_engine() == "seed":
+        from repro.gpu import seed_engine
+
+        return seed_engine.simulate_kernel(kernel, config, options)
     options = options or SimOptions()
     occupancy = compute_occupancy(kernel, config)
     sim_blocks = occupancy.blocks
@@ -292,7 +308,16 @@ def simulate_network(
     kernels are looked up there before simulating and stored after.
     The default (no persistent cache) leaves library behaviour
     unchanged; the ``repro simulate`` CLI and the run pipeline opt in.
+
+    When the seed engine is active the call delegates wholesale to
+    :func:`repro.gpu.seed_engine.simulate_network` (which ignores
+    *cache* and *dedup* — the frozen driver predates both and always
+    applies its own signature-level reuse).
     """
+    if engine_registry.get_engine() == "seed":
+        from repro.gpu import seed_engine
+
+        return seed_engine.simulate_network(name, config, options)
     options = options or SimOptions()
     tracer = get_tracer()
     result = NetworkResult(network=name, config=config, options=options)

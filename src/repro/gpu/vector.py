@@ -1,0 +1,768 @@
+"""The vectorized SM issue loop (fast-3 engine).
+
+:class:`VectorWave` extends the event-heap engine of
+:mod:`repro.gpu.sm` with three array-level optimizations, all provably
+bit-identical to the seed oracle (``tests/test_engine_equivalence.py``
+gates every suite network):
+
+* **Precomputed coalesced transactions.**  The scalar engine resolves
+  each global access's transaction list lazily at issue time
+  (:func:`repro.gpu.sm._gmem_txs`): per (warp, pc), evaluate the block
+  terms, probe the translation-invariant line-pattern cache, translate.
+  The vector engine computes the per-block scalar part of every
+  global-access pc as one numpy expression over block-symbol arrays and
+  materializes all warps' transaction lists for a pc with a single
+  broadcast add (``pattern[None, :] + base[:, None]``) — the issue loop
+  then just reads ``warp.ptx[pc]``.
+
+* **Vectorized shared-input warming.**  ``warm_shared_input`` replays
+  the wave's input-slot loads into L2 with zero statistic weight.
+  Zero-weight accesses leave counters untouched, so only the final
+  tag/LRU state matters; per L2 set that state is the distinct tags in
+  last-occurrence order whenever the set starts empty and never
+  overflows — computed wholesale from tag/set-index arrays by
+  :meth:`repro.memory.cache.Cache.bulk_warm`, with a scalar replay
+  fallback for the (rare) sets whose evictions depend on access order.
+
+* **Solo-warp batch issue.**  When exactly one warp is awake under GTO
+  — every other warp asleep on a long latency, parked at a barrier, or
+  retired — the general candidate walk degenerates to "issue the next
+  instruction if its sources are ready".  The batch loop issues whole
+  ALU/CTRL runs (``ProgramSoA.batch_ok``) in a tight loop: single-cycle
+  ports freed by the previous cycle can never block the only awake
+  warp, the sleeper stall-buckets are constant for the duration, and
+  sampled stall attribution reduces to integer credits on the sample
+  grid — all exact, no float accumulation is reordered.
+
+Fallbacks are counted, not silent: ``engine.vector.*`` counters in
+:mod:`repro.obs` record batched vs general-walk issues and vectorized
+vs scalar-replay warm sets whenever tracing is enabled.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+import numpy as np
+
+from repro.gpu.decode import (
+    K_ALU,
+    K_CMEM,
+    K_CTRL,
+    K_GMEM,
+    K_MEMLOAD,
+    K_SMEM,
+    PIPES,
+)
+from repro.gpu.scheduler import GtoScheduler, make_scheduler
+from repro.gpu.sm import (
+    _FETCH_BUBBLE,
+    _FAR_FUTURE,
+    _ISSUE_WIDTH,
+    _KIND_REASON_I,
+    _MAX_CYCLES,
+    _REASONS,
+    _R_INST_FETCH,
+    _R_NOT_SELECTED,
+    _R_PIPE_BUSY,
+    _R_SYNC,
+    _R_THROTTLE,
+    _TX_SHIFT,
+    SmWave,
+    _gmem_txs,
+)
+from repro.obs.tracer import get_tracer
+
+#: Bumped whenever an engine change could alter simulated numbers; part
+#: of the persistent result-cache key (:mod:`repro.runs.store`).
+#: "fast-3": the vectorized engine.  Numbers are bit-identical to
+#: "fast-2.1" (and the seed), but keying the store by engine keeps the
+#: provenance of every cached entry auditable per engine.
+ENGINE_VERSION = "fast-3"
+
+#: Wake bound when no sleeper is on the heap (beyond any reachable cycle).
+_NEVER = 1 << 60
+
+
+class VectorWave(SmWave):
+    """One SM executing one resident wave — vectorized fast-3 engine."""
+
+    def __init__(self, kernel, dprog, guard_dprog, sim_blocks, config, options, hierarchy):
+        super().__init__(
+            kernel, dprog, guard_dprog, sim_blocks, config, options, hierarchy
+        )
+        self._dprog = dprog
+        self._ptx: list | None = None
+        self._warm_obs = (0, 0)
+
+    # ------------------------------------------------------------------
+    def _ensure_ptx(self) -> list:
+        """Per-warp ``pc -> coalesced transaction list`` tables."""
+        ptx = self._ptx
+        if ptx is None:
+            ptx = self._ptx = self._precompute_txs()
+        return ptx
+
+    def _precompute_txs(self) -> list:
+        """Materialize every (warp, pc) transaction list with array ops.
+
+        Value-identical to calling :func:`repro.gpu.sm._gmem_txs` per
+        (warp, pc): the per-block scalar address part is one numpy
+        expression over block-symbol arrays (warps of a block share it),
+        the lane-varying line pattern comes from the same
+        translation-invariant caches the scalar path uses, and the
+        absolute lists fall out of one broadcast add per (pc,
+        lane-offset).  Guard warps never touch global memory, so their
+        tables stay empty.
+
+        Small waves skip the array path: numpy's fixed per-op cost
+        outruns the win below a handful of blocks (the RNN point
+        kernels), so those build the same tables through the scalar
+        helper — identical values either way.
+        """
+        dprog = self._dprog
+        warps = self.warps
+        ptx: list = [{} for _ in warps]
+        gpcs = dprog.soa().gmem_pcs
+        if not gpcs:
+            return ptx
+        blocks = self.blocks
+        nblocks = len(blocks)
+        if nblocks < 24:
+            dec = dprog.instrs
+            for w in warps:
+                if w.dprog is not dprog or not w.n_active:
+                    continue
+                table = ptx[w.warp_id]
+                for pc in gpcs:
+                    table[pc] = _gmem_txs(w, pc, dec[pc][4])
+            return ptx
+        gx, gy, _ = self.kernel.grid
+        bi = np.arange(nblocks, dtype=np.int64)
+        bz = bi // (gx * gy)
+        by = (bi // gx) % gy
+        bx = bi % gx
+        bsyms = {
+            "bx": bx,
+            "by": by,
+            "bz": bz,
+            "lin_bid": (bz * gy + by) * gx + bx,
+            "one": np.ones(nblocks, dtype=np.int64),
+        }
+        # One representative warp per lane offset (lane symbols and the
+        # active mask depend only on lane_start and the fixed geometry).
+        reps = [
+            (slot, w)
+            for slot, w in enumerate(blocks[0].warps)
+            if w.dprog is dprog and w.n_active
+        ]
+        dec = dprog.instrs
+        for pc in gpcs:
+            gmem = dec[pc][4]
+            scal = np.full(nblocks, gmem.const, dtype=np.int64)
+            for term in gmem.bterms:
+                scal = scal + term.apply(bsyms[term.sym])
+            if gmem.tterms:
+                q = scal >> _TX_SHIFT
+                base = q << _TX_SHIFT
+                rems = (scal - base).tolist()
+                single_rem = len(set(rems)) == 1
+                for slot, rep in reps:
+                    if single_rem:
+                        pat = np.array(
+                            dprog.tx_lines(pc, gmem, rep, rems[0]), dtype=np.int64
+                        )
+                        mat = (pat[None, :] + base[:, None]).tolist()
+                        for b, blk in enumerate(blocks):
+                            ptx[blk.warps[slot].warp_id][pc] = mat[b]
+                    else:
+                        bl = base.tolist()
+                        for b, blk in enumerate(blocks):
+                            lines = dprog.tx_lines(pc, gmem, rep, rems[b])
+                            off = bl[b]
+                            ptx[blk.warps[slot].warp_id][pc] = (
+                                [line + off for line in lines]
+                                if off
+                                else list(lines)
+                            )
+            else:
+                w1 = gmem.w1
+                fl = ((scal >> _TX_SHIFT) << _TX_SHIFT).tolist()
+                ll = (((scal + w1) >> _TX_SHIFT) << _TX_SHIFT).tolist() if w1 else fl
+                for b, blk in enumerate(blocks):
+                    txs = [fl[b], ll[b]] if ll[b] != fl[b] else [fl[b]]
+                    # No lane-varying terms: every warp of the block
+                    # issues the same transactions (read-only, shared).
+                    for slot, rep in reps:
+                        ptx[blk.warps[slot].warp_id][pc] = txs
+        return ptx
+
+    # ------------------------------------------------------------------
+    def warm_shared_input(self) -> None:
+        """Vectorized L2 pre-touch of the wave's shared-input loads.
+
+        Same transaction sequence, in the same order, as the scalar
+        engine's replay — flattened once and applied through the bulk
+        warm front (zero-weight accesses only mutate tag/LRU state, so
+        the set-level reduction is exact; see ``Cache.bulk_warm``).
+        """
+        ptx = self._ensure_ptx()
+        seq: list[int] = []
+        ext = seq.extend
+        for w in self.warps:
+            table = ptx[w.warp_id]
+            for pc in w.dprog.warm_pcs:
+                txs = table.get(pc)
+                if txs:
+                    ext(txs)
+        if seq:
+            self._warm_obs = self.hier.warm_l2(seq)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Execute the wave to completion; returns unscaled wave stats.
+
+        Structurally the :meth:`repro.gpu.sm.SmWave.run` loop (same
+        events, same attribution, same accumulation order — float sums
+        are never reordered) with the vector-engine deltas: global
+        accesses read precomputed transaction tables, and a solo-warp
+        batch loop fast-forwards ALU/CTRL runs when only one warp is
+        awake.  See the module docstring for the exactness argument.
+        """
+        warps = self.warps
+        live = sum(1 for w in warps if not w.done)
+        if live == 0:
+            self.stats.wave_cycles = 0
+            return self.stats
+
+        scheduler = make_scheduler(self.options.scheduler, warps, self.options.tlv_group)
+        gto = type(scheduler) is GtoScheduler
+        notify = scheduler.notify_issue
+        queue_penalty = self.options.queue_penalty if scheduler.manages_queues else 0
+        sample = max(1, self.options.stall_sample)
+
+        hier = self.hier
+        hier_load = hier.load
+        hier_store = hier.store
+        mshr_release = hier.mshr.next_release
+        lat_l1 = hier.lat_l1
+        lat_shared = hier.lat_shared
+        lat_const = hier.lat_const
+        lat_l2 = hier.lat_l2
+        shared_acc = 0.0
+        const_acc = 0.0
+        cc_hot = hier.const_cache.contains(0)
+        kernel_name = self.kernel.name
+
+        ptx = self._ensure_ptx()
+        for w in warps:
+            w.ptx = ptx[w.warp_id]
+            w.bok = w.dprog.soa().batch_ok
+
+        tracer = get_tracer()
+        trace = tracer.enabled and tracer.warps
+        tev: list = []
+        park_at: dict = {}
+        done_at: dict = {}
+
+        # Vectorization observability (folded into engine.vector.*).
+        nbatched = 0   # instructions issued by the batch loop
+        nscalar = 0    # instructions issued by the general walk
+        nwindows = 0   # batch windows entered
+        batch_cycles = 0
+
+        pf = [0, 0, 0, 0, 0]
+        cmask = [0, 0, 0, 0, 0]
+        mask = 0
+        for w in warps:
+            if not w.done:
+                mask |= 1 << w.warp_id
+        heap: list = []
+        nxt: list = []
+        imask = 0
+        nreasons = len(_REASONS)
+        bcnt = [0] * nreasons
+        sacc = [0] * nreasons
+        pacc = [0.0] * len(PIPES)
+        issued_acc = 0.0
+        rf_reads = 0.0
+        rf_writes = 0.0
+
+        cur = None
+        parked = 0
+        sync_parked = 0
+        herd = 0
+        cycle = 0
+        next_sample = 0
+        bubble_until = 0
+
+        while live > 0:
+            if cycle > _MAX_CYCLES:
+                raise RuntimeError(
+                    f"{kernel_name}: wave exceeded {_MAX_CYCLES} cycles"
+                )
+            # ---- solo-warp batch fast path (GTO only) ----------------
+            # At the loop top `nxt`/`herd` are always drained, sleepers
+            # due by `cycle` have woken, and every single-cycle port is
+            # free (its last issue was before this cycle).  With exactly
+            # one warp awake the general walk degenerates to "issue the
+            # next instruction when its sources are ready", so ALU/CTRL
+            # runs (ProgramSoA.batch_ok) advance in a tight loop:
+            # sleeper stall-buckets are constant for the window and the
+            # sampled sweep reduces to integer credits on the sample
+            # grid — bit-exact, nothing float is reordered.
+            if gto and mask and cycle >= bubble_until and not (mask & (mask - 1)):
+                wid = mask.bit_length() - 1
+                w = warps[wid]
+                pc = w.pc
+                bok = w.bok
+                if bok[pc]:
+                    nwindows += 1
+                    if w.cm >= 0:  # will issue now: drop the port cohort bit
+                        cmask[w.cm] &= ~mask
+                        w.cm = -1
+                    dec = w.dec
+                    ready = w.reg_ready
+                    kinds = w.reg_kind
+                    wn = w.n
+                    c = cycle
+                    wake_bound = heap[0][0] if heap else _NEVER
+                    nz = [(i, bcnt[i] * sample) for i in range(nreasons) if bcnt[i]]
+                    issued_any = False
+                    asleep = False
+                    while True:
+                        rec = dec[pc]
+                        srcs = rec[1]
+                        if srcs:
+                            worst = c
+                            kidx = 0
+                            for r in srcs:
+                                rc = ready[r]
+                                if rc > worst:
+                                    worst = rc
+                                    kidx = kinds[r]
+                            if worst > c:
+                                ri = _KIND_REASON_I[kidx]
+                                if c >= next_sample:
+                                    sacc[ri] += sample
+                                    for i2, cr in nz:
+                                        sacc[i2] += cr
+                                    next_sample = c + sample
+                                if worst == c + 1:
+                                    # 1-cycle stall: retry next cycle
+                                    # (the general loop's herd path).
+                                    c += 1
+                                    if c >= wake_bound:
+                                        break
+                                    continue
+                                # Longer dependency: sleep on the heap.
+                                w.bucket = ri
+                                bcnt[ri] += 1
+                                heappush(heap, (worst, wid))
+                                if trace:
+                                    tev.append((c, worst, ri, wid))
+                                wk = heap[0][0]
+                                c = wk if wk > c + 1 else c + 1
+                                asleep = True
+                                break
+                        # ---- issue (ALU/CTRL; ports cannot block) ----
+                        weight = rec[3]
+                        if rec[0] == K_ALU:
+                            dst = rec[2]
+                            ready[dst] = c + rec[4]
+                            kinds[dst] = 0  # KIND_ALU
+                            rf_writes += weight
+                        issued_acc += weight
+                        pacc[rec[5]] += weight
+                        rf_reads += rec[7]
+                        issued_any = True
+                        nbatched += 1
+                        pc += 1
+                        if c >= next_sample:
+                            for i2, cr in nz:
+                                sacc[i2] += cr
+                            next_sample = c + sample
+                        if pc >= wn:
+                            w.done = True
+                            live -= 1
+                            if trace:
+                                done_at[wid] = c
+                            asleep = True  # leaves the ready set
+                            c += 1
+                            break
+                        c += 1
+                        if c >= wake_bound or not bok[pc]:
+                            break
+                    w.pc = pc
+                    if issued_any:
+                        cur = w
+                    if asleep:
+                        mask = 0
+                    batch_cycles += c - cycle
+                    cycle = c
+                    while heap and heap[0][0] <= cycle:
+                        o = warps[heappop(heap)[1]]
+                        bcnt[o.bucket] -= 1
+                        o.bucket = -1
+                        mask |= 1 << o.warp_id
+                    continue
+            sampling = cycle >= next_sample
+            nissued = 0
+            if cycle >= bubble_until:
+                nxtc = cycle + 1
+                sdrop = 0
+                if gto:
+                    it = None
+                    pend = mask
+                    drop = 0
+                    if pf[0] == nxtc:
+                        drop |= cmask[0]
+                    if pf[1] == nxtc:
+                        drop |= cmask[1]
+                    if pf[2] == nxtc:
+                        drop |= cmask[2]
+                    if pf[3] == nxtc:
+                        drop |= cmask[3]
+                    drop &= pend
+                    if drop:
+                        if sampling:
+                            if cur is not None:
+                                drop &= ~(1 << cur.warp_id)
+                            sdrop = drop
+                        herd |= drop
+                        mask &= ~drop
+                        pend &= ~drop
+                    first = (
+                        cur if cur is not None and pend >> cur.warp_id & 1 else None
+                    )
+                else:
+                    it = scheduler.order(cycle)
+                    first = None
+                    pend = 0
+                while True:
+                    if it is not None:
+                        w = next(it, None)
+                        if w is None:
+                            break
+                        bit = 1 << w.warp_id
+                        if not mask & bit:
+                            continue
+                    elif first is not None:
+                        w = first
+                        first = None
+                        bit = 1 << w.warp_id
+                    elif pend:
+                        bit = pend & -pend
+                        pend ^= bit
+                        if not mask & bit:
+                            continue  # `cur`, already tried first
+                        w = warps[bit.bit_length() - 1]
+                    else:
+                        break
+                    mask ^= bit
+                    pc = w.pc
+                    if w.chk == pc:
+                        rec = None
+                        iv = w.civ
+                        rpi = w.cpi
+                    else:
+                        rec = w.dec[pc]
+                        if not rec[0]:
+                            # ---- barrier: issue once, park till release
+                            weight = rec[3]
+                            pi = rec[5]
+                            issued_acc += weight
+                            pacc[pi] += weight
+                            npc = pc + 1
+                            w.pc = npc
+                            if npc >= w.n:
+                                w.done = True
+                                live -= 1
+                                if trace:
+                                    done_at[w.warp_id] = cycle
+                            blk = w.block
+                            blk.arrived += 1
+                            if blk.arrived >= blk.expected:
+                                for o in blk.warps:
+                                    if o.at_barrier:
+                                        o.at_barrier = False
+                                        if trace:
+                                            ps = park_at.pop(o.warp_id, None)
+                                            if ps is not None:
+                                                tev.append((ps, cycle, _R_SYNC, o.warp_id))
+                                        if not o.done:
+                                            nxt.append(o)
+                                            parked -= 1
+                                blk.arrived = 0
+                                if not w.done:
+                                    imask |= bit
+                            else:
+                                w.at_barrier = True
+                                if not w.done:
+                                    w.bucket = _R_SYNC
+                                    bcnt[_R_SYNC] += 1
+                                    sync_parked += 1
+                                    parked += 1
+                                    if trace:
+                                        park_at[w.warp_id] = cycle
+                            nissued += 1
+                            nscalar += 1
+                            if gto:
+                                cur = w
+                            else:
+                                notify(w)
+                            if nissued >= _ISSUE_WIDTH:
+                                break
+                            continue
+                        # Fetch bubble at i-buffer refill boundaries.
+                        if rec[8] and w.fetch_pc != pc:
+                            w.fetch_pc = pc
+                            w.bucket = _R_INST_FETCH
+                            bcnt[_R_INST_FETCH] += 1
+                            heappush(heap, (cycle + _FETCH_BUBBLE, w.warp_id))
+                            if trace:
+                                tev.append(
+                                    (cycle, cycle + _FETCH_BUBBLE,
+                                     _R_INST_FETCH, w.warp_id)
+                                )
+                            continue
+                        srcs = rec[1]
+                        if srcs:
+                            ready = w.reg_ready
+                            worst = cycle
+                            kidx = 0
+                            for r in srcs:
+                                c = ready[r]
+                                if c > worst:
+                                    worst = c
+                                    kidx = w.reg_kind[r]
+                            if worst > cycle:
+                                if worst == nxtc:
+                                    herd |= bit
+                                    if sampling:
+                                        sacc[_KIND_REASON_I[kidx]] += sample
+                                else:
+                                    ri = _KIND_REASON_I[kidx]
+                                    w.bucket = ri
+                                    bcnt[ri] += 1
+                                    heappush(heap, (worst, w.warp_id))
+                                    if trace:
+                                        tev.append((cycle, worst, ri, w.warp_id))
+                                continue
+                        iv = rec[6]
+                        rpi = rec[5]
+                    # Pipeline port availability.
+                    if iv:
+                        free = pf[rpi]
+                        if free > cycle:
+                            w.chk = pc
+                            w.civ = iv
+                            w.cpi = rpi
+                            if w.cm < 0:
+                                w.cm = rpi
+                                cmask[rpi] |= bit
+                            if free == nxtc:
+                                herd |= bit
+                                if sampling:
+                                    sacc[_R_PIPE_BUSY] += sample
+                            else:
+                                w.bucket = _R_PIPE_BUSY
+                                bcnt[_R_PIPE_BUSY] += 1
+                                heappush(heap, (free, w.warp_id))
+                                if trace:
+                                    tev.append(
+                                        (cycle, free, _R_PIPE_BUSY, w.warp_id)
+                                    )
+                            continue
+                    # ---- issue ----------------------------------
+                    if rec is None:
+                        rec = w.dec[pc]
+                    kind, srcs, dst, weight, aux, pi, iv, rfr, fetch = rec
+                    mem = False
+                    if kind == K_ALU:
+                        w.reg_ready[dst] = cycle + aux
+                        w.reg_kind[dst] = 0  # KIND_ALU
+                    elif kind == K_GMEM:
+                        mem = True
+                        txs = w.ctxs
+                        if txs is False:
+                            txs = w.ptx.get(pc)
+                        if txs is not None:
+                            if aux.is_load:
+                                rc = hier_load(cycle, txs, weight)
+                                if rc is None:
+                                    w.ctxs = txs
+                                    w.chk = pc
+                                    w.civ = iv
+                                    w.cpi = pi
+                                    rel = mshr_release()
+                                    wk = rel if rel is not None else cycle + 8
+                                    if wk < nxtc:
+                                        wk = nxtc
+                                    if wk == nxtc:
+                                        herd |= bit
+                                        if sampling:
+                                            sacc[_R_THROTTLE] += sample
+                                    else:
+                                        w.bucket = _R_THROTTLE
+                                        bcnt[_R_THROTTLE] += 1
+                                        heappush(heap, (wk, w.warp_id))
+                                        if trace:
+                                            tev.append(
+                                                (cycle, wk, _R_THROTTLE,
+                                                 w.warp_id)
+                                            )
+                                    continue
+                                w.ctxs = False
+                                w.reg_ready[dst] = rc
+                                w.reg_kind[dst] = 1  # KIND_MEM
+                            else:
+                                hier_store(cycle, txs, weight)
+                    elif kind == K_CTRL:
+                        pass
+                    elif kind == K_CMEM:
+                        mem = True
+                        const_acc += weight
+                        if cc_hot:
+                            rc = cycle + lat_const
+                        else:
+                            cc_hot = True
+                            rc = cycle + lat_l2
+                        if aux:  # is_load
+                            w.reg_ready[dst] = rc
+                            w.reg_kind[dst] = 2  # KIND_CONST
+                    elif kind == K_SMEM:
+                        mem = True
+                        shared_acc += weight
+                        rc = cycle + lat_shared
+                        if aux:  # is_load
+                            w.reg_ready[dst] = rc
+                            w.reg_kind[dst] = 1  # KIND_MEM
+                    elif kind == K_MEMLOAD:
+                        mem = True
+                        w.reg_ready[dst] = cycle + lat_l1
+                        w.reg_kind[dst] = 1  # KIND_MEM
+                    else:  # K_MEMOP: no register effect
+                        mem = True
+                    if iv:
+                        pf[pi] = cycle + iv
+                        if iv == 1:
+                            d = pend & cmask[pi] & mask
+                            if d:
+                                herd |= d
+                                mask &= ~d
+                                pend &= ~d
+                                if sampling:
+                                    sdrop |= d
+                    cmi = w.cm
+                    if cmi >= 0:
+                        cmask[cmi] &= ~bit
+                        w.cm = -1
+                    issued_acc += weight
+                    pacc[pi] += weight
+                    rf_reads += rfr
+                    if dst >= 0:
+                        rf_writes += weight
+                    npc = pc + 1
+                    w.pc = npc
+                    if npc >= w.n:
+                        w.done = True
+                        live -= 1
+                        if trace:
+                            done_at[w.warp_id] = cycle
+                    else:
+                        imask |= bit
+                    nissued += 1
+                    nscalar += 1
+                    if gto:
+                        cur = w
+                    else:
+                        notify(w)
+                    if mem and queue_penalty and bubble_until <= cycle:
+                        bubble_until = cycle + 1 + queue_penalty
+                    if nissued >= _ISSUE_WIDTH:
+                        break
+                if sdrop:
+                    n = sdrop.bit_count()
+                    if nissued >= _ISSUE_WIDTH:
+                        nb = (sdrop & ((1 << w.warp_id) - 1)).bit_count()
+                        sacc[_R_PIPE_BUSY] += nb * sample
+                        sacc[_R_NOT_SELECTED] += (n - nb) * sample
+                    else:
+                        sacc[_R_PIPE_BUSY] += n * sample
+
+            if sampling:
+                sacc[_R_NOT_SELECTED] += mask.bit_count() * sample
+                for i in range(nreasons):
+                    c = bcnt[i]
+                    if c:
+                        sacc[i] += c * sample
+                if sync_parked:
+                    sacc[_R_SYNC] -= sync_parked * sample
+                next_sample = cycle + sample
+
+            if nissued:
+                cycle += 1
+            elif mask and bubble_until > cycle:
+                cycle = bubble_until
+            elif nxt or herd:
+                cycle += 1
+            elif heap:
+                wk = heap[0][0]
+                cycle = wk if wk > cycle + 1 else cycle + 1
+            elif parked:
+                cycle = _FAR_FUTURE
+            else:
+                cycle += 1
+            sync_parked = 0
+            if herd:
+                mask |= herd
+                herd = 0
+            if imask:
+                mask |= imask
+                imask = 0
+            if nxt:
+                for o in nxt:
+                    bi = o.bucket
+                    if bi >= 0:
+                        bcnt[bi] -= 1
+                        o.bucket = -1
+                    mask |= 1 << o.warp_id
+                del nxt[:]
+            while heap and heap[0][0] <= cycle:
+                o = warps[heappop(heap)[1]]
+                bcnt[o.bucket] -= 1
+                o.bucket = -1
+                mask |= 1 << o.warp_id
+
+        hier.shared_accesses += shared_acc
+        hier.const_accesses += const_acc
+        st = self.stats
+        st.issued = issued_acc
+        by_pipe = st.issued_by_pipe
+        for i, pipe in enumerate(PIPES):
+            v = pacc[i]
+            if v:
+                by_pipe[pipe] = v
+        stalls = st.stalls
+        for i, reason in enumerate(_REASONS):
+            v = sacc[i]
+            if v:
+                stalls[reason] = v
+        st.rf_reads = rf_reads
+        st.rf_writes = rf_writes
+        st.wave_cycles = cycle
+        st.resident_warps = len(warps)
+        if trace:
+            self._emit_trace(tracer, tev, park_at, done_at, cycle)
+        if tracer.enabled:
+            metrics = tracer.metrics
+            metrics.counter("engine.vector.batched_issues").inc(nbatched)
+            metrics.counter("engine.vector.scalar_issues").inc(nscalar)
+            metrics.counter("engine.vector.batch_windows").inc(nwindows)
+            metrics.counter("engine.vector.batch_cycles").inc(batch_cycles)
+            wf, ws = self._warm_obs
+            if wf or ws:
+                metrics.counter("engine.vector.warm_vector_sets").inc(wf)
+                metrics.counter("engine.vector.warm_scalar_sets").inc(ws)
+        return st

@@ -53,6 +53,8 @@ class Warp:
         "bucket",
         "cm",
         "ctxs",
+        "ptx",
+        "bok",
     )
 
     def __init__(
@@ -103,6 +105,11 @@ class Warp:
         #: (warp, pc), so reuse is exact; cleared when the access
         #: completes.
         self.ctxs = False
+        #: Vector-engine attachments (:mod:`repro.gpu.vector`): the
+        #: warp's precomputed pc -> coalesced-transaction table and its
+        #: program's ``batch_ok`` byte array.  Unused by the fast engine.
+        self.ptx = None
+        self.bok = None
 
         bx_dim, by_dim, _ = block_dims
         lanes = np.arange(lane_start, lane_start + WARP_SIZE, dtype=np.int64)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class CacheStats:
@@ -139,6 +141,89 @@ class Cache:
                 entry[tag] = None
                 missed.append(addr)
         return missed
+
+    def bulk_warm(self, addrs) -> tuple[int, int]:
+        """Replay *addrs* as zero-weight allocate-on-miss accesses.
+
+        Exactly equivalent to ``access(a, weight=0.0)`` per address, in
+        order — the warm path of :meth:`repro.gpu.vector.VectorWave` —
+        but resolved per *set* with array arithmetic: zero-weight
+        accesses leave every statistic unchanged (``x + 0.0 == x`` for
+        the non-negative counters), so the only observable effect is the
+        final tag/LRU state.  For a set that starts empty and sees at
+        most ``assoc`` distinct tags, no access can ever evict, so every
+        access either inserts or moves its tag to MRU and the final
+        state is simply the distinct tags ordered by last occurrence —
+        computed here from numpy set-index/tag arrays without touching
+        Python per access.  Sets that start non-empty or overflow the
+        associativity fall back to the scalar replay (their evictions
+        depend on the full access order).
+
+        Returns ``(vectorized_sets, scalar_sets)`` for observability.
+        """
+        n_sets = self.n_sets
+        if not n_sets or len(addrs) == 0:
+            return 0, 0
+        shift = self._index_shift
+        if len(addrs) < 256:
+            # Tiny replays: numpy's unique/lexsort fixed cost outruns
+            # the win; do the plain in-order replay (same end state).
+            sets = self._sets
+            assoc = self.assoc
+            line_shift = self._line_shift
+            touched = set()
+            for addr in addrs:
+                tag = int(addr) >> line_shift
+                s = (tag ^ (tag >> shift)) % n_sets
+                touched.add(s)
+                entry = sets[s]
+                if tag in entry:
+                    del entry[tag]
+                    entry[tag] = None
+                else:
+                    if len(entry) >= assoc:
+                        del entry[next(iter(entry))]
+                    entry[tag] = None
+            return 0, len(touched)
+        arr = np.asarray(addrs, dtype=np.int64)
+        tags = arr >> self._line_shift
+        # Distinct tags ordered by *last* occurrence: first occurrence
+        # in the reversed stream is the last in the original.
+        rev_uniq, rev_first = np.unique(tags[::-1], return_index=True)
+        last_pos = len(tags) - 1 - rev_first
+        uidx = (rev_uniq ^ (rev_uniq >> shift)) % n_sets
+        order = np.lexsort((last_pos, uidx))
+        utag = rev_uniq[order]
+        uset, counts = np.unique(uidx[order], return_counts=True)
+        sets = self._sets
+        assoc = self.assoc
+        fast = 0
+        overflow: list[int] = []
+        pos = 0
+        for s, c in zip(uset.tolist(), counts.tolist()):
+            entry = sets[s]
+            if c <= assoc and not entry:
+                for tag in utag[pos:pos + c].tolist():
+                    entry[tag] = None
+                fast += 1
+            else:
+                overflow.append(s)
+            pos += c
+        if overflow:
+            ov = set(overflow)
+            idx = (tags ^ (tags >> shift)) % n_sets
+            for tag, s in zip(tags.tolist(), idx.tolist()):
+                if s not in ov:
+                    continue
+                entry = sets[s]
+                if tag in entry:
+                    del entry[tag]
+                    entry[tag] = None
+                else:
+                    if len(entry) >= assoc:
+                        del entry[next(iter(entry))]
+                    entry[tag] = None
+        return fast, len(overflow)
 
     def contains(self, addr: int) -> bool:
         """Non-mutating presence probe (no stats, no LRU update)."""

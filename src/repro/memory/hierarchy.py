@@ -144,6 +144,20 @@ class MemoryHierarchy:
             return now + self.lat_const, False
         return now + self.lat_l2, True
 
+    def warm_l2(self, tx_addrs) -> tuple[int, int]:
+        """Vectorized zero-weight L2 pre-touch of *tx_addrs* (in order).
+
+        The vector engine's batch front for shared-input warming: state-
+        identical to ``l2.access(tx, weight=0.0)`` per transaction (see
+        :meth:`repro.memory.cache.Cache.bulk_warm`), with the scalar
+        replay kept as the fallback for sets whose eviction behaviour
+        depends on the full access order.  MSHRs and DRAM are never
+        involved in warming, so no throttle fallback is needed here.
+
+        Returns ``(vectorized_sets, scalar_sets)``.
+        """
+        return self.l2.bulk_warm(tx_addrs)
+
     def mshr_pressure(self) -> float:
         """Fraction of MSHR entries in use (diagnostics/ablation)."""
         return self.mshr.in_use / self.mshr.capacity

@@ -49,12 +49,12 @@ def run_key(network: str, config: GpuConfig, options: SimOptions) -> str:
     Any change to any field of the config or options — or an engine
     bump — yields a new key, so stale entries are never looked up.
     """
-    from repro.gpu.sm import ENGINE_VERSION
+    from repro.gpu.engine import engine_version
 
     payload = json.dumps(
         {
             "kind": "network-run",
-            "engine": ENGINE_VERSION,
+            "engine": engine_version(),
             "network": network,
             "config": asdict(config),
             "options": asdict(options),

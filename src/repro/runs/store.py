@@ -17,8 +17,10 @@ simulation result the project produces, at two granularities:
   clear`` removes any stale one left by older checkouts).
 
 Both layers share the invalidation contract: every field of the frozen
-config/options dataclasses plus :data:`repro.gpu.sm.ENGINE_VERSION`
-folds into a SHA-256 key, so stale entries are never returned — they
+config/options dataclasses plus the active engine's version string
+(:func:`repro.gpu.engine.engine_version` — resolved at call time, so
+``--engine``/``REPRO_ENGINE`` switches key correctly) folds into a
+SHA-256 key, so stale entries are never returned — they
 are simply never looked up again.  Corrupt, truncated or
 schema-mismatched files read as misses (and are rewritten on the next
 store), never as errors: the cache must not be able to make a
@@ -34,8 +36,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.gpu.config import GpuConfig, SimOptions
+from repro.gpu.engine import engine_version
 from repro.gpu.occupancy import Occupancy
-from repro.gpu.sm import ENGINE_VERSION
 from repro.profiling.stats import KernelStats
 from repro.runs.spec import RunSpec
 
@@ -63,7 +65,7 @@ def cache_key(signature: str, config: GpuConfig, options: SimOptions) -> str:
     """SHA-256 over the full kernel key tuple, as a hex digest."""
     payload = json.dumps(
         {
-            "engine": ENGINE_VERSION,
+            "engine": engine_version(),
             "signature": signature,
             "config": asdict(config),
             "options": asdict(options),
@@ -138,7 +140,7 @@ class KernelResultCache:
         """Store one kernel result (best-effort; IO errors are ignored)."""
         key = cache_key(signature, config, options)
         payload = {
-            "engine": ENGINE_VERSION,
+            "engine": engine_version(),
             "stats": stats.to_dict(),
             "occupancy": asdict(occupancy),
             "sample_factor": sample_factor,
@@ -159,7 +161,7 @@ class KernelResultCache:
 def _decode(payload: dict) -> CachedKernel | None:
     """Payload dict -> CachedKernel, or None when malformed."""
     try:
-        if payload["engine"] != ENGINE_VERSION:
+        if payload["engine"] != engine_version():
             return None
         return CachedKernel(
             stats=KernelStats.from_dict(payload["stats"]),
@@ -258,7 +260,7 @@ class StoredNetworkResult:
 def result_to_payload(result) -> dict:
     """JSON payload of a live ``NetworkResult`` (or stored clone)."""
     return {
-        "engine": ENGINE_VERSION,
+        "engine": engine_version(),
         "network": result.network,
         "unique_kernels": len({k.kernel.signature() for k in result.kernels}),
         "kernels": [
@@ -283,7 +285,7 @@ def result_from_payload(
 ) -> StoredNetworkResult | None:
     """Payload dict -> StoredNetworkResult, or None when malformed."""
     try:
-        if payload["engine"] != ENGINE_VERSION:
+        if payload["engine"] != engine_version():
             return None
         out = StoredNetworkResult(
             network=payload["network"], config=config, options=options
@@ -416,7 +418,7 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
         "kernel_entries": kernel_entries,
         "run_entries": run_entries,
         "bytes": total_bytes,
-        "engine_version": ENGINE_VERSION,
+        "engine_version": engine_version(),
         "by_engine": dict(sorted(engines.items())),
         "dedup": {
             "kernels_requested": kernels_requested,

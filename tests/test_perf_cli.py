@@ -1,4 +1,5 @@
-"""Tests for the ``repro simulate`` and ``repro bench`` subcommands."""
+"""Tests for the ``repro simulate`` and ``repro bench`` subcommands,
+and the small-sample statistics behind ``repro bench --compare``."""
 
 from __future__ import annotations
 
@@ -7,6 +8,8 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.perf.bench import compare_bench
+from repro.perf.stats import compare_samples, mann_whitney_u, summarize
 
 
 class TestSimulateCli:
@@ -89,3 +92,150 @@ class TestBenchCli:
     def test_unknown_network_rejected(self, capsys):
         assert main(["bench", "nonesuch", "--light"]) == 2
         assert "unknown network" in capsys.readouterr().err
+
+    def test_runs_records_samples_and_stats(self, tmp_path):
+        out_path = tmp_path / "bench.json"
+        exit_code = main([
+            "bench", "gru", "--light", "--runs", "3",
+            "--output", str(out_path),
+        ])
+        assert exit_code == 0
+        entry = json.loads(out_path.read_text())["gru"]
+        for series in ("cold", "warm", "run_warm"):
+            assert len(entry["samples"][series]) == 3
+        assert entry["cold_s"] == min(entry["samples"]["cold"])
+        assert entry["cold_mean_s"] >= entry["cold_s"]
+        assert entry["cold_std_s"] >= 0
+        assert entry["cold_ci95_s"] >= 0
+        assert entry["engine"] == "vector"
+        assert entry["engine_version"] == "fast-3"
+
+    def test_engine_flag_recorded(self, tmp_path):
+        from repro.gpu import engine as engine_registry
+
+        out_path = tmp_path / "bench.json"
+        try:
+            exit_code = main([
+                "bench", "gru", "--light", "--engine", "fast",
+                "--output", str(out_path),
+            ])
+        finally:
+            engine_registry.set_engine(None)
+        assert exit_code == 0
+        entry = json.loads(out_path.read_text())["gru"]
+        assert entry["engine"] == "fast"
+        assert entry["engine_version"] == "fast-2.1"
+
+    def test_compare_against_self_passes(self, tmp_path):
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "gru", "--light", "--runs", "5",
+            "--output", str(out_path),
+        ]) == 0
+        # Re-benching against the just-written baseline on the same
+        # machine must not flag a regression.
+        assert main([
+            "bench", "gru", "--light", "--runs", "5",
+            "--output", str(tmp_path / "again.json"),
+            "--compare", str(out_path),
+            "--threshold", "2.0",  # generous: CI runners are noisy
+        ]) == 0
+
+    def test_compare_flags_regression(self, capsys, tmp_path):
+        # A fabricated baseline 1000x faster than reality forces a
+        # statistically significant slowdown -> exit 1.
+        baseline = {
+            "gru": {
+                "cold_s": 1e-6,
+                "samples": {"cold": [1e-6, 1.1e-6, 0.9e-6, 1.05e-6, 0.95e-6]},
+                "engine_version": "fast-2.1",
+            }
+        }
+        base_path = tmp_path / "baseline.json"
+        base_path.write_text(json.dumps(baseline))
+        exit_code = main([
+            "bench", "gru", "--light", "--runs", "5",
+            "--output", str(tmp_path / "bench.json"),
+            "--compare", str(base_path),
+        ])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "significantly slower" in captured.err
+
+
+class TestStats:
+    def test_summarize_single_sample(self):
+        stats = summarize([2.5])
+        assert stats == {"n": 1, "mean": 2.5, "std": 0.0, "ci95": 0.0}
+
+    def test_summarize_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["std"] == pytest.approx(1.0)
+        # t(0.975, df=2) = 4.303; CI = t * s / sqrt(n)
+        assert stats["ci95"] == pytest.approx(4.303 / 3 ** 0.5, rel=1e-3)
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_mann_whitney_separated_samples(self):
+        test = mann_whitney_u([1, 2, 3, 4, 5], [6, 7, 8, 9, 10])
+        assert test["u"] == 25.0  # candidate wins every pair
+        assert test["p"] < 0.01
+
+    def test_mann_whitney_identical_samples(self):
+        assert mann_whitney_u([1, 2, 3], [1, 2, 3])["p"] > 0.5
+        assert mann_whitney_u([5, 5, 5], [5, 5, 5])["p"] == 1.0
+
+    def test_mann_whitney_direction_is_one_sided(self):
+        # A *faster* candidate must never look significant.
+        test = mann_whitney_u([6, 7, 8, 9, 10], [1, 2, 3, 4, 5])
+        assert test["p"] > 0.95
+
+    def test_compare_requires_threshold_and_significance(self):
+        slow = compare_samples(
+            [1.0, 1.02, 0.98, 1.01, 0.99], [2.0, 2.02, 1.98, 2.01, 1.99]
+        )
+        assert slow["slower"] and slow["method"] == "mann-whitney"
+        # Significant but under the ratio threshold: not a regression.
+        small = compare_samples(
+            [1.0, 1.02, 0.98, 1.01, 0.99],
+            [1.05, 1.07, 1.03, 1.06, 1.04],
+            threshold=1.10,
+        )
+        assert small["p"] < 0.05 and not small["slower"]
+        # Over the threshold but pure noise: not a regression either.
+        noisy = compare_samples([1.0, 2.0, 0.5], [1.1, 2.2, 0.55], threshold=1.05)
+        assert not noisy["slower"]
+
+    def test_compare_single_sample_falls_back_to_ratio(self):
+        verdict = compare_samples([1.0], [1.5])
+        assert verdict["method"] == "ratio-only"
+        assert verdict["p"] is None
+        assert verdict["slower"]
+        assert not compare_samples([1.0], [1.05])["slower"]
+
+    def test_compare_bench_payloads(self):
+        def entry(samples):
+            return {
+                "cold_s": min(samples),
+                "samples": {"cold": samples},
+                "engine_version": "x",
+            }
+
+        baseline = {
+            "gru": entry([1.0, 1.1, 0.9, 1.05, 0.95]),
+            "lstm": entry([1.0, 1.1, 0.9, 1.05, 0.95]),
+            "only_base": entry([1.0]),
+        }
+        candidate = {
+            "gru": entry([3.0, 3.1, 2.9, 3.05, 2.95]),  # regressed
+            "lstm": entry([1.0, 1.1, 0.9, 1.05, 0.95]),  # unchanged
+            "only_cand": entry([1.0]),
+        }
+        report = compare_bench(baseline, candidate)
+        assert report["regressions"] == ["gru"]
+        assert not report["networks"]["lstm"]["slower"]
+        assert sorted(report["skipped"]) == ["only_base", "only_cand"]

@@ -17,7 +17,6 @@ import pytest
 from repro.gpu.config import GpuConfig, SimOptions
 from repro.gpu.simulator import simulate_network
 from repro.platforms import GP102
-from repro.runs import store as store_mod
 from repro.runs.store import KernelResultCache, cache_key, default_cache_dir
 
 #: A replacement value per field type, distinct from any default.
@@ -63,9 +62,11 @@ class TestKeyContract:
         )
 
     def test_engine_version_invalidates(self, monkeypatch):
+        import repro.gpu.vector as vector
+
         base = SimOptions()
         before = cache_key(self.SIG, GP102, base)
-        monkeypatch.setattr(store_mod, "ENGINE_VERSION", "test-engine")
+        monkeypatch.setattr(vector, "ENGINE_VERSION", "test-engine")
         assert cache_key(self.SIG, GP102, base) != before
 
     def test_stale_engine_entry_not_returned(self, tmp_path, monkeypatch):
