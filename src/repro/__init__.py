@@ -15,6 +15,9 @@ Benchmark Suite for Various Accelerators* (Karki et al., ISPASS 2019):
   GK210 / TX1 / GP102 GPUs and the PynQ-Z1 FPGA;
 * :mod:`repro.profiling` / :mod:`repro.harness` -- nvprof-like profiling
   and one experiment module per paper table and figure;
+* :mod:`repro.campaign` -- declarative design-space-exploration
+  campaigns over the run pipeline: sweep specs, Pareto frontiers and
+  golden-frontier QoR regression gates;
 * :mod:`repro.obs` -- span tracer + metrics registry across the GPU,
   run-orchestration and serving layers, exported as Chrome-trace JSON.
 

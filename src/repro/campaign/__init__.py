@@ -1,0 +1,78 @@
+"""Declarative design-space-exploration campaigns.
+
+The campaign subsystem generalizes the fixed paper-experiment harness
+into an open-ended architecture-exploration tool, the way the VTR task
+runner generalizes one flow run into QoR-tracked sweeps:
+
+* :mod:`repro.campaign.spec` — the declarative campaign grammar
+  (TOML/JSON files or Python dicts): six sweep axes (network x
+  platform x l1_kb x scheduler x fidelity x batch), cartesian or
+  zipped expansion, filter rules, Pareto objectives — all validated at
+  load time against the network and platform registries.
+* :mod:`repro.campaign.expand` — expansion into concrete points and
+  lowering onto the run pipeline: one point -> one
+  :class:`~repro.runs.spec.RunSpec`, deduped by content key into a
+  :class:`CampaignPlan` the shared executor materializes (warm re-runs
+  simulate nothing).
+* :mod:`repro.campaign.qor` — per-point quality-of-result metrics
+  (batched latency/cycles/throughput, GPUWattch energy split,
+  batch-scaled memory footprint) from each point's stored batch-1 run.
+* :mod:`repro.campaign.frontier` — Pareto-dominance filtering and the
+  golden-frontier comparison gate (retreats and newly dominated points
+  regress; improvements pass).
+* :mod:`repro.campaign.runner` / :mod:`repro.campaign.report` — the
+  one-call orchestration and the per-axis QoR tables.
+
+CLI: ``repro campaign run|compare|list SPEC`` (see ``repro campaign
+--help``); DESIGN.md section 14 documents the grammar and algorithms.
+"""
+
+from repro.campaign.expand import (
+    AXIS_ORDER,
+    CampaignPlan,
+    CampaignPoint,
+    expand_points,
+    plan_campaign,
+    point_spec,
+)
+from repro.campaign.frontier import (
+    compare_frontiers,
+    dominates,
+    format_compare,
+    frontier_payload,
+    pareto_frontier,
+)
+from repro.campaign.qor import QOR_METRICS, QorModel, QorRow
+from repro.campaign.report import axis_table, format_campaign
+from repro.campaign.runner import CampaignResult, run_campaign
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    campaign_from_dict,
+    load_campaign,
+)
+
+__all__ = [
+    "AXIS_ORDER",
+    "CampaignError",
+    "CampaignPlan",
+    "CampaignPoint",
+    "CampaignResult",
+    "CampaignSpec",
+    "QOR_METRICS",
+    "QorModel",
+    "QorRow",
+    "axis_table",
+    "campaign_from_dict",
+    "compare_frontiers",
+    "dominates",
+    "expand_points",
+    "format_campaign",
+    "format_compare",
+    "frontier_payload",
+    "load_campaign",
+    "pareto_frontier",
+    "plan_campaign",
+    "point_spec",
+    "run_campaign",
+]

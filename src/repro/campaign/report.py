@@ -1,0 +1,109 @@
+"""Campaign reporting: per-axis QoR tables and text rendering.
+
+The human-facing end of ``repro campaign run``: per-axis tables show
+how each swept axis value moves the headline metrics (the VTR
+``parse_vtr_task`` QoR-table shape), and the frontier listing names
+every surviving design point.  Everything renders from the same
+JSON-ready :class:`~repro.campaign.runner.CampaignResult` payload the
+``--json`` path emits.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.expand import AXIS_ORDER
+from repro.campaign.qor import QorRow
+from repro.campaign.runner import CampaignResult
+
+#: Headline metrics of the per-axis tables: (metric, better-direction).
+TABLE_METRICS = (
+    ("latency_ms", min),
+    ("throughput_rps", max),
+    ("energy_per_inf_j", min),
+    ("footprint_kb", min),
+)
+
+
+def axis_table(rows: list[QorRow], axis: str) -> list[dict]:
+    """Best headline metrics per value of *axis*, sorted by value.
+
+    "Best" is the per-group optimum (min or max as appropriate), the
+    useful per-axis view of a sweep: what is attainable at this axis
+    setting, letting every other axis float.
+    """
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault(row.point.axes()[axis], []).append(row)
+    table = []
+    for value in sorted(groups, key=lambda v: (str(type(v)), v)):
+        group = groups[value]
+        entry = {"value": value, "points": len(group)}
+        for metric, best in TABLE_METRICS:
+            entry[metric] = best(r.metrics[metric] for r in group)
+        table.append(entry)
+    return table
+
+
+def varying_axes(result: CampaignResult) -> list[str]:
+    """The axes that actually sweep (more than one distinct value)."""
+    out = []
+    for axis in AXIS_ORDER:
+        values = {row.point.axes()[axis] for row in result.rows}
+        if len(values) > 1:
+            out.append(axis)
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_table(axis: str, table: list[dict]) -> str:
+    headers = ["value", "points"] + [metric for metric, _ in TABLE_METRICS]
+    widths = {h: len(h) for h in headers}
+    cells = []
+    for entry in table:
+        row = [_fmt(entry["value"]), str(entry["points"])] + [
+            _fmt(entry[metric]) for metric, _ in TABLE_METRICS
+        ]
+        cells.append(row)
+        for header, cell in zip(headers, row):
+            widths[header] = max(widths[header], len(cell))
+    lines = [f"  by {axis}:"]
+    lines.append("    " + "  ".join(h.rjust(widths[h]) for h in headers))
+    for row in cells:
+        lines.append(
+            "    " + "  ".join(c.rjust(widths[h]) for h, c in zip(headers, row))
+        )
+    return "\n".join(lines)
+
+
+def format_campaign(result: CampaignResult, max_frontier: int = 24) -> str:
+    """The full text report of one campaign run."""
+    spec = result.spec
+    lines = [f"=== campaign {spec.name} ==="]
+    if spec.description:
+        lines.append(f"  {spec.description}")
+    lines.append(
+        f"  {result.plan.requested} points -> {len(result.plan.specs)} unique "
+        f"runs ({result.plan.deduped} deduplicated); "
+        f"{result.report.fresh} fresh, {result.report.cached} cached"
+    )
+    for entry in result.skipped:
+        lines.append(f"  SKIPPED {entry['axes']}: {entry['error']}")
+    for axis in varying_axes(result):
+        lines.append(_render_table(axis, axis_table(result.rows, axis)))
+    labels = ", ".join(spec.objective_labels())
+    lines.append(
+        f"  frontier ({labels}): {len(result.frontier)} of "
+        f"{len(result.rows)} points non-dominated"
+    )
+    for row in result.frontier[:max_frontier]:
+        lines.append(f"    {row.describe()}")
+    if len(result.frontier) > max_frontier:
+        lines.append(
+            f"    ... {len(result.frontier) - max_frontier} more "
+            f"(use --json for all)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Campaign orchestration: expand -> plan -> execute -> QoR -> frontier.
+
+One call, :func:`run_campaign`, drives a whole design-space-exploration
+campaign through the existing run pipeline: the campaign plan dedupes
+the requested points onto unique :class:`~repro.runs.spec.RunSpec` s,
+the shared :class:`~repro.runs.executor.Executor` materializes them
+(process-pool fan-out, content-addressed store read-through — a warm
+re-run simulates nothing), and the QoR layer prices every requested
+point from its stored run.  Failed runs (surfaced per-spec by the
+executor rather than aborting the batch) skip their points; everything
+else aggregates into QoR rows and the Pareto frontier.
+
+Observability: ``campaign.*`` counters (points, unique_runs, deduped,
+rows, skipped, frontier_points) and wall-clock spans for the plan, QoR
+and frontier phases when a tracer is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.expand import CampaignPlan, plan_campaign
+from repro.campaign.frontier import frontier_payload, pareto_frontier
+from repro.campaign.qor import QorModel, QorRow
+from repro.campaign.spec import CampaignSpec
+from repro.obs.tracer import WALL_S, get_tracer
+from repro.runs.executor import ExecutionReport, Executor
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign pass produced."""
+
+    spec: CampaignSpec
+    plan: CampaignPlan
+    report: ExecutionReport
+    #: One QoR row per successfully executed point, in expansion order.
+    rows: list[QorRow] = field(default_factory=list)
+    #: The non-dominated rows under the spec's objectives.
+    frontier: list[QorRow] = field(default_factory=list)
+    #: Points whose runs failed: ``{"axes": ..., "error": ...}``.
+    skipped: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested point produced a QoR row."""
+        return not self.skipped
+
+    def frontier_payload(self) -> dict:
+        """The golden-frontier JSON form of this campaign's frontier."""
+        return frontier_payload(
+            self.spec.name,
+            self.spec.objective_labels(),
+            self.frontier,
+            tolerance=self.spec.tolerance,
+        )
+
+    def to_dict(self) -> dict:
+        """Full campaign outcome as one JSON document."""
+        return {
+            "campaign": self.spec.name,
+            "description": self.spec.description,
+            "mode": self.spec.mode,
+            "points": self.plan.requested,
+            "unique_runs": len(self.plan.specs),
+            "deduped": self.plan.deduped,
+            "execution": self.report.to_dict(),
+            "objectives": list(self.spec.objective_labels()),
+            "rows": [row.to_dict() for row in self.rows],
+            "frontier": self.frontier_payload(),
+            "skipped": list(self.skipped),
+        }
+
+    def summary(self) -> str:
+        """One-line outcome for logs."""
+        skipped = f", {len(self.skipped)} skipped" if self.skipped else ""
+        return (
+            f"[campaign] {self.spec.name}: {self.plan.requested} points, "
+            f"{len(self.plan.specs)} unique runs "
+            f"({self.report.fresh} fresh, {self.report.cached} cached), "
+            f"frontier {len(self.frontier)}/{len(self.rows)} points{skipped}"
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store=None,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    verbose: bool = False,
+) -> CampaignResult:
+    """Plan, execute and aggregate one campaign.
+
+    ``store=None`` with no executor keeps results in memory only;
+    passing a :class:`~repro.runs.store.ResultStore` (the default CLI
+    path) makes the campaign resumable: re-running after an interrupt
+    — or after extending the spec with new axis values — only
+    simulates combos the store has never seen.
+    """
+    tracer = get_tracer()
+    plan = plan_campaign(spec)
+    if verbose:
+        print(plan.describe(), flush=True)
+    if executor is None:
+        executor = Executor(store, verbose=verbose)
+    report = executor.execute(plan.specs, jobs=jobs)
+    if verbose:
+        print(f"[campaign] {report.summary()}", flush=True)
+
+    qor_start = tracer.wall()
+    model = QorModel()
+    rows: list[QorRow] = []
+    skipped: list[dict] = []
+    for point, run in zip(plan.points, plan.specs_by_point):
+        key = run.key()
+        error = report.failed.get(key)
+        if error is not None:
+            skipped.append({"axes": point.axes(), "error": error})
+            continue
+        rows.append(model.row(point, key, executor.run(run)))
+    if tracer.enabled:
+        tracer.metrics.counter("campaign.rows").inc(len(rows))
+        if skipped:
+            tracer.metrics.counter("campaign.skipped").inc(len(skipped))
+        tracer.span(
+            f"qor {spec.name}", "campaign", WALL_S,
+            qor_start, tracer.wall() - qor_start,
+            process="campaign", thread="qor",
+            args={"rows": len(rows), "skipped": len(skipped)},
+        )
+
+    frontier_start = tracer.wall()
+    frontier = pareto_frontier(rows, spec.objectives)
+    if tracer.enabled:
+        tracer.metrics.counter("campaign.frontier_points").inc(len(frontier))
+        tracer.span(
+            f"frontier {spec.name}", "campaign", WALL_S,
+            frontier_start, tracer.wall() - frontier_start,
+            process="campaign", thread="frontier",
+            args={"frontier": len(frontier), "rows": len(rows)},
+        )
+    result = CampaignResult(
+        spec=spec, plan=plan, report=report,
+        rows=rows, frontier=frontier, skipped=skipped,
+    )
+    if verbose:
+        print(result.summary(), flush=True)
+    return result

@@ -55,10 +55,22 @@ Subcommands:
     the (voluminous) per-warp stall phases, ``--max-events N`` bounds
     trace memory (overflow is counted, never silent).
 
+``repro campaign run|compare|list SPEC``
+    Declarative design-space-exploration campaigns (see
+    :mod:`repro.campaign`): ``list`` expands and dedupes the spec
+    without simulating, ``run`` executes the campaign (resumable via
+    the result store; ``--frontier-out`` writes the golden-frontier
+    JSON, ``--output`` the full result document), ``compare`` re-runs
+    and diffs the Pareto frontier against a committed golden file
+    (``--golden``), exiting 1 on any regression — the QoR gate CI runs.
+
 ``repro cache``
     Inspect (``stats``) or empty (``clear``) the unified result store —
     kernel entries and whole-network run entries in one directory
-    (plus any stale pre-unification ``.tango_cache/``).
+    (plus any stale pre-unification ``.tango_cache/``).  ``cache
+    stats`` breaks entries and bytes down by the engine version that
+    wrote them; ``cache clear --engine VER`` prunes only that
+    version's (e.g. stale) entries.
 
 ``repro networks``
     List the benchmark suite (paper networks plus extensions);
@@ -77,6 +89,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis import Severity, analyze_network
 from repro.core.suite import BENCHMARK_INFO, EXTENSION_NETWORKS, NETWORK_ORDER
@@ -488,8 +501,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                   f"({stats['kernel_entries']} kernel, {stats['run_entries']} run)")
             print(f"bytes:     {stats['bytes']}")
             print(f"engine:    {stats['engine_version']}")
-            for engine, count in stats["by_engine"].items():
-                print(f"  {engine}: {count}")
+            for engine, bucket in stats["by_engine"].items():
+                stale = "" if engine == stats["engine_version"] else "  (stale)"
+                print(f"  {engine}: {bucket['entries']} entries, "
+                      f"{bucket['bytes']} bytes{stale}")
             dedup = stats["dedup"]
             if dedup["kernels_requested"]:
                 print(f"dedup:     {dedup['kernels_simulated']} kernels "
@@ -499,9 +514,98 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 print(f"legacy .tango_cache entries: "
                       f"{stats['legacy_tango_entries']} (run 'repro cache clear')")
     else:
-        removed = clear_cache(args.cache_dir)
-        print(f"removed {removed} cache file(s)")
+        engine = getattr(args, "engine", None)
+        removed = clear_cache(args.cache_dir, engine=engine)
+        scope = f" for engine {engine}" if engine else ""
+        print(f"removed {removed} cache file(s){scope}")
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import (
+        CampaignError,
+        compare_frontiers,
+        format_campaign,
+        format_compare,
+        load_campaign,
+        plan_campaign,
+        run_campaign,
+    )
+    from repro.runs import ResultStore
+
+    if args.action == "compare" and args.golden is None:
+        print("error: campaign compare requires --golden PATH",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = load_campaign(args.spec)
+    except (CampaignError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        plan = plan_campaign(spec)
+        if args.json:
+            print(json.dumps({
+                "campaign": spec.name,
+                "description": spec.description,
+                "mode": spec.mode,
+                "axes": {axis: list(spec.axis(axis))
+                         for axis in plan.points[0].axes()} if plan.points
+                        else {},
+                "points": plan.requested,
+                "unique_runs": len(plan.specs),
+                "deduped": plan.deduped,
+                "objectives": list(spec.objective_labels()),
+            }, indent=2))
+        else:
+            print(plan.describe())
+            for axis, values in spec.axes.items():
+                rendered = ", ".join("default" if v is None else str(v)
+                                     for v in values)
+                print(f"  {axis}: {rendered}")
+            print(f"  objectives: {', '.join(spec.objective_labels())}")
+        return 0
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    result = run_campaign(spec, store=store, jobs=args.jobs)
+
+    if args.action == "run":
+        if args.output is not None:
+            Path(args.output).write_text(json.dumps(result.to_dict(), indent=2))
+        if args.frontier_out is not None:
+            Path(args.frontier_out).write_text(
+                json.dumps(result.frontier_payload(), indent=2) + "\n")
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(format_campaign(result))
+            print(result.summary())
+        return 0 if result.ok else 1
+
+    # compare: diff the just-computed frontier against the golden file.
+    try:
+        golden = json.loads(Path(args.golden).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read golden frontier {args.golden}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = compare_frontiers(
+        golden, result.frontier_payload(), tolerance=args.tolerance
+    )
+    if args.json:
+        print(json.dumps({
+            "compare": report,
+            "execution": result.report.to_dict(),
+            "skipped": result.skipped,
+        }, indent=2))
+    else:
+        for entry in result.skipped:
+            print(f"[compare]   SKIPPED {entry['axes']}: {entry['error']}")
+        print(format_compare(report))
+    return 0 if report["ok"] and result.ok else 1
 
 
 def _cmd_harness(args: argparse.Namespace) -> int:
@@ -844,6 +948,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="render series as terminal bar charts")
     harness.set_defaults(func=_cmd_harness)
 
+    campaign = sub.add_parser(
+        "campaign",
+        parents=[p["json"], p["jobs"], p["cache_dir"], p["no_cache"]],
+        help="run declarative design-space-exploration campaigns",
+        description="Expand a declarative campaign spec (TOML/JSON) over "
+        "its sweep axes, execute the deduplicated run matrix through the "
+        "unified result store, aggregate per-axis QoR tables and the "
+        "Pareto frontier, and optionally gate against a committed golden "
+        "frontier.",
+    )
+    campaign.add_argument("action", choices=("run", "compare", "list"),
+                          help="run the campaign, compare its frontier "
+                               "against a golden file, or just expand "
+                               "and count")
+    campaign.add_argument("spec", metavar="SPEC",
+                          help="campaign spec path (.toml or .json)")
+    campaign.add_argument("--output", default=None, metavar="PATH",
+                          help="run: also write the full campaign result "
+                               "JSON to PATH")
+    campaign.add_argument("--frontier-out", default=None, metavar="PATH",
+                          help="run: write the frontier as golden-frontier "
+                               "JSON to PATH (commit it to gate CI)")
+    campaign.add_argument("--golden", default=None, metavar="PATH",
+                          help="compare: committed golden frontier JSON "
+                               "to diff against (required)")
+    campaign.add_argument("--tolerance", type=float, default=None,
+                          metavar="T",
+                          help="compare: relative per-objective tolerance "
+                               "(default: the golden file's own)")
+    campaign.set_defaults(func=_cmd_campaign)
+
     cache = sub.add_parser(
         "cache",
         parents=[p["json"], p["cache_dir"]],
@@ -854,6 +989,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("action", choices=("stats", "clear"),
                        help="what to do with the cache")
+    cache.add_argument("--engine", default=None, metavar="VER",
+                       help="clear only entries written by this engine "
+                       "version (see 'cache stats' for versions present)")
     cache.set_defaults(func=_cmd_cache)
 
     networks = sub.add_parser(

@@ -13,6 +13,7 @@ from repro.platforms.registry import (
     get_platform,
     list_platforms,
     register_platform,
+    resolve_platform,
     unregister_platform,
 )
 from repro.platforms.pynq import PYNQ_Z1, PynqZ1Model
@@ -26,5 +27,6 @@ __all__ = [
     "get_platform",
     "list_platforms",
     "register_platform",
+    "resolve_platform",
     "unregister_platform",
 ]

@@ -113,3 +113,19 @@ def get_platform(name: str) -> GpuConfig:
         raise KeyError(
             f"unknown platform {name!r}; available: {', '.join(_PLATFORMS)}"
         ) from None
+
+
+def resolve_platform(name: str, l1_kb: int | None = None) -> GpuConfig:
+    """Look up a platform, optionally overriding its L1D size.
+
+    The campaign planner's single entry point into the registry:
+    ``l1_kb=None`` keeps the platform's default L1D, any other value
+    (in KB; 0 bypasses the L1) produces a derived config the same way
+    the Figure 2 sweep does.
+    """
+    config = get_platform(name)
+    if l1_kb is None:
+        return config
+    if l1_kb < 0:
+        raise ValueError(f"l1_kb must be >= 0, got {l1_kb}")
+    return config.with_l1(l1_kb * 1024)

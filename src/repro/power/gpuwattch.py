@@ -97,6 +97,26 @@ class GpuWattchModel:
         """Wall-clock duration of the window *stats* covers."""
         return stats.cycles / (self.config.clock_ghz * 1e9)
 
+    @property
+    def static_watts(self) -> float:
+        """Whole-chip static power (SM leakage plus uncore), in watts.
+
+        The time-proportional half of the energy model: multiplied by
+        any window's duration it yields that window's ``IDLE_CORE``
+        energy, which is how the campaign QoR layer extrapolates
+        batch-``b`` energy from a batch-1 activity profile.
+        """
+        return (
+            self.config.num_sms * self.energy.idle_sm_watts
+            + self.energy.uncore_static_watts
+        )
+
+    def dynamic_energy_joules(self, stats: KernelStats) -> float:
+        """Activity-proportional energy of a window (everything except
+        the static ``IDLE_CORE`` term)."""
+        energy = self.component_energy_joules(stats)
+        return sum(value for key, value in energy.items() if key != "IDLE_CORE")
+
     # ------------------------------------------------------------------
     def kernel_power(self, result: KernelResult) -> ComponentPower:
         """Average power of one kernel launch."""

@@ -22,8 +22,9 @@ serially).
 
 from __future__ import annotations
 
+import math
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.obs.tracer import WALL_S, get_tracer
@@ -39,28 +40,44 @@ from repro.runs.store import (
 
 @dataclass
 class ExecutionReport:
-    """Outcome of one :meth:`Executor.execute` pass."""
+    """Outcome of one :meth:`Executor.execute` pass.
+
+    ``failed`` maps the content key of every spec whose simulation
+    raised to ``"<describe>: <ErrorType>: <message>"`` — a failing run
+    no longer aborts the batch, it is reported per-spec and its
+    sibling runs complete.
+    """
 
     planned: int
     fresh: int
     cached: int
+    failed: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line log: '[plan] N unique runs: F fresh, C cached'."""
+        failed = f", {len(self.failed)} failed" if self.failed else ""
         return (
             f"[plan] {self.planned} unique runs: "
-            f"{self.fresh} fresh, {self.cached} cached"
+            f"{self.fresh} fresh, {self.cached} cached{failed}"
         )
 
     def to_dict(self) -> dict:
         """Stable JSON form (the :class:`repro.stats.Stats` protocol)."""
-        return {"planned": self.planned, "fresh": self.fresh, "cached": self.cached}
+        return {
+            "planned": self.planned,
+            "fresh": self.fresh,
+            "cached": self.cached,
+            "failed": dict(self.failed),
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutionReport":
         """Inverse of :meth:`to_dict`; raises on malformed input."""
         return cls(
-            planned=data["planned"], fresh=data["fresh"], cached=data["cached"]
+            planned=data["planned"],
+            fresh=data["fresh"],
+            cached=data["cached"],
+            failed=dict(data.get("failed", {})),
         )
 
 
@@ -137,31 +154,57 @@ class Executor:
 
     def execute(self, plan: Plan | Sequence[RunSpec], jobs: int = 1) -> ExecutionReport:
         """Materialize every planned run, fanning misses over *jobs*
-        worker processes; returns fresh/cached counts."""
+        worker processes; returns fresh/cached counts.
+
+        A run whose simulation raises does not abort the pass: the
+        failure is recorded under the spec's content key in
+        :attr:`ExecutionReport.failed` (with the spec's human identity
+        and the error) and every sibling run still completes.
+        """
         tracer = get_tracer()
         pass_start = tracer.wall()
         specs = plan.specs if isinstance(plan, Plan) else tuple(plan)
         pending = self._missing(specs)
+        fresh_before = self.fresh
+        failed: dict[str, str] = {}
         if jobs > 1 and len(pending) > 1:
-            self._execute_parallel(pending, jobs)
+            failed = self._execute_parallel(pending, jobs)
         else:
             for spec in pending:
-                self.run(spec)
+                try:
+                    self.run(spec)
+                except Exception as exc:  # surfaced per-run, not raised
+                    failed[spec.key()] = _failure_message(spec, exc)
         # Touch every planned spec so memory holds the full matrix and
         # the hit/fresh counters reflect the whole plan.
         for spec in specs:
-            if spec.key() not in self._memory:
-                self.run(spec)
-        fresh = len(pending)
+            key = spec.key()
+            if key not in self._memory and key not in failed:
+                try:
+                    self.run(spec)
+                except Exception as exc:
+                    failed[key] = _failure_message(spec, exc)
+        fresh = self.fresh - fresh_before
         report = ExecutionReport(
-            planned=len(specs), fresh=fresh, cached=len(specs) - fresh
+            planned=len(specs),
+            fresh=fresh,
+            cached=len(specs) - fresh - len(failed),
+            failed=failed,
         )
         if tracer.enabled:
+            if failed:
+                tracer.metrics.counter("runs.failed").inc(len(failed))
             tracer.span(
                 "execute-plan", "plan", WALL_S,
                 pass_start, tracer.wall() - pass_start,
                 process="runs", thread="executor",
-                args={**report.to_dict(), "jobs": jobs},
+                args={
+                    "planned": report.planned,
+                    "fresh": report.fresh,
+                    "cached": report.cached,
+                    "failed": len(report.failed),
+                    "jobs": jobs,
+                },
             )
         return report
 
@@ -180,24 +223,60 @@ class Executor:
             missing.append(spec)
         return missing
 
-    def _execute_parallel(self, pending: list[RunSpec], jobs: int) -> None:
+    def _execute_parallel(self, pending: list[RunSpec], jobs: int) -> dict[str, str]:
+        """Fan *pending* out over worker processes in chunks.
+
+        Campaign-scale plans submit thousands of specs; chunking caps
+        the submission queue and per-future IPC at a few dozen tasks
+        per worker instead of one task per spec.  Workers catch
+        per-spec exceptions and report them alongside successful
+        payloads, so one failing combo costs one table cell, not the
+        batch.  Returns ``key -> failure message``.
+        """
         cache_dir = None if self.store is None else self.store.cache_dir
-        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        chunk_size = max(
+            1, min(CHUNK_MAX_SPECS, math.ceil(len(pending) / (jobs * CHUNKS_PER_JOB)))
+        )
+        chunks = [
+            pending[i:i + chunk_size]
+            for i in range(0, len(pending), chunk_size)
+        ]
+        failed: dict[str, str] = {}
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
             futures = [
-                pool.submit(_simulate_spec_worker, spec, cache_dir)
-                for spec in pending
+                pool.submit(_simulate_chunk_worker, chunk, cache_dir)
+                for chunk in chunks
             ]
             # Canonical-order merge: collect in submission order so the
             # store contents are deterministic no matter which worker
             # finishes first.
-            for spec, future in zip(pending, futures):
-                payload = future.result()
-                if self.store is not None:
-                    self.store.put_run(spec, payload)
-                result = result_from_payload(payload, spec.config, spec.options)
-                assert result is not None
-                self._memory[spec.key()] = result
-                self.fresh += 1
+            for chunk, future in zip(chunks, futures):
+                try:
+                    outcomes = future.result()
+                except Exception as exc:  # the worker process itself died
+                    outcomes = [(None, f"{type(exc).__name__}: {exc}")] * len(chunk)
+                for spec, (payload, error) in zip(chunk, outcomes):
+                    if error is not None:
+                        failed[spec.key()] = f"{spec.describe()}: {error}"
+                        continue
+                    if self.store is not None:
+                        self.store.put_run(spec, payload)
+                    result = result_from_payload(payload, spec.config, spec.options)
+                    assert result is not None
+                    self._memory[spec.key()] = result
+                    self.fresh += 1
+        return failed
+
+
+#: Upper bound on specs per worker task.
+CHUNK_MAX_SPECS = 16
+#: Target number of tasks per worker (keeps the pool load-balanced
+#: when per-spec cost varies, e.g. resnet vs gru).
+CHUNKS_PER_JOB = 4
+
+
+def _failure_message(spec: RunSpec, exc: Exception) -> str:
+    return f"{spec.describe()}: {type(exc).__name__}: {exc}"
 
 
 def _simulate_spec(spec: RunSpec, store: ResultStore | None) -> dict:
@@ -213,3 +292,19 @@ def _simulate_spec_worker(spec: RunSpec, cache_dir) -> dict:
     """Module-level (picklable) worker: simulate via a private store."""
     store = ResultStore(cache_dir) if cache_dir is not None else None
     return _simulate_spec(spec, store)
+
+
+def _simulate_chunk_worker(specs: Sequence[RunSpec], cache_dir) -> list[tuple]:
+    """Simulate a chunk of specs, catching per-spec failures.
+
+    Returns one ``(payload, None)`` or ``(None, "ErrType: message")``
+    pair per spec, aligned with the input order.
+    """
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    outcomes: list[tuple] = []
+    for spec in specs:
+        try:
+            outcomes.append((_simulate_spec(spec, store), None))
+        except Exception as exc:
+            outcomes.append((None, f"{type(exc).__name__}: {exc}"))
+    return outcomes

@@ -381,7 +381,7 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
     kernel_entries = 0
     run_entries = 0
     total_bytes = 0
-    engines: dict[str, int] = {}
+    engines: dict[str, dict] = {}
     kernels_requested = 0
     kernels_simulated = 0
 
@@ -389,15 +389,19 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
         nonlocal total_bytes, kernels_requested, kernels_simulated
         count = 0
         for path in paths:
+            size = 0
             try:
-                total_bytes += path.stat().st_size
+                size = path.stat().st_size
+                total_bytes += size
                 payload = json.loads(path.read_text())
                 engine = payload.get("engine", "?")
             except (OSError, ValueError):
                 payload = {}
                 engine = "corrupt"
             count += 1
-            engines[engine] = engines.get(engine, 0) + 1
+            bucket = engines.setdefault(engine, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
             kernels = payload.get("kernels")
             if isinstance(kernels, list):  # a run entry
                 kernels_requested += len(kernels)
@@ -429,25 +433,50 @@ def cache_stats(cache_dir: str | Path | None = None) -> dict:
     }
 
 
-def clear_cache(cache_dir: str | Path | None = None) -> int:
-    """Delete every store entry (both layers, plus stray ``.tmp`` files
-    and any stale ``.tango_cache/``); returns the number of entries
-    removed.  Backs ``repro cache clear``."""
+def clear_cache(
+    cache_dir: str | Path | None = None, engine: str | None = None
+) -> int:
+    """Delete store entries; returns the number removed.
+
+    With ``engine=None`` everything goes — both layers, stray ``.tmp``
+    files and any stale ``.tango_cache/``.  With an engine version
+    string (see ``repro cache stats`` for the versions present) only
+    entries written by that engine are pruned, which is how a store
+    that has accumulated results from several engine revisions is
+    trimmed back to the live one without losing warm entries.  Backs
+    ``repro cache clear [--engine VER]``.
+    """
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     removed = 0
     roots = [directory, directory / RUNS_SUBDIR, Path(LEGACY_TANGO_DIR)]
     for root in roots:
         if not root.is_dir():
             continue
-        for path in list(root.glob("*.json")) + list(root.glob("*.tmp")):
+        targets = list(root.glob("*.json"))
+        if engine is None:
+            targets += list(root.glob("*.tmp"))
+        for path in targets:
+            if engine is not None and not _entry_matches_engine(path, engine):
+                continue
             try:
                 path.unlink()
                 removed += 1
             except OSError:
                 pass
-    for root in (directory / RUNS_SUBDIR, Path(LEGACY_TANGO_DIR)):
-        try:
-            root.rmdir()
-        except OSError:
-            pass
+    if engine is None:
+        for root in (directory / RUNS_SUBDIR, Path(LEGACY_TANGO_DIR)):
+            try:
+                root.rmdir()
+            except OSError:
+                pass
     return removed
+
+
+def _entry_matches_engine(path: Path, engine: str) -> bool:
+    """True when the entry was written by *engine* (corrupt entries
+    match the special engine name ``"corrupt"`` that ``cache_stats``
+    reports them under)."""
+    try:
+        return json.loads(path.read_text()).get("engine", "?") == engine
+    except (OSError, ValueError):
+        return engine == "corrupt"

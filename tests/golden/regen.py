@@ -2,13 +2,20 @@
 
     PYTHONPATH=src python tests/golden/regen.py fixture   # seconds
     PYTHONPATH=src python tests/golden/regen.py full      # minutes
+    PYTHONPATH=src python tests/golden/regen.py campaign  # < 1 minute
+
+``campaign`` rewrites the committed golden Pareto frontiers in
+``examples/`` (``smoke_frontier.json``, ``l1_sweep_frontier.json``)
+that ``repro campaign compare`` and CI's campaign-smoke job gate on.
 
 Only regenerate for an *intentional* behavioral change (engine bump,
-new network weights); the tests pin these bytes on purpose.
+new network weights, QoR-model change); the tests pin these bytes on
+purpose.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -17,6 +24,31 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
 from test_golden_series import FIXTURE_CTX, canonical, series_of  # noqa: E402
 
 GOLDEN_DIR = Path(__file__).parent
+EXAMPLES_DIR = GOLDEN_DIR.parents[1] / "examples"
+
+#: campaign spec -> committed golden frontier, both under examples/.
+CAMPAIGN_GOLDENS = (
+    ("smoke_campaign.toml", "smoke_frontier.json"),
+    ("l1_sweep_campaign.toml", "l1_sweep_frontier.json"),
+)
+
+
+def regen_campaigns() -> None:
+    from repro.campaign import load_campaign, run_campaign
+    from repro.runs import ResultStore
+
+    store = ResultStore()
+    for spec_name, golden_name in CAMPAIGN_GOLDENS:
+        spec = load_campaign(EXAMPLES_DIR / spec_name)
+        result = run_campaign(spec, store=store, jobs=4)
+        if not result.ok:
+            raise SystemExit(
+                f"{spec.name}: {len(result.skipped)} point(s) failed; "
+                f"refusing to write a partial golden frontier"
+            )
+        path = EXAMPLES_DIR / golden_name
+        path.write_text(json.dumps(result.frontier_payload(), indent=2) + "\n")
+        print(f"wrote {path}")
 
 
 def main() -> None:
@@ -27,8 +59,13 @@ def main() -> None:
     elif which == "full":
         path = GOLDEN_DIR / "suite_series.json"
         path.write_text(canonical(series_of()) + "\n")
+    elif which == "campaign":
+        regen_campaigns()
+        return
     else:
-        raise SystemExit(f"unknown target {which!r} (expected fixture|full)")
+        raise SystemExit(
+            f"unknown target {which!r} (expected fixture|full|campaign)"
+        )
     print(f"wrote {path}")
 
 

@@ -1,0 +1,131 @@
+"""The ``repro campaign`` CLI: run, compare, list, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC_TOML = """\
+[campaign]
+name = "cli-t"
+fidelity = "light"
+
+[axes]
+network = ["gru"]
+l1_kb = [16, 64]
+batch = [1, 4]
+"""
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "c.toml"
+    path.write_text(SPEC_TOML)
+    return path
+
+
+def run_cli(*argv) -> int:
+    return main([str(arg) for arg in argv])
+
+
+class TestCampaignList:
+    def test_list_expands_without_simulating(self, spec_path, tmp_path, capsys):
+        code = run_cli("campaign", "list", spec_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 points" in out and "2 unique" in out
+        assert not list(tmp_path.glob("*.json"))  # nothing written
+
+    def test_list_json(self, spec_path, capsys):
+        assert run_cli("campaign", "list", spec_path, "--json") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["points"] == 4
+        assert doc["unique_runs"] == 2
+        assert doc["axes"]["l1_kb"] == [16, 64]
+
+
+class TestCampaignRun:
+    def test_run_writes_frontier_and_result(self, spec_path, tmp_path, capsys):
+        frontier_path = tmp_path / "frontier.json"
+        output_path = tmp_path / "result.json"
+        code = run_cli(
+            "campaign", "run", spec_path,
+            "--cache-dir", tmp_path / "cache",
+            "--frontier-out", frontier_path,
+            "--output", output_path,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 unique runs" in out and "2 fresh" in out
+        frontier = json.loads(frontier_path.read_text())
+        assert frontier["campaign"] == "cli-t"
+        assert frontier["points"]
+        result = json.loads(output_path.read_text())
+        assert result["execution"]["fresh"] == 2
+
+    def test_warm_rerun_simulates_nothing(self, spec_path, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert run_cli("campaign", "run", spec_path, "--cache-dir", cache) == 0
+        capsys.readouterr()
+        assert run_cli("campaign", "run", spec_path, "--cache-dir", cache) == 0
+        assert "0 fresh, 2 cached" in capsys.readouterr().out
+
+    def test_bad_spec_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[campaign]\nname = "x"\n[axes]\nnetwork = ["nope"]\n')
+        assert run_cli("campaign", "run", bad, "--no-cache") == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_usage_error(self, tmp_path, capsys):
+        assert run_cli("campaign", "run", tmp_path / "ghost.toml") == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCampaignCompare:
+    def test_compare_requires_golden(self, spec_path, capsys):
+        assert run_cli("campaign", "compare", spec_path, "--no-cache") == 2
+        assert "--golden" in capsys.readouterr().err
+
+    def test_compare_against_own_frontier_passes(self, spec_path, tmp_path, capsys):
+        cache, golden = tmp_path / "cache", tmp_path / "golden.json"
+        run_cli("campaign", "run", spec_path,
+                "--cache-dir", cache, "--frontier-out", golden)
+        capsys.readouterr()
+        code = run_cli("campaign", "compare", spec_path,
+                       "--cache-dir", cache, "--golden", golden)
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_fails_on_perturbed_golden(self, spec_path, tmp_path, capsys):
+        cache, golden = tmp_path / "cache", tmp_path / "golden.json"
+        run_cli("campaign", "run", spec_path,
+                "--cache-dir", cache, "--frontier-out", golden)
+        payload = json.loads(golden.read_text())
+        payload["points"][0]["metrics"]["latency_ms"] *= 0.5
+        golden.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = run_cli("campaign", "compare", spec_path,
+                       "--cache-dir", cache, "--golden", golden)
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_json_reports_execution_too(self, spec_path, tmp_path, capsys):
+        cache, golden = tmp_path / "cache", tmp_path / "golden.json"
+        run_cli("campaign", "run", spec_path,
+                "--cache-dir", cache, "--frontier-out", golden)
+        capsys.readouterr()
+        code = run_cli("campaign", "compare", spec_path, "--json",
+                       "--cache-dir", cache, "--golden", golden)
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["compare"]["ok"] is True
+        assert doc["execution"]["fresh"] == 0
+
+    def test_unreadable_golden_is_a_usage_error(self, spec_path, tmp_path, capsys):
+        code = run_cli("campaign", "compare", spec_path, "--no-cache",
+                       "--golden", tmp_path / "ghost.json")
+        assert code == 2
+        assert "golden" in capsys.readouterr().err

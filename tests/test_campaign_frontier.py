@@ -1,0 +1,186 @@
+"""Pareto frontier algebra and golden-frontier comparison semantics.
+
+The frontier properties are pinned with hypothesis over random
+objective vectors: dominance is a strict partial order, the frontier is
+idempotent, and dominated points are irrelevant to it.  The comparison
+tests pin the QoR gate's tolerance semantics — the contract CI's
+campaign-smoke job relies on.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.expand import CampaignPoint
+from repro.campaign.frontier import (
+    compare_frontiers,
+    dominates,
+    format_compare,
+    frontier_payload,
+    objective_vector,
+    pareto_frontier,
+)
+from repro.campaign.qor import QorRow
+
+DIM = 3
+OBJECTIVES = tuple((f"m{i}", 1) for i in range(DIM))
+LABELS = tuple(f"min:m{i}" for i in range(DIM))
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.tuples(*([finite] * DIM))
+vector_lists = st.lists(vectors, min_size=1, max_size=24)
+
+
+def row_of(vector, index: int) -> QorRow:
+    """A QorRow whose metrics encode *vector* (point identity unique
+    per index via the batch axis)."""
+    return QorRow(
+        point=CampaignPoint("gru", "gp102", 64, "gto", "light", index + 1),
+        metrics={f"m{i}": value for i, value in enumerate(vector)},
+    )
+
+
+def rows_of(vectors_) -> list[QorRow]:
+    return [row_of(vector, i) for i, vector in enumerate(vectors_)]
+
+
+class TestDominanceIsAStrictPartialOrder:
+    @given(vectors)
+    def test_irreflexive(self, v):
+        assert not dominates(v, v)
+
+    @given(vectors, vectors)
+    def test_asymmetric(self, a, b):
+        if dominates(a, b):
+            assert not dominates(b, a)
+
+    @given(vectors, vectors, vectors)
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+
+class TestFrontierAlgebra:
+    @given(vector_lists)
+    def test_frontier_of_frontier_is_itself(self, vecs):
+        frontier = pareto_frontier(rows_of(vecs), OBJECTIVES)
+        assert pareto_frontier(frontier, OBJECTIVES) == frontier
+
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_adding_a_dominated_point_changes_nothing(self, vecs):
+        rows = rows_of(vecs)
+        frontier = pareto_frontier(rows, OBJECTIVES)
+        # a point strictly worse than an existing frontier member
+        base = objective_vector(frontier[0].metrics, OBJECTIVES)
+        dominated = row_of(tuple(v + 1.0 for v in base), len(rows))
+        assert pareto_frontier(rows + [dominated], OBJECTIVES) == frontier
+
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_every_excluded_row_is_dominated_by_a_frontier_row(self, vecs):
+        rows = rows_of(vecs)
+        frontier = pareto_frontier(rows, OBJECTIVES)
+        frontier_vecs = [
+            objective_vector(row.metrics, OBJECTIVES) for row in frontier
+        ]
+        for row in rows:
+            if row in frontier:
+                continue
+            vec = objective_vector(row.metrics, OBJECTIVES)
+            assert any(dominates(fv, vec) for fv in frontier_vecs)
+
+    @given(vector_lists)
+    def test_frontier_is_never_empty(self, vecs):
+        assert pareto_frontier(rows_of(vecs), OBJECTIVES)
+
+    def test_ties_all_survive(self):
+        rows = rows_of([(1.0, 2.0, 3.0)] * 3)
+        assert pareto_frontier(rows, OBJECTIVES) == rows
+
+    def test_max_objective_flips_direction(self):
+        rows = rows_of([(1.0, 1.0, 1.0), (2.0, 1.0, 1.0)])
+        maximize_first = (("m0", -1), ("m1", 1), ("m2", 1))
+        assert pareto_frontier(rows, maximize_first) == [rows[1]]
+
+
+def payload_of(vecs, tolerance: float = 0.02) -> dict:
+    frontier = pareto_frontier(rows_of(vecs), OBJECTIVES)
+    return frontier_payload("t", LABELS, frontier, tolerance=tolerance)
+
+
+class TestCompareFrontiers:
+    def test_identical_frontiers_compare_clean(self):
+        payload = payload_of([(1.0, 2.0, 3.0), (3.0, 2.0, 1.0)])
+        report = compare_frontiers(payload, copy.deepcopy(payload))
+        assert report["ok"]
+        assert not report["retreats"] and not report["dominated"]
+        assert "OK" in format_compare(report)
+
+    def test_within_tolerance_noise_compares_clean(self):
+        golden = payload_of([(1.0, 2.0, 3.0), (3.0, 2.0, 1.0)])
+        noisy = copy.deepcopy(golden)
+        for point in noisy["points"]:
+            for key in point["metrics"]:
+                point["metrics"][key] *= 1.01  # inside the 2% band
+        assert compare_frontiers(golden, noisy)["ok"]
+
+    def test_retreat_beyond_tolerance_regresses(self):
+        golden = payload_of([(1.0, 2.0, 3.0), (3.0, 2.0, 1.0)])
+        worse = copy.deepcopy(golden)
+        worse["points"][0]["metrics"]["m0"] *= 1.10
+        report = compare_frontiers(golden, worse)
+        assert not report["ok"]
+        assert report["retreats"]
+        assert report["dominated"]  # same point is also beaten by golden
+        assert "REGRESSION" in format_compare(report)
+
+    def test_lost_point_is_a_retreat(self):
+        golden = payload_of([(1.0, 2.0, 3.0), (3.0, 2.0, 1.0)])
+        current = copy.deepcopy(golden)
+        del current["points"][1]
+        report = compare_frontiers(golden, current)
+        assert not report["ok"]
+        assert len(report["retreats"]) == 1
+
+    def test_improvement_passes_and_is_counted(self):
+        golden = payload_of([(2.0, 2.0, 2.0)])
+        better = payload_of([(1.0, 1.0, 1.0)])
+        report = compare_frontiers(golden, better)
+        assert report["ok"]
+        assert report["improvements"] == 1
+
+    def test_gained_point_passes(self):
+        golden = payload_of([(1.0, 2.0, 3.0)])
+        current = payload_of([(1.0, 2.0, 3.0), (3.0, 2.0, 1.0)])
+        assert compare_frontiers(golden, current)["ok"]
+
+    def test_objective_mismatch_is_an_error(self):
+        golden = payload_of([(1.0, 2.0, 3.0)])
+        current = copy.deepcopy(golden)
+        current["objectives"] = ["min:m0", "min:m1", "max:m2"]
+        report = compare_frontiers(golden, current)
+        assert not report["ok"]
+        assert report["errors"]
+
+    def test_tolerance_argument_overrides_golden_default(self):
+        golden = payload_of([(1.0, 2.0, 3.0)])
+        worse = copy.deepcopy(golden)
+        worse["points"][0]["metrics"]["m0"] *= 1.05
+        assert not compare_frontiers(golden, worse)["ok"]
+        assert compare_frontiers(golden, worse, tolerance=0.10)["ok"]
+
+    def test_tolerance_bands_survive_zero_and_negative_values(self):
+        golden = payload_of([(0.0, -5.0, 3.0)])
+        assert compare_frontiers(golden, copy.deepcopy(golden))["ok"]
+
+    @given(vector_lists)
+    @settings(max_examples=50)
+    def test_any_frontier_compares_clean_against_itself(self, vecs):
+        payload = payload_of(vecs)
+        assert compare_frontiers(payload, copy.deepcopy(payload))["ok"]

@@ -135,6 +135,44 @@ class TestExecutor:
         for spec in specs:
             assert parallel.run(spec).total_cycles == serial.run(spec).total_cycles
 
+    def test_parallel_execute_chunks_large_plans(self, tmp_path):
+        from repro.runs import executor as executor_mod
+
+        # 2 pending specs at jobs=2 -> ceil(2/8)=1 spec per chunk; the
+        # chunk math must never produce an empty or oversize chunk.
+        for pending, jobs in ((2, 2), (100, 4), (1, 8)):
+            chunk = max(1, min(
+                executor_mod.CHUNK_MAX_SPECS,
+                -(-pending // (jobs * executor_mod.CHUNKS_PER_JOB)),
+            ))
+            assert 1 <= chunk <= executor_mod.CHUNK_MAX_SPECS
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failing_spec_is_surfaced_not_raised(self, tmp_path, jobs):
+        good = [RunSpec("gru", GP102, LIGHT), RunSpec("cifarnet", GP102, LIGHT)]
+        bad = RunSpec("no_such_net", GP102, LIGHT)
+        report = Executor(ResultStore(tmp_path)).execute(good + [bad], jobs=jobs)
+        assert report.planned == 3
+        assert report.fresh == 2
+        assert report.cached == 0
+        assert list(report.failed) == [bad.key()]
+        message = report.failed[bad.key()]
+        assert "no_such_net" in message and "KeyError" in message
+        assert "1 failed" in report.summary()
+
+    def test_failed_report_roundtrips_and_stays_compatible(self):
+        from repro.runs.executor import ExecutionReport
+
+        with_failure = ExecutionReport(
+            planned=2, fresh=1, cached=0, failed={"k": "boom"}
+        )
+        assert ExecutionReport.from_dict(with_failure.to_dict()) == with_failure
+        # pre-failure payloads (no 'failed' key) still load
+        legacy = ExecutionReport.from_dict(
+            {"planned": 5, "fresh": 2, "cached": 3}
+        )
+        assert legacy.failed == {}
+
 
 class TestStore:
     def test_payload_roundtrip_is_exact(self):
@@ -155,6 +193,37 @@ class TestStore:
         assert stats["run_entries"] == 1
         assert stats["entries"] == stats["kernel_entries"] + stats["run_entries"]
         assert stats["bytes"] > 0
+
+    def test_stats_break_down_by_engine(self, tmp_path):
+        Executor(ResultStore(tmp_path)).run(RunSpec("gru", GP102, LIGHT))
+        (tmp_path / "stale000.json").write_text(
+            json.dumps({"engine": "old-engine", "stats": {}})
+        )
+        stats = cache_stats(tmp_path)
+        by_engine = stats["by_engine"]
+        assert set(by_engine) == {stats["engine_version"], "old-engine"}
+        assert by_engine["old-engine"]["entries"] == 1
+        assert by_engine["old-engine"]["bytes"] > 0
+        live = by_engine[stats["engine_version"]]
+        assert live["entries"] == stats["entries"] - 1
+        assert sum(b["bytes"] for b in by_engine.values()) == stats["bytes"]
+
+    def test_clear_by_engine_prunes_only_that_engine(self, tmp_path):
+        Executor(ResultStore(tmp_path)).run(RunSpec("gru", GP102, LIGHT))
+        before = cache_stats(tmp_path)
+        (tmp_path / "stale000.json").write_text(
+            json.dumps({"engine": "old-engine", "stats": {}})
+        )
+        removed = clear_cache(tmp_path, engine="old-engine")
+        assert removed == 1
+        after = cache_stats(tmp_path)
+        assert "old-engine" not in after["by_engine"]
+        assert after["entries"] == before["entries"]
+        # the surviving entries are still valid warm hits
+        rerun = Executor(ResultStore(tmp_path)).execute(
+            [RunSpec("gru", GP102, LIGHT)]
+        )
+        assert rerun.fresh == 0
 
     def test_clear_covers_runs_and_legacy_dir(self, tmp_path, monkeypatch):
         # The pre-unification .tango_cache lived in the working directory.
