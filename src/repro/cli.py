@@ -93,6 +93,8 @@ from pathlib import Path
 
 from repro.analysis import Severity, analyze_network
 from repro.core.suite import BENCHMARK_INFO, EXTENSION_NETWORKS, NETWORK_ORDER
+from repro.perf.serve_bench import DEVICES as SERVE_BENCH_DEVICES
+from repro.perf.serve_bench import REQUESTS as SERVE_BENCH_REQUESTS
 
 
 def _check_networks(names: list[str]) -> int | None:
@@ -201,6 +203,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import compare_bench, read_bench, run_bench, write_bench
     from repro.platforms import get_platform
 
+    if args.serve:
+        return _cmd_bench_serve(args)
     names = args.networks or list(NETWORK_ORDER)
     err = _check_networks(names)
     if err is not None:
@@ -251,6 +255,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """``repro bench --serve``: time both serving event loops."""
+    import json
+
+    from repro.perf.bench import compare_bench, read_bench, write_bench
+    from repro.perf.serve_bench import gate_serve, run_serve_bench
+
+    runs = args.runs if args.runs is not None else args.repeats
+    output = args.output if args.output != "BENCH_sim.json" else "BENCH_serve.json"
+    try:
+        payload = run_serve_bench(
+            requests=args.serve_requests,
+            devices=args.serve_devices,
+            runs=runs,
+            verbose=not args.json,
+        )
+    except RuntimeError as exc:
+        print(f"bench --serve: {exc}", file=sys.stderr)
+        return 1
+    write_bench(payload, output)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"wrote {output}")
+    code = 0
+    if args.gate:
+        verdict = gate_serve(payload, threshold=args.threshold, alpha=args.alpha)
+        p = verdict["p"]
+        detail = f"p={p:.3f}" if p is not None else verdict["method"]
+        mark = "REGRESSION" if verdict["slower"] else "ok"
+        if not args.json:
+            print(f"fast vs heap: {verdict['ratio']:.2f}x ({detail}) {mark}")
+        if verdict["slower"]:
+            print("bench --serve: fast loop significantly slower than "
+                  "the heap loop", file=sys.stderr)
+            code = 1
+    if args.compare is not None:
+        report = compare_bench(
+            read_bench(args.compare), payload,
+            threshold=args.threshold, alpha=args.alpha,
+        )
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            for name, verdict in report["networks"].items():
+                p = verdict["p"]
+                detail = f"p={p:.3f}" if p is not None else verdict["method"]
+                mark = "REGRESSION" if verdict["slower"] else "ok"
+                print(f"{name:12s} {verdict['ratio']:6.2f}x vs baseline "
+                      f"({detail}) {mark}")
+        if report["regressions"]:
+            print(f"bench --serve: {len(report['regressions'])} loop(s) "
+                  f"significantly slower than {args.compare}: "
+                  f"{', '.join(report['regressions'])}", file=sys.stderr)
+            code = 1
+    return code
+
+
 def _make_workload(args: argparse.Namespace, names: list[str]):
     from repro.serve.workload import (
         BurstyWorkload,
@@ -282,70 +344,101 @@ def _serve_prepare(
 ):
     """Validate serve arguments and build fleet, profiles and workload.
 
-    Returns an int exit code on error, else the tuple
-    ``(fleet, profiles, workload, schedulers, base_config)``.  Shared
-    by ``repro serve`` and ``repro trace serve`` (which passes
-    ``refresh=True`` so profile building re-simulates and the trace
-    captures the GPU layer too).
+    Returns an int exit code on error, else the tuple ``(fleet,
+    profiles, workload, schedulers, base_config, scenario)`` where
+    ``scenario`` is the loaded :class:`~repro.serve.ServeScenario` for
+    ``--scenario`` runs and None otherwise.  Shared by ``repro serve``
+    and ``repro trace serve`` (which passes ``refresh=True`` so profile
+    building re-simulates and the trace captures the GPU layer too).
     """
-    import time
-
     from repro.gpu.config import SimOptions
-    from repro.runs import Executor, ResultStore
+    from repro.platforms import get_platform
     from repro.serve import ServeConfig, build_fleet, build_profiles
     from repro.serve.schedulers import SCHEDULERS
 
-    names = [name for name in args.networks.split(",") if name]
-    err = _check_networks(names)
-    if err is not None:
-        return err
-    schedulers = [name for name in args.scheduler.split(",") if name]
-    unknown = [name for name in schedulers if name not in SCHEDULERS]
-    if unknown:
-        print(
-            f"unknown scheduler(s): {', '.join(unknown)}; "
-            f"available: {', '.join(SCHEDULERS)}",
-            file=sys.stderr,
+    scenario = None
+    if getattr(args, "scenario", None):
+        from repro.serve import ScenarioError, load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ScenarioError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        names = list(scenario.networks)
+        fleet = scenario.fleet()
+        workload = scenario.workload()
+        schedulers = [scenario.config.scheduler]
+        base = scenario.config
+    else:
+        names = [name for name in args.networks.split(",") if name]
+        err = _check_networks(names)
+        if err is not None:
+            return err
+        schedulers = [name for name in args.scheduler.split(",") if name]
+        unknown = [name for name in schedulers if name not in SCHEDULERS]
+        if unknown:
+            print(
+                f"unknown scheduler(s): {', '.join(unknown)}; "
+                f"available: {', '.join(SCHEDULERS)}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            fleet = build_fleet(args.devices)
+        except (KeyError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        workload = _make_workload(args, names)
+        if workload is None:
+            return 2
+        base = ServeConfig(
+            slo_ms=args.slo_ms,
+            max_batch=args.batch,
+            batch_timeout_ms=args.batch_timeout_ms,
+            max_queue=args.queue,
+            seed=args.seed,
+            admission=args.admission,
         )
-        return 2
-    try:
-        fleet = build_fleet(args.devices)
-    except (KeyError, ValueError) as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
-    workload = _make_workload(args, names)
-    if workload is None:
-        return 2
 
     # Profiles use the simulator's default warp scheduler; ``--scheduler``
-    # here names the *serving* policy, not the warp scheduler.
+    # here names the *serving* policy, not the warp scheduler.  The
+    # autoscaler template needs profiles too: scale-ups may add devices
+    # of a platform absent from the initial fleet.
+    platforms = [device.platform for device in fleet]
+    if scenario is not None and scenario.autoscale is not None:
+        platforms.append(get_platform(scenario.autoscale.template))
     options = SimOptions(scheduler=args.sim_scheduler)
     if _light_requested(args):
         options = options.light()
+    profiles, build_s, detail = _serve_profiles(args, names, platforms, options, refresh)
+    if not quiet and not args.json:
+        print(f"fleet: {' '.join(device.name for device in fleet)}")
+        print(f"profiles: {len(profiles)} built in {build_s:.2f} s {detail}")
+
+    return fleet, profiles, workload, schedulers, base, scenario
+
+
+def _serve_profiles(args, names, platforms, options, refresh):
+    """Build the latency-profile table, timing the build."""
+    import time
+
+    from repro.runs import Executor, ResultStore
+    from repro.serve import build_profiles
+
     store = None if args.no_cache else ResultStore(args.cache_dir)
     executor = Executor(store)
     start = time.perf_counter()
     profiles = build_profiles(
-        names, [device.platform for device in fleet], options,
+        names, platforms, options,
         executor=executor, jobs=getattr(args, "jobs", 1), refresh=refresh,
     )
     build_s = time.perf_counter() - start
-    if not quiet and not args.json:
-        print(f"fleet: {' '.join(device.name for device in fleet)}")
-        if store is not None:
-            print(f"profiles: {len(profiles)} built in {build_s:.2f} s "
-                  f"(runs: {executor.fresh} fresh, {store.run_hits} cached)")
-        else:
-            print(f"profiles: {len(profiles)} built in {build_s:.2f} s (uncached)")
-
-    base = ServeConfig(
-        slo_ms=args.slo_ms,
-        max_batch=args.batch,
-        batch_timeout_ms=args.batch_timeout_ms,
-        max_queue=args.queue,
-        seed=args.seed,
+    detail = (
+        f"(runs: {executor.fresh} fresh, {store.run_hits} cached)"
+        if store is not None else "(uncached)"
     )
-    return fleet, profiles, workload, schedulers, base
+    return profiles, build_s, detail
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -357,11 +450,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     prep = _serve_prepare(args)
     if isinstance(prep, int):
         return prep
-    fleet, profiles, workload, schedulers, base = prep
-    runs = [
-        run_serve(fleet, profiles, workload, replace(base, scheduler=name))
-        for name in schedulers
-    ]
+    fleet, profiles, workload, schedulers, base, scenario = prep
+    if scenario is not None:
+        runs = [
+            run_serve(
+                fleet, profiles, workload, base,
+                pipeline=scenario.pipeline(),
+                loop=args.loop or scenario.loop,
+            )
+        ]
+    else:
+        runs = [
+            run_serve(
+                fleet, profiles, workload, replace(base, scheduler=name),
+                loop=args.loop,
+            )
+            for name in schedulers
+        ]
 
     if args.json:
         payload = [stats.to_dict() for stats in runs]
@@ -378,6 +483,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"  throughput={stats.throughput_rps:.1f} rps "
                   f"goodput={stats.goodput_rps:.1f} rps "
                   f"duration={stats.duration_ms / 1e3:.2f} s")
+            if stats.shed_reasons:
+                breakdown = " ".join(
+                    f"{reason}={count}"
+                    for reason, count in stats.shed_reasons.items()
+                )
+                print(f"  shed by reason: {breakdown}")
+            if stats.energy:
+                print(f"  energy: total={stats.energy.get('total_j', 0.0):.2f} J "
+                      f"cost={stats.energy.get('cost_per_request_j', 0.0):.4f} "
+                      f"J/request")
+            if stats.autoscale:
+                print(f"  autoscale: events={len(stats.autoscale.get('events', []))} "
+                      f"peak={stats.autoscale.get('peak_devices')} "
+                      f"final={stats.autoscale.get('final_devices')}")
+            if len(stats.per_tenant) > 1:
+                print(f"  {'tenant':12s} {'slo ms':>7s} {'offered':>8s} "
+                      f"{'shed':>6s} {'p99 ms':>8s} {'attain':>7s} "
+                      f"{'goodput':>7s} {'J/req':>8s}")
+                for tenant in stats.per_tenant.values():
+                    print(f"  {tenant.name:12s} {tenant.slo_ms:7g} "
+                          f"{tenant.offered:8d} {tenant.shed:6d} "
+                          f"{tenant.latency_p99_ms:8.2f} "
+                          f"{tenant.slo_attainment:7.4f} "
+                          f"{tenant.goodput_ratio:7.4f} "
+                          f"{tenant.cost_per_request_j:8.4f}")
             print(f"  {'device':12s} {'platform':8s} {'util':>6s} {'reqs':>7s} "
                   f"{'batches':>7s} {'m.batch':>7s} {'shed':>6s}")
             for device in stats.devices:
@@ -389,19 +519,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.report:
         from repro.serve.report import write_serve_report
 
-        scenario = {
-            "networks": args.networks,
-            "devices": args.devices,
-            "arrival": args.arrival,
-            "rps": args.rps,
-            "requests": args.requests,
-            "slo_ms": args.slo_ms,
-            "max_batch": args.batch,
-            "batch_timeout_ms": args.batch_timeout_ms,
-            "max_queue": args.queue,
-            "seed": args.seed,
-        }
-        write_serve_report(args.report, runs, scenario)
+        if scenario is not None:
+            params = scenario.describe()
+        else:
+            params = {
+                "networks": args.networks,
+                "devices": args.devices,
+                "arrival": args.arrival,
+                "rps": args.rps,
+                "requests": args.requests,
+                "slo_ms": args.slo_ms,
+                "max_batch": args.batch,
+                "batch_timeout_ms": args.batch_timeout_ms,
+                "max_queue": args.queue,
+                "admission": args.admission,
+                "seed": args.seed,
+            }
+        write_serve_report(args.report, runs, params)
         if not args.json:
             print(f"\nwrote {args.report}")
     return 0
@@ -466,21 +600,32 @@ def _cmd_trace_serve(args: argparse.Namespace) -> int:
     tracer = _trace_tracer(args)
     previous = set_tracer(tracer)
     schedulers: list[str] = []
+    scenario = None
     try:
         prep = _serve_prepare(args, quiet=True, refresh=True)
         if isinstance(prep, int):
             return prep
-        fleet, profiles, workload, schedulers, base = prep
-        for name in schedulers:
-            run_serve(fleet, profiles, workload, replace(base, scheduler=name))
+        fleet, profiles, workload, schedulers, base, scenario = prep
+        if scenario is not None:
+            run_serve(
+                fleet, profiles, workload, base,
+                pipeline=scenario.pipeline(),
+                loop=args.loop or scenario.loop,
+            )
+        else:
+            for name in schedulers:
+                run_serve(
+                    fleet, profiles, workload, replace(base, scheduler=name),
+                    loop=args.loop,
+                )
     finally:
         set_tracer(previous)
     payload = write_trace(tracer, args.output, meta={
         "command": "trace serve",
-        "networks": args.networks,
-        "devices": args.devices,
+        "networks": ",".join(scenario.networks) if scenario else args.networks,
+        "devices": scenario.fleet_spec if scenario else args.devices,
         "schedulers": ",".join(schedulers),
-        "arrival": args.arrival,
+        "arrival": "scenario" if scenario else args.arrival,
     })
     _print_trace_outcome(args, tracer, payload)
     return 0
@@ -774,6 +919,19 @@ def _add_serve_args(sub_parser: argparse.ArgumentParser) -> None:
                             help="scheduling policies to run, comma-separated "
                                  "(round-robin, least-loaded, latency-aware; "
                                  "default: latency-aware)")
+    sub_parser.add_argument("--admission", default="none",
+                            choices=("none", "slo-aware"),
+                            help="admission policy: 'slo-aware' sheds "
+                                 "low-priority work under load and "
+                                 "SLO-infeasible placements (default: none)")
+    sub_parser.add_argument("--loop", default=None, choices=("fast", "heap"),
+                            help="event loop: the slotted fast path or the "
+                                 "reference heap; both are bit-identical "
+                                 "(default: $REPRO_SERVE_LOOP or fast)")
+    sub_parser.add_argument("--scenario", default=None, metavar="PATH",
+                            help="TOML/JSON multi-tenant scenario file; "
+                                 "overrides the workload/fleet/policy flags "
+                                 "(see examples/day_in_the_life.toml)")
     sub_parser.add_argument("--seed", type=int, default=0,
                             help="workload/simulation seed (default: 0)")
     sub_parser.add_argument("--trace", default=None, metavar="PATH",
@@ -878,6 +1036,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--alpha", type=float, default=0.05, metavar="P",
                        help="significance level for the Mann-Whitney "
                             "test (default: 0.05)")
+    bench.add_argument("--serve", action="store_true",
+                       help="benchmark the serving event loops on a "
+                            "synthetic fleet instead of the simulator "
+                            "(writes BENCH_serve.json; networks and "
+                            "simulator flags are ignored)")
+    bench.add_argument("--gate", action="store_true",
+                       help="with --serve: fail if the fast loop is "
+                            "statistically significantly slower than the "
+                            "reference heap loop")
+    bench.add_argument("--serve-requests", type=int,
+                       default=SERVE_BENCH_REQUESTS, metavar="N",
+                       help="with --serve: offered requests per timed run "
+                            f"(default: {SERVE_BENCH_REQUESTS})")
+    bench.add_argument("--serve-devices", type=int,
+                       default=SERVE_BENCH_DEVICES, metavar="N",
+                       help="with --serve: synthetic fleet size "
+                            f"(default: {SERVE_BENCH_DEVICES})")
     bench.add_argument("--seed", action="store_true",
                        help="also time the frozen reference engine")
     bench.set_defaults(func=_cmd_bench)

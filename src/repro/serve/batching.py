@@ -18,13 +18,21 @@ from collections import deque
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
-    """One inference request travelling through the serving simulator."""
+    """One inference request travelling through the serving simulator.
+
+    ``slots=True`` matters here: a million-request day-in-the-life run
+    allocates one of these per request, and the slotted layout roughly
+    halves both the per-object footprint and the attribute-access cost
+    on the hot path.
+    """
 
     id: int
     network: str
     arrival_ms: float
+    #: Owning tenant name ("" for single-tenant runs).
+    tenant: str = ""
     #: Filled in by the engine when the request's batch launches/retires.
     start_ms: float = field(default=-1.0, compare=False)
     finish_ms: float = field(default=-1.0, compare=False)

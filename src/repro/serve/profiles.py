@@ -58,12 +58,20 @@ class LatencyProfile:
         clock_ghz: float,
         launch_overhead_cycles: float,
         terms: tuple[KernelTerm, ...],
+        dynamic_j: float = 0.0,
+        static_watts: float = 0.0,
     ) -> None:
         self.network = network
         self.platform = platform
         self.clock_ghz = clock_ghz
         self.launch_overhead_cycles = launch_overhead_cycles
         self.terms = terms
+        #: GPUWattch dynamic (activity) energy of one inference; a
+        #: batch-``b`` launch costs ``b * dynamic_j`` on top of static.
+        self.dynamic_j = dynamic_j
+        #: GPUWattch static (leakage) power of the platform; burns
+        #: whether the device is busy or idle.
+        self.static_watts = static_watts
         self._memo: dict[int, float] = {}
 
     def latency_ms(self, batch: int) -> float:
@@ -94,6 +102,8 @@ class LatencyProfile:
                 [t.wave_cost_cycles, t.total_blocks, t.blocks_per_wave, t.count]
                 for t in self.terms
             ],
+            "dynamic_j": self.dynamic_j,
+            "static_watts": self.static_watts,
         }
 
     @classmethod
@@ -104,6 +114,8 @@ class LatencyProfile:
             clock_ghz=data["clock_ghz"],
             launch_overhead_cycles=data["launch_overhead_cycles"],
             terms=tuple(KernelTerm(*row) for row in data["terms"]),
+            dynamic_j=data.get("dynamic_j", 0.0),
+            static_watts=data.get("static_watts", 0.0),
         )
 
 
@@ -112,8 +124,14 @@ def profile_from_result(result) -> LatencyProfile:
 
     Signature-identical kernel launches collapse into one term with a
     repeat count (ResNet's 228 launches reduce to a few dozen terms).
+    The GPUWattch energy split rides along: per-inference dynamic
+    energy plus the platform's static power, which the serving engine
+    turns into per-tenant cost-per-request and fleet idle energy.
     """
+    from repro.power.gpuwattch import GpuWattchModel
+
     config: GpuConfig = result.config
+    model = GpuWattchModel(config)
     merged: dict[str, list] = {}
     for kr in result.kernels:
         signature = kr.kernel.signature()
@@ -133,6 +151,8 @@ def profile_from_result(result) -> LatencyProfile:
             len(result.kernels) * config.launch_overhead_cycles
         ),
         terms=terms,
+        dynamic_j=model.dynamic_energy_joules(result.aggregate()),
+        static_watts=model.static_watts,
     )
 
 

@@ -39,10 +39,10 @@ def results_table(runs: Sequence[ServeStats]) -> str:
 
 
 def devices_table(stats: ServeStats) -> str:
-    """Per-device utilization/batching table of one run."""
+    """Per-device utilization/batching/energy table of one run."""
     return markdown_table(
         ["device", "platform", "utilization", "requests", "batches",
-         "mean batch", "shed"],
+         "mean batch", "shed", "energy J"],
         [
             [
                 device.name,
@@ -52,9 +52,48 @@ def devices_table(stats: ServeStats) -> str:
                 device.batches,
                 device.mean_batch,
                 device.shed,
+                round(device.energy_j, 4),
             ]
             for device in stats.devices
         ],
+    )
+
+
+def tenants_table(stats: ServeStats) -> str:
+    """Per-tenant SLO attainment and cost-per-request table.
+
+    Latency percentiles cover *completed* requests only; shed requests
+    never ran, so they have no latency — but they do count against the
+    goodput denominator, which is why attainment and goodput can
+    differ.
+    """
+    return markdown_table(
+        ["tenant", "slo ms", "prio", "offered", "completed", "shed",
+         "p95 ms", "p99 ms", "slo attainment", "goodput", "J/request"],
+        [
+            [
+                tenant.name,
+                tenant.slo_ms,
+                tenant.priority,
+                tenant.offered,
+                tenant.completed,
+                tenant.shed,
+                tenant.latency_p95_ms,
+                tenant.latency_p99_ms,
+                round(tenant.slo_attainment, 4),
+                round(tenant.goodput_ratio, 4),
+                round(tenant.cost_per_request_j, 6),
+            ]
+            for tenant in stats.per_tenant.values()
+        ],
+    )
+
+
+def shed_table(stats: ServeStats) -> str:
+    """Shed requests broken down by pipeline-stage reason."""
+    return markdown_table(
+        ["reason", "requests"],
+        [[reason, count] for reason, count in stats.shed_reasons.items()],
     )
 
 
@@ -63,12 +102,20 @@ def serve_markdown(
     scenario: Mapping[str, object],
     title: str = "repro serve report",
 ) -> str:
-    """The full report: scenario, results, per-run device breakdowns."""
+    """The full report: scenario, results, tenant and device breakdowns."""
     sections: list[tuple[str, str]] = [
         ("Scenario", scenario_table(scenario)),
         ("Results", results_table(runs)),
     ]
     for stats in runs:
+        if stats.per_tenant:
+            sections.append(
+                (f"Tenants — {stats.scheduler}", tenants_table(stats))
+            )
+        if stats.shed_reasons:
+            sections.append(
+                (f"Shed breakdown — {stats.scheduler}", shed_table(stats))
+            )
         sections.append((f"Devices — {stats.scheduler}", devices_table(stats)))
     return markdown_report(title, sections)
 

@@ -2,9 +2,10 @@
 
 A scheduler sees the arriving request and the live fleet state and
 names the device that should take it (or ``None`` to shed when every
-queue is full — admission control stays with the engine, the scheduler
-just never picks a full device).  All three built-ins are deterministic
-and break ties by fleet order, which keeps whole runs reproducible.
+queue is full — admission control is its own pipeline stage, the
+scheduler just never picks a full or drained device).  All three
+built-ins are deterministic and break ties by fleet order, which keeps
+whole runs reproducible.
 
 * ``round-robin`` — strict rotation, blind to load and device speed;
 * ``least-loaded`` — shortest queue first, blind to device speed;
@@ -12,6 +13,20 @@ and break ties by fleet order, which keeps whole runs reproducible.
   completion time (:meth:`DeviceState.estimate_finish_ms`), which folds
   together queue depth *and* the per-device latency profile, so slow
   devices only absorb traffic once fast ones are saturated.
+
+**Fast hooks.**  Depth-only policies (round-robin, least-loaded)
+support :meth:`attach`: the engine hands them the fleet-shared flat
+``depths`` list (see :mod:`repro.serve.devices`) and the queue bound,
+and ``choose`` then scans plain ints instead of device objects —
+roughly an order of magnitude cheaper at 100 devices.  The attached
+scan is *definitionally* equivalent to the object scan: ``depths[i]``
+equals ``devices[i].pending`` while the device accepts work and a
+beyond-capacity sentinel otherwise, so "skip full or drained" and the
+tie-breaks are the same predicate on the same numbers.  Both event
+loops attach the same way, so scheduling can never diverge between
+them.  The latency-aware policy has no flat-scan form (its estimate
+walks per-network batchers) and stays object-based — correct on every
+loop, but the documented slow choice for very large fleets.
 """
 
 from __future__ import annotations
@@ -41,13 +56,39 @@ class RoundRobinScheduler:
 
     def __init__(self) -> None:
         self._next = 0
+        self._depths: list[int] | None = None
+        self._max_queue = 0
+
+    def reset(self) -> None:
+        """Forget run state (the engine calls this at run start)."""
+        self._next = 0
+        self._depths = None
+
+    def attach(self, depths: list[int], max_queue: int) -> None:
+        """Adopt the fleet-shared depth list (engine fast hook)."""
+        self._depths = depths
+        self._max_queue = max_queue
 
     def choose(
         self, request: Request, devices: Sequence[DeviceState], now_ms: float
     ) -> int | None:
+        depths = self._depths
+        if depths is not None:
+            count = len(depths)
+            start = self._next
+            max_queue = self._max_queue
+            for offset in range(count):
+                index = start + offset
+                if index >= count:
+                    index -= count
+                if depths[index] < max_queue:
+                    self._next = index + 1 if index + 1 < count else 0
+                    return index
+            return None
         for offset in range(len(devices)):
             index = (self._next + offset) % len(devices)
-            if not devices[index].full:
+            state = devices[index]
+            if state.accepting and not state.full:
                 self._next = (index + 1) % len(devices)
                 return index
         return None
@@ -58,18 +99,40 @@ class LeastLoadedScheduler:
 
     name = "least-loaded"
 
+    def __init__(self) -> None:
+        self._depths: list[int] | None = None
+        self._max_queue = 0
+
+    def reset(self) -> None:
+        self._depths = None
+
+    def attach(self, depths: list[int], max_queue: int) -> None:
+        """Adopt the fleet-shared depth list (engine fast hook)."""
+        self._depths = depths
+        self._max_queue = max_queue
+
     def choose(
         self, request: Request, devices: Sequence[DeviceState], now_ms: float
     ) -> int | None:
-        best: int | None = None
-        best_depth = -1
+        depths = self._depths
+        if depths is not None:
+            # Two C-speed scans beat one Python loop by ~5x at 100
+            # devices: min() finds the smallest depth, index() its
+            # first holder — which is exactly the first (fleet-order)
+            # strict minimum the object scan below picks.
+            shallowest = min(depths)
+            if shallowest >= self._max_queue:
+                return None
+            return depths.index(shallowest)
+        best_index: int | None = None
+        best_len = -1
         for index, state in enumerate(devices):
-            if state.full:
+            if not state.accepting or state.full:
                 continue
             depth = state.queue_len
-            if best is None or depth < best_depth:
-                best, best_depth = index, depth
-        return best
+            if best_index is None or depth < best_len:
+                best_index, best_len = index, depth
+        return best_index
 
 
 class LatencyAwareScheduler:
@@ -83,7 +146,7 @@ class LatencyAwareScheduler:
         best: int | None = None
         best_eta = 0.0
         for index, state in enumerate(devices):
-            if state.full:
+            if not state.accepting or state.full:
                 continue
             eta = state.estimate_finish_ms(request.network, now_ms)
             if best is None or eta < best_eta:

@@ -13,6 +13,7 @@ identical streams.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from random import Random
@@ -21,13 +22,17 @@ from typing import Sequence
 from repro.serve.batching import Request
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Arrival:
     """One request arrival in the generated stream."""
 
     time_ms: float
     network: str
     index: int = 0
+    #: Tenant name of the originating stream ("" for single-tenant).
+    tenant: str = ""
+    #: Sub-workload index inside a multi-tenant overlay.
+    stream: int = 0
 
 
 def _pick(networks: Sequence[str], weights: Sequence[float] | None, rng: Random) -> str:
@@ -144,6 +149,93 @@ class BurstyWorkload(PoissonWorkload):
                 t = boundary
                 continue
             gap = rng.expovariate(rate) * 1e3
+            if t + gap > boundary:
+                t = boundary
+                continue
+            return t + gap
+
+    def prime(self, rng: Random) -> list[Arrival]:
+        if self.requests < 1:
+            return []
+        return [
+            Arrival(self._next_time(0.0, rng), _pick(self.networks, self.weights, rng), 0)
+        ]
+
+    def next_arrival(self, prev: Arrival, rng: Random) -> Arrival | None:
+        if prev.index + 1 >= self.requests:
+            return None
+        return Arrival(
+            self._next_time(prev.time_ms, rng),
+            _pick(self.networks, self.weights, rng),
+            prev.index + 1,
+        )
+
+
+class DiurnalWorkload(Workload):
+    """Open-loop arrivals following a sinusoidal day/night rate curve.
+
+    The instantaneous rate is ``base_rps * (1 + amplitude * sin(2*pi *
+    (t - phase_ms) / period_ms))``, approximated as piecewise-constant
+    over ``segments`` equal slices of the period (the rate is sampled
+    at each slice's midpoint).  Within a slice, sampling works exactly
+    like :class:`BurstyWorkload`: an exponential draw that crosses the
+    slice boundary is discarded and redrawn from the boundary at the
+    new rate, which the memorylessness of the exponential makes exact
+    for the piecewise-constant process.
+    """
+
+    def __init__(
+        self,
+        base_rps: float,
+        requests: int,
+        networks: Sequence[str],
+        period_ms: float = 86_400_000.0,
+        amplitude: float = 0.8,
+        phase_ms: float = 0.0,
+        segments: int = 96,
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if base_rps <= 0:
+            raise ValueError("base_rps must be > 0")
+        if not networks:
+            raise ValueError("at least one network required")
+        if period_ms <= 0:
+            raise ValueError("period_ms must be > 0")
+        if not 0 <= amplitude < 1:
+            raise ValueError("amplitude must be in [0, 1)")
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        self.base_rps = base_rps
+        self.requests = requests
+        self.networks = tuple(networks)
+        self.weights = tuple(weights) if weights is not None else None
+        self.period_ms = period_ms
+        self.amplitude = amplitude
+        self.phase_ms = phase_ms
+        self.segments = segments
+        self._segment_ms = period_ms / segments
+        # Per-segment rates, sampled at segment midpoints (requests/ms).
+        two_pi = 2.0 * math.pi
+        self._rates = tuple(
+            base_rps
+            * (1.0 + amplitude * math.sin(two_pi * ((i + 0.5) / segments)))
+            / 1e3
+            for i in range(segments)
+        )
+
+    def rate_rps(self, t_ms: float) -> float:
+        """The piecewise-constant offered rate at simulated time *t_ms*."""
+        index = int(((t_ms - self.phase_ms) % self.period_ms) // self._segment_ms)
+        return self._rates[min(index, self.segments - 1)] * 1e3
+
+    def _next_time(self, start_ms: float, rng: Random) -> float:
+        segment_ms = self._segment_ms
+        t = start_ms
+        while True:
+            index = math.floor((t - self.phase_ms) / segment_ms)
+            boundary = self.phase_ms + (index + 1) * segment_ms
+            rate = self._rates[index % self.segments]
+            gap = rng.expovariate(rate) if rate > 0 else float("inf")
             if t + gap > boundary:
                 t = boundary
                 continue

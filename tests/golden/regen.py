@@ -1,12 +1,16 @@
 """Regenerate the golden series files (run from the repo root).
 
-    PYTHONPATH=src python tests/golden/regen.py fixture   # seconds
-    PYTHONPATH=src python tests/golden/regen.py full      # minutes
-    PYTHONPATH=src python tests/golden/regen.py campaign  # < 1 minute
+    PYTHONPATH=src python tests/golden/regen.py fixture      # seconds
+    PYTHONPATH=src python tests/golden/regen.py full         # minutes
+    PYTHONPATH=src python tests/golden/regen.py campaign     # < 1 minute
+    PYTHONPATH=src python tests/golden/regen.py serve-scale  # seconds
 
 ``campaign`` rewrites the committed golden Pareto frontiers in
 ``examples/`` (``smoke_frontier.json``, ``l1_sweep_frontier.json``)
 that ``repro campaign compare`` and CI's campaign-smoke job gate on.
+``serve-scale`` rewrites ``serve_scale.digest``, the stats digest of
+``examples/serve_scale.toml`` at light fidelity that CI's serve-scale
+job gates on.
 
 Only regenerate for an *intentional* behavioral change (engine bump,
 new network weights, QoR-model change); the tests pin these bytes on
@@ -51,6 +55,29 @@ def regen_campaigns() -> None:
         print(f"wrote {path}")
 
 
+def regen_serve_scale() -> None:
+    from repro.gpu.config import SimOptions
+    from repro.platforms import get_platform
+    from repro.runs import ResultStore
+    from repro.serve import build_profiles, load_scenario, run_serve
+
+    scenario = load_scenario(EXAMPLES_DIR / "serve_scale.toml")
+    fleet = scenario.fleet()
+    platforms = [device.platform for device in fleet]
+    if scenario.autoscale is not None:
+        platforms.append(get_platform(scenario.autoscale.template))
+    profiles = build_profiles(
+        list(scenario.networks), platforms, SimOptions().light(), ResultStore(),
+    )
+    stats = run_serve(
+        fleet, profiles, scenario.workload(), scenario.config,
+        pipeline=scenario.pipeline(), loop=scenario.loop,
+    )
+    path = GOLDEN_DIR / "serve_scale.digest"
+    path.write_text(stats.digest() + "\n")
+    print(f"wrote {path}")
+
+
 def main() -> None:
     which = sys.argv[1] if len(sys.argv) > 1 else "fixture"
     if which == "fixture":
@@ -62,9 +89,13 @@ def main() -> None:
     elif which == "campaign":
         regen_campaigns()
         return
+    elif which in ("serve-scale", "--serve-scale"):
+        regen_serve_scale()
+        return
     else:
         raise SystemExit(
-            f"unknown target {which!r} (expected fixture|full|campaign)"
+            f"unknown target {which!r} "
+            f"(expected fixture|full|campaign|serve-scale)"
         )
     print(f"wrote {path}")
 

@@ -239,3 +239,37 @@ class TestStats:
         assert report["regressions"] == ["gru"]
         assert not report["networks"]["lstm"]["slower"]
         assert sorted(report["skipped"]) == ["only_base", "only_cand"]
+
+
+class TestServeBench:
+    def test_run_serve_bench_payload_and_gate(self):
+        from repro.perf.serve_bench import gate_serve, run_serve_bench
+
+        # Tiny synthetic scenario: fast enough for tier-1, but it still
+        # exercises the interleaved sampling, the digest cross-check
+        # and the gate plumbing end to end.
+        payload = run_serve_bench(requests=1500, devices=3, runs=2, seed=1)
+        assert set(payload) >= {"serve-fast", "serve-heap"}
+        for key in ("serve-fast", "serve-heap"):
+            entry = payload[key]
+            assert entry["requests"] == 1500
+            assert entry["devices"] == 3
+            assert len(entry["samples"]["cold"]) == 2
+            assert entry["cold_s"] == min(entry["samples"]["cold"])
+            assert entry["digest"]
+        # The run itself asserts digest equality; double-check here.
+        assert payload["serve-fast"]["digest"] == payload["serve-heap"]["digest"]
+        verdict = gate_serve(payload, threshold=1000.0)
+        assert not verdict["slower"]
+        assert verdict["ratio"] > 0
+
+    def test_bench_serve_cli_writes_payload(self, capsys, tmp_path):
+        out_path = tmp_path / "bench-serve.json"
+        exit_code = main([
+            "bench", "--serve", "--serve-requests", "1000",
+            "--serve-devices", "2", "--runs", "1",
+            "--output", str(out_path),
+        ])
+        assert exit_code == 0
+        payload = json.loads(out_path.read_text())
+        assert "serve-fast" in payload and "serve-heap" in payload

@@ -97,6 +97,112 @@ class TestServeCli:
         ]) == 2
 
 
+SCENARIO_TOML = """\
+[scenario]
+name = "cli-test"
+seed = 3
+
+[fleet]
+devices = "gp102:2"
+
+[serving]
+scheduler = "least-loaded"
+slo_ms = 30.0
+max_queue = 16
+
+[admission]
+policy = "slo-aware"
+
+[[tenants]]
+name = "rt"
+slo_ms = 5.0
+[tenants.arrival]
+kind = "poisson"
+rps = 800.0
+requests = 200
+networks = ["gru"]
+
+[[tenants]]
+name = "bulk"
+slo_ms = 60.0
+priority = 2
+[tenants.arrival]
+kind = "closed"
+clients = 4
+requests = 100
+networks = ["gru"]
+think_ms = 1.0
+"""
+
+
+class TestScenarioCli:
+    def write_scenario(self, tmp_path):
+        path = tmp_path / "scenario.toml"
+        path.write_text(SCENARIO_TOML)
+        return path
+
+    def test_scenario_json_schema(self, capsys, tmp_path):
+        path = self.write_scenario(tmp_path)
+        exit_code = main([
+            "serve", "--scenario", str(path), "--light",
+            "--cache-dir", str(tmp_path), "--json",
+        ])
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["scheduler"] == "least-loaded"
+        assert stats["offered"] == 300
+        # The documented per-tenant schema: SLO attainment and
+        # cost-per-request for every declared tenant.
+        assert set(stats["per_tenant"]) == {"rt", "bulk"}
+        for tenant in stats["per_tenant"].values():
+            assert {"slo_attainment", "goodput_ratio",
+                    "cost_per_request_j", "shed"} <= set(tenant)
+        assert {"total_j", "cost_per_request_j"} <= set(stats["energy"])
+        assert sum(stats["shed_reasons"].values()) == stats["shed"]
+
+    def test_scenario_loop_override_is_equivalent(self, capsys, tmp_path):
+        path = self.write_scenario(tmp_path)
+        args = [
+            "serve", "--scenario", str(path), "--light",
+            "--cache-dir", str(tmp_path), "--json",
+        ]
+        assert main(args + ["--loop", "heap"]) == 0
+        heap = json.loads(capsys.readouterr().out)
+        assert main(args + ["--loop", "fast"]) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert fast == heap
+
+    def test_scenario_text_output_mentions_tenants(self, capsys, tmp_path):
+        path = self.write_scenario(tmp_path)
+        assert main([
+            "serve", "--scenario", str(path), "--light",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rt" in out and "bulk" in out
+
+    def test_scenario_flags_conflict_with_workload_flags(self, tmp_path):
+        path = self.write_scenario(tmp_path)
+        # --scenario owns the workload; a bad scenario path must fail
+        # loudly rather than fall back to flag defaults.
+        assert main([
+            "serve", "--scenario", str(tmp_path / "missing.toml"),
+            "--light", "--cache-dir", str(tmp_path),
+        ]) == 2
+
+    def test_admission_flag_without_scenario(self, capsys, tmp_path):
+        exit_code = main([
+            "serve", "--networks", "gru", "--devices", "gp102",
+            "--rps", "2000", "--requests", "400", "--light",
+            "--cache-dir", str(tmp_path), "--slo-ms", "2",
+            "--queue", "8", "--admission", "slo-aware", "--json",
+        ])
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["shed"] > 0
+        assert set(stats["shed_reasons"]) <= {"overflow", "priority", "slo"}
+
+
 class TestCacheCli:
     def test_stats_empty_dir(self, capsys, tmp_path):
         exit_code = main([
