@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.gpu.config import SimOptions
 from repro.obs.tracer import WALL_S, get_tracer
-from repro.platforms import resolve_platform
+from repro.platforms import make_config
 from repro.runs.spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
@@ -60,7 +60,7 @@ class CampaignPoint:
         """The effective L1D size in KB (platform default resolved)."""
         if self.l1_kb is not None:
             return self.l1_kb
-        return resolve_platform(self.platform).l1_size // 1024
+        return make_config(self.platform).l1_size // 1024
 
     def describe(self) -> str:
         """One-line human identity, stable across runs."""
@@ -87,7 +87,7 @@ def point_spec(point: CampaignPoint) -> RunSpec:
     (:mod:`repro.serve.profiles`), so every batch variant of a combo
     shares — and dedupes onto — a single simulated run.
     """
-    config = resolve_platform(point.platform, l1_kb=point.l1_kb)
+    config = make_config(point.platform, l1_kb=point.l1_kb)
     return RunSpec(point.network, config, point_options(point))
 
 

@@ -27,8 +27,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.campaign.expand import CampaignPoint
-from repro.gpu.config import GpuConfig
-from repro.power.gpuwattch import GpuWattchModel
+from repro.power.accel import power_model_for
 from repro.serve.profiles import profile_from_result
 
 #: The metric catalogue, in reporting order.  All derive from one
@@ -85,11 +84,11 @@ class QorModel:
     def __init__(self) -> None:
         self._per_run: dict[str, tuple] = {}
 
-    def _run_terms(self, run_key: str, result, config: GpuConfig) -> tuple:
+    def _run_terms(self, run_key: str, result, config) -> tuple:
         terms = self._per_run.get(run_key)
         if terms is None:
             profile = profile_from_result(result)
-            model = GpuWattchModel(config)
+            model = power_model_for(config)
             aggregate = result.aggregate()
             terms = (
                 profile,
@@ -102,7 +101,7 @@ class QorModel:
 
     def row(self, point: CampaignPoint, run_key: str, result) -> QorRow:
         """The QoR row of one point, given its stored simulation."""
-        config: GpuConfig = result.config
+        config = result.config
         profile, dynamic_j, static_w, peak_w = self._run_terms(
             run_key, result, config
         )

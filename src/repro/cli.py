@@ -161,14 +161,14 @@ def _sim_options(args: argparse.Namespace):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.platforms import get_platform
+    from repro.platforms import make_config
     from repro.runs import Executor, ResultStore, RunSpec
 
     names = args.networks or list(NETWORK_ORDER)
     err = _check_networks(names)
     if err is not None:
         return err
-    config = get_platform(args.platform)
+    config = make_config(args.platform)
     options = _sim_options(args)
     store = None if args.no_cache else ResultStore(args.cache_dir)
     executor = Executor(store)
@@ -201,7 +201,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import compare_bench, read_bench, run_bench, write_bench
-    from repro.platforms import get_platform
+    from repro.platforms import make_config
 
     if args.serve:
         return _cmd_bench_serve(args)
@@ -209,7 +209,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     err = _check_networks(names)
     if err is not None:
         return err
-    config = get_platform(args.platform)
+    config = make_config(args.platform)
     options = _sim_options(args)
     runs = args.runs if args.runs is not None else args.repeats
     payload = run_bench(
@@ -352,7 +352,7 @@ def _serve_prepare(
     building re-simulates and the trace captures the GPU layer too).
     """
     from repro.gpu.config import SimOptions
-    from repro.platforms import get_platform
+    from repro.platforms import make_config
     from repro.serve import ServeConfig, build_fleet, build_profiles
     from repro.serve.schedulers import SCHEDULERS
 
@@ -407,7 +407,7 @@ def _serve_prepare(
     # of a platform absent from the initial fleet.
     platforms = [device.platform for device in fleet]
     if scenario is not None and scenario.autoscale is not None:
-        platforms.append(get_platform(scenario.autoscale.template))
+        platforms.append(make_config(scenario.autoscale.template))
     options = SimOptions(scheduler=args.sim_scheduler)
     if _light_requested(args):
         options = options.light()
@@ -452,21 +452,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return prep
     fleet, profiles, workload, schedulers, base, scenario = prep
     if scenario is not None:
-        runs = [
-            run_serve(
-                fleet, profiles, workload, base,
-                pipeline=scenario.pipeline(),
-                loop=args.loop or scenario.loop,
-            )
-        ]
+        configs = [(base, {"pipeline": scenario.pipeline(),
+                           "loop": args.loop or scenario.loop})]
     else:
-        runs = [
-            run_serve(
-                fleet, profiles, workload, replace(base, scheduler=name),
-                loop=args.loop,
-            )
+        configs = [
+            (replace(base, scheduler=name), {"loop": args.loop})
             for name in schedulers
         ]
+    runs = []
+    run_metrics = []
+    for config, kwargs in configs:
+        if args.report:
+            # capture the engine's histograms/gauges for the report,
+            # one registry per run so schedulers don't merge
+            from repro.obs import Tracer, set_tracer
+
+            tracer = Tracer(warps=False)
+            previous = set_tracer(tracer)
+            try:
+                stats = run_serve(fleet, profiles, workload, config, **kwargs)
+            finally:
+                set_tracer(previous)
+            run_metrics.append(tracer.metrics.to_dict())
+        else:
+            stats = run_serve(fleet, profiles, workload, config, **kwargs)
+        runs.append(stats)
 
     if args.json:
         payload = [stats.to_dict() for stats in runs]
@@ -535,7 +545,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "admission": args.admission,
                 "seed": args.seed,
             }
-        write_serve_report(args.report, runs, params)
+        write_serve_report(args.report, runs, params, metrics=run_metrics)
         if not args.json:
             print(f"\nwrote {args.report}")
     return 0
@@ -560,14 +570,14 @@ def _print_trace_outcome(args: argparse.Namespace, tracer, payload) -> None:
 
 def _cmd_trace_simulate(args: argparse.Namespace) -> int:
     from repro.obs import set_tracer, write_trace
-    from repro.platforms import get_platform
+    from repro.platforms import make_config
     from repro.runs import Executor, ResultStore, RunSpec
 
     names = args.networks or ["alexnet"]
     err = _check_networks(names)
     if err is not None:
         return err
-    config = get_platform(args.platform)
+    config = make_config(args.platform)
     options = _sim_options(args)
     store = None if args.no_cache else ResultStore(args.cache_dir)
     tracer = _trace_tracer(args)
@@ -833,6 +843,77 @@ def _cmd_networks(args: argparse.Namespace) -> int:
             extra = " (extension)" if row["extension"] else ""
             print(f"{row['name']:12s} {row['display_name']} "
                   f"[{row['kind']}]{extra}")
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.platforms import list_platforms, platform
+
+    try:
+        names = list_platforms(kind=args.kind)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        entry = platform(name)
+        memory = entry.memory_budget()
+        compute = entry.compute_budget()
+        rows.append({
+            "name": name,
+            "display_name": entry.name,
+            "kind": entry.kind,
+            "tiles": memory.tiles,
+            "tile_kb": memory.per_tile_bytes / 1024,
+            "macs_per_cycle": compute.peak_macs_per_cycle,
+            "clock_ghz": compute.clock_ghz,
+            "peak_gmacs": compute.peak_gmacs_per_s,
+            "dram_gb_per_s": memory.dram_gb_per_s,
+        })
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    else:
+        print(f"{'name':10s} {'kind':5s} {'tiles':>5s} {'KB/tile':>8s} "
+              f"{'MAC/cyc':>8s} {'GHz':>6s} {'GMAC/s':>8s} {'GB/s':>7s}")
+        for row in rows:
+            print(f"{row['name']:10s} {row['kind']:5s} {row['tiles']:5d} "
+                  f"{row['tile_kb']:8.0f} {row['macs_per_cycle']:8d} "
+                  f"{row['clock_ghz']:6.3f} {row['peak_gmacs']:8.1f} "
+                  f"{row['dram_gb_per_s']:7.1f}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.mapping import MappingError, map_network
+    from repro.platforms import make_config
+    from repro.platforms.accel import AcceleratorConfig
+
+    err = _check_networks([args.network])
+    if err is not None:
+        return err
+    try:
+        config = make_config(args.platform)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if not isinstance(config, AcceleratorConfig):
+        print(f"error: {args.platform} is a GPU platform; the tiling "
+              f"mapper targets fpga/npu platforms (see 'repro platforms')",
+              file=sys.stderr)
+        return 2
+    try:
+        plan = map_network(args.network, config)
+    except MappingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(plan.to_dict(), indent=2))
+    else:
+        print(plan.describe())
     return 0
 
 
@@ -1175,6 +1256,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the benchmark suite",
     )
     networks.set_defaults(func=_cmd_networks)
+
+    platforms = sub.add_parser(
+        "platforms",
+        parents=[p["json"]],
+        help="list registered platforms and their capability budgets",
+        description="Enumerate the platform registry (GPU, FPGA and NPU "
+        "backends) with each device's memory and compute budgets.",
+    )
+    platforms.add_argument("--kind", default=None,
+                           help="filter by device kind (gpu, fpga, npu)")
+    platforms.set_defaults(func=_cmd_platforms)
+
+    map_cmd = sub.add_parser(
+        "map",
+        parents=[p["json"]],
+        help="show the tiling mapper's plan for a network on a device",
+        description="Run the compile-time tiling/partitioning mapper and "
+        "print the per-layer plan (strategy, tiles, footprints, "
+        "utilization).",
+    )
+    map_cmd.add_argument("network", help="suite network name")
+    map_cmd.add_argument("--platform", default="s2npu",
+                         help="accelerator platform (default: s2npu)")
+    map_cmd.set_defaults(func=_cmd_map)
     return parser
 
 

@@ -1,6 +1,6 @@
 """Run the whole experiment harness: every table and figure.
 
-``python -m repro.harness.suite`` regenerates all 20 experiments (4
+``python -m repro.harness.suite`` regenerates all 21 experiments (4
 tables + 16 figures) through the declarative plan -> execute ->
 aggregate pipeline: the planner collects every registered experiment's
 required runs and dedupes them into a minimal matrix, the executor

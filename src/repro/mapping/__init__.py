@@ -1,0 +1,24 @@
+"""Compile-time tiling/partitioning mapper for tile-based accelerators.
+
+Takes a network's layer graph plus a device's memory/compute budget
+(:class:`~repro.platforms.accel.AcceleratorConfig`) and produces a
+tiled execution plan — the SpiNNaker2-style fallback ladder over
+output channels, activation rows and input channels — which
+:func:`run_mapped_network` then times on the device's analytic model.
+"""
+
+from repro.mapping.execute import layer_kernel, run_mapped_network
+from repro.mapping.mapper import MappingError, map_layer, map_network
+from repro.mapping.plan import LayerPlan, NetworkPlan, Tile, TileRange
+
+__all__ = [
+    "LayerPlan",
+    "MappingError",
+    "NetworkPlan",
+    "Tile",
+    "TileRange",
+    "layer_kernel",
+    "map_layer",
+    "map_network",
+    "run_mapped_network",
+]

@@ -1,0 +1,420 @@
+"""The compile-time tiling/partitioning mapper.
+
+Splits each layer of a network into tiles that fit a device's per-tile
+on-chip memory (BRAM region, PE SRAM), following the four-step fallback
+ladder of the SpiNNaker2 layer distributors:
+
+1. **whole** — the layer fits one tile unsplit;
+2. **split output channels** — slice the output-channel dimension,
+   choosing the largest multiple of the MAC-array row count that fits
+   (keeps the array's rows busy);
+3. **split activation rows** — additionally slice the output rows,
+   re-fetching the halo rows each tile's convolution window overlaps;
+4. **split input channels** — partition the input-channel dimension
+   into groups producing partial sums, accumulated with an extra
+   read-modify-write pass per non-first group.
+
+Fully-connected / recurrent layers use the matrix form of the same
+ladder (whole -> row blocks -> row x input blocks with accumulation);
+pooling/normalization/activation layers split their flat output
+element range; Concat is a zero-cost pass-through.
+
+Within each ladder step the mapper searches the tiling factors for MAC
+utilization first and tile count second, under the hard footprint
+constraint — so every emitted plan is budget-feasible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.graph import NetworkGraph
+from repro.core.layers.defs import (
+    FC,
+    LRN,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    GRUCell,
+    Layer,
+    LSTMCell,
+    Pool2D,
+)
+from repro.mapping.plan import LayerPlan, NetworkPlan, Tile, TileRange, ranges
+from repro.platforms.accel import AcceleratorConfig
+
+Shape = tuple[int, ...]
+
+BYTES = 4  # f32 everywhere, matching the functional executor
+
+
+class MappingError(Exception):
+    """A layer cannot be tiled into the device's memory budget."""
+
+
+def _ceil(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _prod(shape: Sequence[int]) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n
+
+
+def _max_feasible(hi: int, fits: Callable[[int], bool]) -> int:
+    """Largest value in [1, hi] accepted by monotone *fits* (0 if none)."""
+    if hi < 1 or not fits(1):
+        return 0
+    lo = 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if fits(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def _row_utilization(rows_used: int, mac_rows: int) -> float:
+    """Fraction of MAC rows busy when *rows_used* outputs share the array."""
+    passes = _ceil(rows_used, mac_rows)
+    return rows_used / (mac_rows * passes)
+
+
+def _snap_channels(c_max: int, extent: int, mac_rows: int) -> int:
+    """Utilization-first chunk size: the whole extent if it fits, else
+    the largest multiple of the MAC row count, else whatever fits."""
+    if c_max >= extent:
+        return extent
+    if c_max >= mac_rows:
+        return mac_rows * (c_max // mac_rows)
+    return c_max
+
+
+# ----------------------------------------------------------------------
+# convolution ladder
+# ----------------------------------------------------------------------
+def _map_conv(
+    name: str,
+    layer: Conv2D | DepthwiseConv2D,
+    in_shape: Shape,
+    out_shape: Shape,
+    config: AcceleratorConfig,
+) -> LayerPlan:
+    ci, hi, wi = in_shape
+    co, oh, ow = out_shape
+    k, stride = layer.kernel, layer.stride
+    depthwise = isinstance(layer, DepthwiseConv2D)
+    bias = BYTES if layer.bias else 0
+    budget = config.tile_memory_bytes
+    mac_rows, mac_cols = config.mac_rows, config.mac_cols
+
+    def footprint(c_t: int, r_t: int, ci_g: int) -> int:
+        in_rows = min(hi, (r_t - 1) * stride + k)
+        in_chans = c_t if depthwise else ci_g
+        in_b = BYTES * in_chans * in_rows * wi
+        w_b = c_t * (BYTES * k * k * (1 if depthwise else ci_g) + bias)
+        out_b = BYTES * c_t * r_t * ow
+        return in_b + w_b + out_b
+
+    def search(ci_g: int) -> tuple[int, int] | None:
+        """Best (c_t, r_t) for one input-channel group size, or None."""
+        # ladder steps 1-2: full rows, channel split only
+        c_max = _max_feasible(co, lambda c: footprint(c, oh, ci_g) <= budget)
+        if c_max >= 1:
+            return _snap_channels(c_max, co, mac_rows), oh
+        # ladder step 3: also split rows; pick (utilization, -tiles)
+        best: tuple[tuple[float, int], tuple[int, int]] | None = None
+        for r_t in range(oh - 1, 0, -1):
+            c_max = _max_feasible(co, lambda c: footprint(c, r_t, ci_g) <= budget)
+            if c_max < 1:
+                continue
+            c_t = _snap_channels(c_max, co, mac_rows)
+            util = _row_utilization(min(c_t, co), mac_rows)
+            n_tiles = _ceil(co, c_t) * _ceil(oh, r_t)
+            key = (util, -n_tiles)
+            if best is None or key > best[0]:
+                best = (key, (c_t, r_t))
+        return best[1] if best else None
+
+    # walk the ladder: K=1 first, then input-channel groups
+    c_in_splits = (1,) if depthwise else tuple(range(1, ci + 1))
+    seen_groups: set[int] = set()
+    for n_groups in c_in_splits:
+        ci_g = _ceil(ci, n_groups)
+        if ci_g in seen_groups:
+            continue
+        seen_groups.add(ci_g)
+        found = search(ci_g)
+        if found is not None:
+            c_t, r_t = found
+            break
+    else:
+        raise MappingError(
+            f"{name}: a 1-channel, 1-row, 1-input-channel conv tile "
+            f"still exceeds {budget} bytes on {config.name}"
+        )
+
+    n_groups = 1 if depthwise else _ceil(ci, ci_g)
+    accumulate = n_groups > 1
+    if c_t == co and r_t == oh and not accumulate:
+        strategy, step = "whole", 1
+    elif accumulate:
+        strategy, step = "split-in-channels", 4
+    elif r_t < oh:
+        strategy, step = "split-rows", 3
+    else:
+        strategy, step = "split-out-channels", 2
+
+    tiles: list[Tile] = []
+    for g in range(n_groups):
+        g_lo = g * ci_g
+        g_sz = min(ci, g_lo + ci_g) - g_lo
+        for c_rng in ranges(co, c_t):
+            for r_rng in ranges(oh, r_t):
+                c_sz, r_sz = c_rng.size, r_rng.size
+                in_chans = c_sz if depthwise else g_sz
+                macs = c_sz * r_sz * ow * k * k * (1 if depthwise else g_sz)
+                util = _row_utilization(c_sz, mac_rows)
+                passes = _ceil(c_sz, mac_rows)
+                cycles = _ceil(macs * passes, c_sz * mac_cols)
+                fp = footprint(c_sz, r_sz, in_chans)
+                transfer = fp
+                if accumulate and g > 0:
+                    # read partial sums back in and add them
+                    out_b = BYTES * c_sz * r_sz * ow
+                    transfer += out_b
+                    cycles += _ceil(c_sz * r_sz * ow, mac_cols)
+                tiles.append(Tile(
+                    index=len(tiles),
+                    channels=c_rng,
+                    rows=r_rng,
+                    in_group=g,
+                    n_in_groups=n_groups,
+                    footprint_bytes=fp,
+                    macs=macs,
+                    transfer_bytes=transfer,
+                    compute_cycles=cycles,
+                    utilization=util,
+                ))
+
+    return LayerPlan(
+        node_name=name,
+        category=layer.category,
+        strategy=strategy,
+        step=step,
+        coverage=(co, oh),
+        out_shape=tuple(out_shape),
+        tiles=tuple(tiles),
+        accumulate=accumulate,
+    )
+
+
+# ----------------------------------------------------------------------
+# matrix ladder (FC / GRU / LSTM)
+# ----------------------------------------------------------------------
+def _map_matrix(
+    name: str,
+    layer: Layer,
+    in_shapes: Sequence[Shape],
+    out_shape: Shape,
+    config: AcceleratorConfig,
+) -> LayerPlan:
+    out_n = _prod(out_shape)
+    in_n = sum(_prod(s) for s in in_shapes)
+    w_total = layer.weight_bytes(in_shapes)
+    total_macs = layer.macs(in_shapes)
+    budget = config.tile_memory_bytes
+    mac_rows, mac_cols = config.mac_rows, config.mac_cols
+
+    def footprint(rows_t: int, n_groups: int) -> int:
+        in_b = _ceil(BYTES * in_n, n_groups)
+        w_b = _ceil(w_total * rows_t, out_n * n_groups)
+        out_b = BYTES * rows_t
+        return in_b + w_b + out_b
+
+    rows_t = 0
+    for n_groups in range(1, max(2, in_n) + 1):
+        r_max = _max_feasible(out_n, lambda r: footprint(r, n_groups) <= budget)
+        if r_max >= 1:
+            rows_t = _snap_channels(r_max, out_n, mac_rows)
+            break
+    else:
+        raise MappingError(
+            f"{name}: a single-output-row matrix tile still exceeds "
+            f"{budget} bytes on {config.name}"
+        )
+
+    accumulate = n_groups > 1
+    if rows_t == out_n and not accumulate:
+        strategy, step = "whole", 1
+    elif accumulate:
+        strategy, step = "matrix-blocks", 3
+    else:
+        strategy, step = "matrix-rows", 2
+
+    tiles: list[Tile] = []
+    for g in range(n_groups):
+        for r_rng in ranges(out_n, rows_t):
+            r_sz = r_rng.size
+            macs = _ceil(total_macs * r_sz, out_n * n_groups)
+            util = _row_utilization(r_sz, mac_rows)
+            passes = _ceil(r_sz, mac_rows)
+            cycles = _ceil(macs * passes, r_sz * mac_cols) if macs else 1
+            fp = footprint(r_sz, n_groups)
+            transfer = fp
+            if accumulate and g > 0:
+                transfer += BYTES * r_sz
+                cycles += _ceil(r_sz, mac_cols)
+            tiles.append(Tile(
+                index=len(tiles),
+                channels=r_rng,
+                rows=TileRange(0, 1),
+                in_group=g,
+                n_in_groups=n_groups,
+                footprint_bytes=fp,
+                macs=macs,
+                transfer_bytes=transfer,
+                compute_cycles=cycles,
+                utilization=util,
+            ))
+
+    return LayerPlan(
+        node_name=name,
+        category=layer.category,
+        strategy=strategy,
+        step=step,
+        coverage=(out_n, 1),
+        out_shape=tuple(out_shape),
+        tiles=tuple(tiles),
+        accumulate=accumulate,
+    )
+
+
+# ----------------------------------------------------------------------
+# elementwise split (pool / norm / activation / eltwise / softmax)
+# ----------------------------------------------------------------------
+def _map_elementwise(
+    name: str,
+    layer: Layer,
+    in_shapes: Sequence[Shape],
+    out_shape: Shape,
+    config: AcceleratorConfig,
+) -> LayerPlan:
+    out_elems = _prod(out_shape)
+    in_elems = sum(_prod(s) for s in in_shapes)
+    w_b = layer.weight_bytes(in_shapes)  # per-channel params, kept resident
+    budget = config.tile_memory_bytes
+    mac_cols = config.mac_cols
+
+    halo_b = 0
+    if isinstance(layer, LRN) and len(in_shapes[0]) == 3:
+        # cross-channel window: neighbouring channel maps are re-fetched
+        _, h, w = in_shapes[0]
+        halo_b = BYTES * (layer.local_size - 1) * h * w
+    elif isinstance(layer, Pool2D) and not layer.global_pool:
+        # overlapping input rows at the tile boundary
+        halo_b = BYTES * layer.kernel * in_shapes[0][2]
+
+    def footprint(e_t: int) -> int:
+        in_b = _ceil(BYTES * in_elems * e_t, out_elems)
+        return BYTES * e_t + in_b + w_b + halo_b
+
+    e_t = _max_feasible(out_elems, lambda e: footprint(e) <= budget)
+    if e_t < 1:
+        raise MappingError(
+            f"{name}: a single-element {layer.category} tile still "
+            f"exceeds {budget} bytes on {config.name}"
+        )
+
+    work = max(1, _ceil(in_elems, out_elems))
+    total_macs = layer.macs(in_shapes)
+    tiles: list[Tile] = []
+    for e_rng in ranges(out_elems, e_t):
+        e_sz = e_rng.size
+        macs = _ceil(total_macs * e_sz, out_elems) if total_macs else 0
+        fp = footprint(e_sz)
+        tiles.append(Tile(
+            index=len(tiles),
+            channels=TileRange(0, 1),
+            rows=e_rng,
+            in_group=0,
+            n_in_groups=1,
+            footprint_bytes=fp,
+            macs=macs,
+            transfer_bytes=fp,
+            compute_cycles=_ceil(e_sz * work, mac_cols),
+            utilization=1.0,
+        ))
+
+    return LayerPlan(
+        node_name=name,
+        category=layer.category,
+        strategy="elementwise",
+        step=1 if len(tiles) == 1 else 2,
+        coverage=(1, out_elems),
+        out_shape=tuple(out_shape),
+        tiles=tuple(tiles),
+    )
+
+
+def _passthrough(name: str, layer: Layer, out_shape: Shape) -> LayerPlan:
+    return LayerPlan(
+        node_name=name,
+        category=layer.category,
+        strategy="passthrough",
+        step=0,
+        coverage=(0, 0),
+        out_shape=tuple(out_shape),
+        tiles=(),
+    )
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def map_layer(
+    name: str,
+    layer: Layer,
+    in_shapes: Sequence[Shape],
+    config: AcceleratorConfig,
+) -> LayerPlan:
+    """Tile one layer for *config*; raises :class:`MappingError`."""
+    out_shape = tuple(layer.out_shape(in_shapes))
+    if isinstance(layer, (Conv2D, DepthwiseConv2D)):
+        return _map_conv(name, layer, tuple(in_shapes[0]), out_shape, config)
+    if isinstance(layer, (FC, GRUCell, LSTMCell)):
+        return _map_matrix(name, layer, in_shapes, out_shape, config)
+    if isinstance(layer, Concat):
+        return _passthrough(name, layer, out_shape)
+    return _map_elementwise(name, layer, in_shapes, out_shape, config)
+
+
+def map_network(
+    network: str | NetworkGraph, config: AcceleratorConfig
+) -> NetworkPlan:
+    """Tile every layer of *network* for *config*.
+
+    Accepts a suite network name or a built :class:`NetworkGraph`.
+    The returned plan is budget-feasible by construction: no tile's
+    footprint exceeds ``config.tile_memory_bytes``.
+    """
+    if isinstance(network, str):
+        from repro.core.suite import get_network
+
+        graph = get_network(network)
+    else:
+        graph = network
+    layers = tuple(
+        map_layer(node.name, node.layer, graph.in_shapes(node), config)
+        for node in graph.nodes
+    )
+    return NetworkPlan(
+        network=graph.name,
+        device=config.name,
+        tile_bytes=config.tile_memory_bytes,
+        tiles_available=config.tiles,
+        layers=layers,
+    )

@@ -1,0 +1,233 @@
+"""Tiled execution plans (what the mapper emits, what the executor runs).
+
+A plan is a pure description: which slice of a layer's output each tile
+computes, what that slice costs in on-chip memory (the *footprint* the
+device budget constrains), arithmetic, and DRAM traffic.  The mapper
+(:mod:`repro.mapping.mapper`) guarantees every tile's footprint fits the
+device's per-tile memory — budget feasibility is a construction
+invariant, property-tested in ``tests/test_mapping.py`` — and that the
+tiles' output ranges partition the full layer output exactly (the
+*stitching* invariant).
+
+The plan layer is deliberately free of device-time modelling: cycles
+per tile are computed by the mapper from the MAC-array shape, and DMA /
+wave scheduling happens in :mod:`repro.mapping.execute`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TileRange:
+    """A half-open ``[start, stop)`` index range along one split axis."""
+
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One unit of work placed on one compute tile of the device.
+
+    ``channels`` and ``rows`` locate the tile's slice of the layer
+    output on the plan's coverage grid (see
+    :attr:`LayerPlan.coverage`); ``in_group`` identifies the
+    input-channel group when the mapper fell back to input-channel
+    splitting (partial sums accumulated across groups).
+    """
+
+    index: int
+    channels: TileRange
+    rows: TileRange
+    in_group: int
+    n_in_groups: int
+    #: On-chip bytes the tile needs resident (inputs + weights + outputs).
+    footprint_bytes: int
+    #: Multiply-accumulates the tile performs.
+    macs: int
+    #: DRAM bytes moved for this tile (inputs in, weights in, outputs out).
+    transfer_bytes: int
+    #: Compute cycles on the device's MAC array, including any
+    #: partial-sum accumulation pass.
+    compute_cycles: int
+    #: Fraction of MAC rows doing useful work for this tile.
+    utilization: float
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """The tiled mapping of one layer.
+
+    ``coverage`` is the (channel extent, row extent) grid the tiles'
+    ranges live on; a plan *stitches* when the union of its tiles'
+    ``channels x rows`` rectangles — per input group — covers that grid
+    exactly, without overlap.  Pass-through layers (Concat) carry no
+    tiles and a ``(0, 0)`` coverage.
+    """
+
+    node_name: str
+    category: str
+    #: Mapping strategy: "whole", "split-out-channels", "split-rows",
+    #: "split-in-channels", "matrix-rows", "matrix-blocks",
+    #: "elementwise" or "passthrough".
+    strategy: str
+    #: Fallback-ladder step that produced the plan (1-4; 0 passthrough).
+    step: int
+    #: (channel extent, row extent) of the output grid tiles cover.
+    coverage: tuple[int, int]
+    out_shape: tuple[int, ...]
+    tiles: tuple[Tile, ...]
+    #: True when tiles of different ``in_group`` produce partial sums
+    #: that must be accumulated into the final output.
+    accumulate: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def max_footprint_bytes(self) -> int:
+        return max((t.footprint_bytes for t in self.tiles), default=0)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(t.macs for t in self.tiles)
+
+    @property
+    def total_transfer_bytes(self) -> int:
+        return sum(t.transfer_bytes for t in self.tiles)
+
+    @property
+    def worst_tile_cycles(self) -> int:
+        return max((t.compute_cycles for t in self.tiles), default=0)
+
+    @property
+    def utilization(self) -> float:
+        """MAC-weighted mean utilization across tiles."""
+        total = self.total_macs
+        if total <= 0:
+            return min((t.utilization for t in self.tiles), default=1.0)
+        return sum(t.macs * t.utilization for t in self.tiles) / total
+
+    # ------------------------------------------------------------------
+    def signature(self) -> str:
+        """Stable identity of the tiled computation (node name excluded).
+
+        Two layers with equal signatures have identical tile grids and
+        therefore identical cost on the same device — the run store's
+        dedup counts them as one unique kernel, mirroring the GPU
+        path's canonical kernel signatures.
+        """
+        payload = {
+            "category": self.category,
+            "strategy": self.strategy,
+            "step": self.step,
+            "coverage": list(self.coverage),
+            "out_shape": list(self.out_shape),
+            "accumulate": self.accumulate,
+            "tiles": [
+                [
+                    t.channels.start, t.channels.stop,
+                    t.rows.start, t.rows.stop,
+                    t.in_group, t.n_in_groups,
+                    t.footprint_bytes, t.macs, t.transfer_bytes,
+                    t.compute_cycles,
+                ]
+                for t in self.tiles
+            ],
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+        return f"mapped:{self.category}:{digest[:16]}"
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node_name,
+            "category": self.category,
+            "strategy": self.strategy,
+            "step": self.step,
+            "coverage": list(self.coverage),
+            "out_shape": list(self.out_shape),
+            "accumulate": self.accumulate,
+            "n_tiles": self.n_tiles,
+            "max_footprint_bytes": self.max_footprint_bytes,
+            "total_macs": self.total_macs,
+            "total_transfer_bytes": self.total_transfer_bytes,
+            "worst_tile_cycles": self.worst_tile_cycles,
+            "utilization": round(self.utilization, 4),
+        }
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """The tiled mapping of a whole network onto one device."""
+
+    network: str
+    device: str
+    #: Per-tile memory budget the plan was built against.
+    tile_bytes: int
+    #: Compute tiles the device offers (wave width at execution).
+    tiles_available: int
+    layers: tuple[LayerPlan, ...]
+
+    @property
+    def n_tiles(self) -> int:
+        return sum(lp.n_tiles for lp in self.layers)
+
+    @property
+    def max_footprint_bytes(self) -> int:
+        return max((lp.max_footprint_bytes for lp in self.layers), default=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "device": self.device,
+            "tile_bytes": self.tile_bytes,
+            "tiles_available": self.tiles_available,
+            "n_tiles": self.n_tiles,
+            "max_footprint_bytes": self.max_footprint_bytes,
+            "layers": [lp.to_dict() for lp in self.layers],
+        }
+
+    def describe(self) -> str:
+        """A human-readable per-layer table of the plan."""
+        header = (
+            f"{self.network} on {self.device} "
+            f"({self.tile_bytes // 1024} KB x {self.tiles_available} tiles)"
+        )
+        lines = [header, ""]
+        lines.append(
+            f"{'layer':<28} {'category':<12} {'strategy':<20} "
+            f"{'tiles':>6} {'KB/tile':>8} {'util':>6}"
+        )
+        for lp in self.layers:
+            kb = lp.max_footprint_bytes / 1024
+            lines.append(
+                f"{lp.node_name:<28} {lp.category:<12} "
+                f"{lp.strategy + f' (step {lp.step})':<20} "
+                f"{lp.n_tiles:>6} {kb:>8.1f} {lp.utilization:>6.2f}"
+            )
+        total_kb = self.max_footprint_bytes / 1024
+        lines.append("")
+        lines.append(
+            f"{self.n_tiles} tiles total, worst footprint "
+            f"{total_kb:.1f} KB of {self.tile_bytes / 1024:.0f} KB budget"
+        )
+        return "\n".join(lines)
+
+
+def ranges(extent: int, chunk: int) -> Iterable[TileRange]:
+    """Split ``[0, extent)`` into consecutive chunks of ``chunk``."""
+    for start in range(0, extent, chunk):
+        yield TileRange(start, min(extent, start + chunk))

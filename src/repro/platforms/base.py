@@ -1,0 +1,138 @@
+"""The capability-based ``Platform`` protocol.
+
+The registry used to be a flat ``name -> GpuConfig`` dict, which made
+"platform" synonymous with "CUDA GPU" and left the PynQ model (and any
+future FPGA/NPU backend) outside the registry, invisible to serve
+fleets and campaign sweeps.  This module defines the device-kind-
+agnostic surface every platform now implements:
+
+* ``name`` / ``kind`` — identity plus the device class (``gpu``,
+  ``fpga`` or ``npu``), so callers can filter
+  (``list_platforms(kind="fpga")``) without isinstance checks;
+* ``memory_budget()`` — the on-chip working memory one compute tile
+  (SM, BRAM region, PE) can hold, how many tiles there are, and the
+  DRAM bandwidth feeding them — exactly what the tiling mapper
+  (:mod:`repro.mapping`) needs to plan layer splits;
+* ``compute_budget()`` — MACs per cycle per tile and the clock;
+* ``make_config(**overrides)`` — the frozen execution config a
+  :class:`~repro.runs.spec.RunSpec` carries (a
+  :class:`~repro.gpu.config.GpuConfig` for GPUs, an
+  :class:`~repro.platforms.accel.AcceleratorConfig` otherwise).
+  Calling it with no overrides returns the platform's canonical config
+  *instance*, so identity-based caching keeps working.
+
+:class:`GpuPlatform` adapts the Table II :class:`GpuConfig` constants
+onto the protocol; accelerator platforms live in
+:mod:`repro.platforms.accel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Protocol, runtime_checkable
+
+from repro.gpu.config import GpuConfig
+
+#: Device classes a platform may declare.
+KINDS = ("gpu", "fpga", "npu")
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """On-chip memory capability of one platform.
+
+    ``per_tile_bytes`` is the working memory a single compute tile can
+    hold (an SM's L1/shared storage, a BRAM region, a PE's SRAM); the
+    tiling mapper plans against it directly.
+    """
+
+    per_tile_bytes: int
+    tiles: int
+    dram_gb_per_s: float
+
+    @property
+    def total_bytes(self) -> int:
+        """Aggregate on-chip working memory across all tiles."""
+        return self.per_tile_bytes * self.tiles
+
+
+@dataclass(frozen=True)
+class ComputeBudget:
+    """Arithmetic capability of one platform."""
+
+    macs_per_cycle_per_tile: int
+    tiles: int
+    clock_ghz: float
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Chip-wide MACs per cycle."""
+        return self.macs_per_cycle_per_tile * self.tiles
+
+    @property
+    def peak_gmacs_per_s(self) -> float:
+        """Chip-wide peak throughput in GMAC/s."""
+        return self.peak_macs_per_cycle * self.clock_ghz
+
+
+@runtime_checkable
+class Platform(Protocol):
+    """What every registered platform exposes, regardless of kind."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def kind(self) -> str: ...
+
+    def memory_budget(self) -> MemoryBudget: ...
+
+    def compute_budget(self) -> ComputeBudget: ...
+
+    def make_config(self, **overrides): ...
+
+
+@dataclass(frozen=True)
+class GpuPlatform:
+    """A Table II GPU adapted onto the :class:`Platform` protocol.
+
+    The budget mapping treats one SM as one tile: its L1D is the
+    per-tile working memory and its CUDA cores are one MAC each per
+    cycle.  ``make_config`` understands the campaign planner's
+    ``l1_kb`` override (the Figure 2 sweep) plus any
+    :class:`GpuConfig` field by name.
+    """
+
+    config: GpuConfig
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def kind(self) -> str:
+        return "gpu"
+
+    def memory_budget(self) -> MemoryBudget:
+        return MemoryBudget(
+            per_tile_bytes=self.config.l1_size + self.config.shared_mem_per_sm,
+            tiles=self.config.num_sms,
+            dram_gb_per_s=self.config.dram_gb_per_s,
+        )
+
+    def compute_budget(self) -> ComputeBudget:
+        return ComputeBudget(
+            macs_per_cycle_per_tile=self.config.cores_per_sm,
+            tiles=self.config.num_sms,
+            clock_ghz=self.config.clock_ghz,
+        )
+
+    def make_config(self, *, l1_kb: int | None = None, **overrides) -> GpuConfig:
+        config = self.config
+        if l1_kb is not None:
+            if l1_kb < 0:
+                raise ValueError(f"l1_kb must be >= 0, got {l1_kb}")
+            config = config.with_l1(l1_kb * 1024)
+        if overrides:
+            config = replace(config, **overrides)
+        return config

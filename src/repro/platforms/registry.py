@@ -1,7 +1,7 @@
-"""GPU platform configurations (the paper's Table II).
+"""The platform registry (Table II GPUs plus accelerator backends).
 
-Parameters follow the table plus the public specifications of each
-part:
+GPU parameters follow the paper's Table II plus the public
+specifications of each part:
 
 * **GK210** (server, Kepler): one die of a Tesla K80 — 13 SMX of 192
   cores, 24 GB GDDR5, 128 KB shared/L1 per block group.
@@ -10,11 +10,36 @@ part:
 * **GP102** (simulator, Pascal): 28 SMs of 128 cores (the development
   GPGPU-Sim Pascal model the paper uses), 11 GB GDDR5X, 64 KB default
   L1D (the Figure 2 sweep rescales it), 96 KB shared memory.
+
+The registry itself is capability-based: every entry implements the
+:class:`~repro.platforms.base.Platform` protocol (``name``, ``kind``,
+``memory_budget()``, ``compute_budget()``, ``make_config()``), so GPUs,
+FPGAs and NPUs list, resolve and sweep through one surface:
+
+* :func:`platform` — name -> Platform (the capability object);
+* :func:`make_config` — name -> frozen execution config, with
+  per-platform overrides (``l1_kb`` for the Figure 2 sweep);
+* :func:`list_platforms` — all names, optionally filtered by kind.
+
+The pre-protocol lookup functions — :func:`get_platform` and
+:func:`resolve_platform` — remain as :class:`DeprecationWarning` shims
+for one release; in-repo callers are migrated and the test suite
+promotes any repro-originated use to an error.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.gpu.config import GpuConfig
+from repro.platforms.accel import (
+    PYNQ_Z1_MAPPED,
+    S2NPU,
+    ZCU102,
+    AcceleratorConfig,
+    AcceleratorPlatform,
+)
+from repro.platforms.base import KINDS, GpuPlatform, Platform
 
 KB = 1024
 MB = 1024 * 1024
@@ -73,59 +98,103 @@ GP102 = GpuConfig(
     idle_watts=50.0,
 )
 
-_PLATFORMS = {"gk210": GK210, "tx1": TX1, "gp102": GP102}
+_REGISTRY: dict[str, Platform] = {
+    "gk210": GpuPlatform(GK210),
+    "tx1": GpuPlatform(TX1),
+    "gp102": GpuPlatform(GP102),
+    "zcu102": AcceleratorPlatform(ZCU102),
+    "s2npu": AcceleratorPlatform(S2NPU),
+    "pynqz1": AcceleratorPlatform(PYNQ_Z1_MAPPED),
+}
+
+#: Names that can never be unregistered.
+_BUILTIN = frozenset(_REGISTRY)
 
 
-def list_platforms() -> tuple[str, ...]:
-    """Names of the registered GPU platforms."""
-    return tuple(_PLATFORMS)
+def list_platforms(kind: str | None = None) -> tuple[str, ...]:
+    """Names of the registered platforms, optionally one kind only."""
+    if kind is None:
+        return tuple(_REGISTRY)
+    if kind not in KINDS:
+        raise ValueError(f"unknown platform kind {kind!r}; kinds: {', '.join(KINDS)}")
+    return tuple(
+        name for name, entry in _REGISTRY.items() if entry.kind == kind
+    )
 
 
-def register_platform(config: GpuConfig, *, replace: bool = False) -> GpuConfig:
-    """Register *config* under its (lower-cased) name.
+def platform(name: str) -> Platform:
+    """Look up a platform's capability object by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
 
-    Lets downstream code — the serving fleet builder, tests, user
-    studies — add device models next to the Table II trio without
-    editing this module.  Re-registering an existing name requires
-    ``replace=True`` so the paper platforms can't be shadowed silently.
+
+def make_config(name: str, **overrides):
+    """The execution config of a platform, with optional overrides.
+
+    The single entry point the run/serve/campaign layers resolve
+    platforms through: ``make_config("gp102")`` is the canonical
+    :data:`GP102` instance, ``make_config("gp102", l1_kb=128)`` the
+    Figure 2 sweep's derived config, ``make_config("s2npu")`` an
+    :class:`~repro.platforms.accel.AcceleratorConfig` the tiling mapper
+    executes.  ``l1_kb=None`` keeps the platform default, matching the
+    campaign planner's axis semantics.
     """
-    key = config.name.lower()
-    if not replace and key in _PLATFORMS:
-        raise ValueError(f"platform {config.name!r} is already registered")
-    _PLATFORMS[key] = config
-    return config
+    return platform(name).make_config(**overrides)
+
+
+def register_platform(entry, *, replace: bool = False) -> Platform:
+    """Register a platform under its (lower-cased) name.
+
+    Accepts a :class:`~repro.platforms.base.Platform` implementation,
+    or a raw :class:`GpuConfig`/:class:`AcceleratorConfig` which is
+    wrapped in the matching adapter — so downstream code (the serving
+    fleet builder, tests, user studies) keeps registering plain configs.
+    Re-registering an existing name requires ``replace=True`` so the
+    paper platforms can't be shadowed silently.
+    """
+    if isinstance(entry, GpuConfig):
+        entry = GpuPlatform(entry)
+    elif isinstance(entry, AcceleratorConfig):
+        entry = AcceleratorPlatform(entry)
+    key = entry.name.lower()
+    if not replace and key in _REGISTRY:
+        raise ValueError(f"platform {entry.name!r} is already registered")
+    _REGISTRY[key] = entry
+    return entry
 
 
 def unregister_platform(name: str) -> None:
     """Remove a registered platform (for test cleanup); the built-in
-    Table II platforms cannot be removed."""
+    platforms cannot be removed."""
     key = name.lower()
-    if key in ("gk210", "tx1", "gp102"):
+    if key in _BUILTIN:
         raise ValueError(f"cannot unregister built-in platform {name!r}")
-    _PLATFORMS.pop(key, None)
+    _REGISTRY.pop(key, None)
 
 
-def get_platform(name: str) -> GpuConfig:
-    """Look up a GPU platform by (case-insensitive) name."""
-    try:
-        return _PLATFORMS[name.lower()]
-    except KeyError:
-        raise KeyError(
-            f"unknown platform {name!r}; available: {', '.join(_PLATFORMS)}"
-        ) from None
+# ----------------------------------------------------------------------
+# deprecated pre-protocol surface (delete next release)
+# ----------------------------------------------------------------------
+def get_platform(name: str):
+    """Deprecated: use :func:`make_config` (or :func:`platform`)."""
+    warnings.warn(
+        "get_platform() is deprecated; use make_config(name) for the "
+        "execution config or platform(name) for the capability object",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_config(name)
 
 
-def resolve_platform(name: str, l1_kb: int | None = None) -> GpuConfig:
-    """Look up a platform, optionally overriding its L1D size.
-
-    The campaign planner's single entry point into the registry:
-    ``l1_kb=None`` keeps the platform's default L1D, any other value
-    (in KB; 0 bypasses the L1) produces a derived config the same way
-    the Figure 2 sweep does.
-    """
-    config = get_platform(name)
-    if l1_kb is None:
-        return config
-    if l1_kb < 0:
-        raise ValueError(f"l1_kb must be >= 0, got {l1_kb}")
-    return config.with_l1(l1_kb * 1024)
+def resolve_platform(name: str, l1_kb: int | None = None):
+    """Deprecated: use ``make_config(name, l1_kb=...)``."""
+    warnings.warn(
+        "resolve_platform() is deprecated; use make_config(name, l1_kb=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_config(name, l1_kb=l1_kb)

@@ -11,9 +11,19 @@ Wattsup wall meter for device-level numbers on the embedded boards
   simulator's :class:`~repro.profiling.stats.KernelStats`.
 * :mod:`repro.power.wattsup` -- the board-level meter model used for the
   TX1-vs-PynQ energy comparison.
+* :mod:`repro.power.accel` -- MAC + DRAM energy accounting for the
+  tile-based accelerator backends, and :func:`power_model_for`, which
+  dispatches a config to the model that understands it.
 """
 
+from repro.power.accel import AcceleratorPowerModel, power_model_for
 from repro.power.gpuwattch import ComponentPower, GpuWattchModel
 from repro.power.wattsup import WattsupMeter
 
-__all__ = ["ComponentPower", "GpuWattchModel", "WattsupMeter"]
+__all__ = [
+    "AcceleratorPowerModel",
+    "ComponentPower",
+    "GpuWattchModel",
+    "WattsupMeter",
+    "power_model_for",
+]

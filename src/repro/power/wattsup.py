@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from repro.gpu.config import GpuConfig
 from repro.gpu.simulator import NetworkResult
-from repro.power.gpuwattch import GpuWattchModel
+from repro.power.accel import power_model_for
 
 
 @dataclass(frozen=True)
@@ -33,18 +33,27 @@ class DeviceMeasurement:
 
 
 class WattsupMeter:
-    """Board-level meter over a simulated GPU run."""
+    """Board-level meter over one simulated device run.
 
-    def __init__(self, config: GpuConfig, model: GpuWattchModel | None = None):
+    Works for any registered platform: GPU configs meter through
+    GPUWattch with the board-overhead uplift, accelerator configs
+    through their MAC + DRAM model (whose estimate already covers the
+    whole board — an FPGA's fabric or an NPU's mesh *is* the device).
+    """
+
+    def __init__(self, config, model=None):
         self.config = config
-        self.model = model or GpuWattchModel(config)
+        self.model = model or power_model_for(config)
 
     def measure(self, result: NetworkResult) -> DeviceMeasurement:
         """Meter one network run on this board."""
         chip_peak = self.model.peak_power(result)
-        # Board overhead (VRM losses, memory, SoC uncore) rides on top of
-        # the chip estimate; idle_watts is the board's floor.
-        board_peak = self.config.idle_watts + 0.9 * chip_peak
+        if isinstance(self.config, GpuConfig):
+            # Board overhead (VRM losses, memory, SoC uncore) rides on
+            # top of the chip estimate; idle_watts is the board's floor.
+            board_peak = self.config.idle_watts + 0.9 * chip_peak
+        else:
+            board_peak = chip_peak
         return DeviceMeasurement(
             platform=self.config.name,
             network=result.network,

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.gpu.config import GpuConfig
 from repro.obs.tracer import WALL_S, get_tracer
 from repro.runs.planner import Plan
 from repro.runs.spec import RunSpec
@@ -280,7 +281,16 @@ def _failure_message(spec: RunSpec, exc: Exception) -> str:
 
 
 def _simulate_spec(spec: RunSpec, store: ResultStore | None) -> dict:
-    """One full network simulation, as a JSON-ready payload."""
+    """One full network run, as a JSON-ready payload.
+
+    GPU configs go through the cycle-level simulator; accelerator
+    configs go through the tiling mapper's analytic execution model.
+    """
+    if not isinstance(spec.config, GpuConfig):
+        from repro.mapping.execute import run_mapped_network
+
+        live = run_mapped_network(spec.network, spec.config, spec.options)
+        return result_to_payload(live)
     from repro.gpu.simulator import simulate_network
 
     cache = store.kernels if store is not None else None

@@ -33,6 +33,7 @@ EXPERIMENT_MODULES = (
     "repro.harness.fig14_l2_miss_ratio",
     "repro.harness.fig15_scheduler",
     "repro.harness.fig16_scheduler_alexnet",
+    "repro.harness.figx_hetero_energy",
 )
 
 _REGISTRY: dict[str, Experiment] = {}

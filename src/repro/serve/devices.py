@@ -3,7 +3,7 @@
 A fleet is an ordered list of :class:`ServeDevice` instances built from
 a spec string like ``"gp102:2,tx1"`` (two GP102 boards plus one Tegra
 X1), resolving platform names through
-:func:`repro.platforms.get_platform` — so anything registered there,
+:func:`repro.platforms.make_config` — so anything registered there,
 including test platforms added via ``register_platform``, can serve.
 
 :class:`DeviceState` is the engine-side view of one device: its
@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.gpu.config import GpuConfig
-from repro.platforms import get_platform
+from repro.platforms import make_config
 from repro.serve.batching import DynamicBatcher, Request
 from repro.serve.profiles import LatencyProfile
 from repro.serve.stats import DepthTimeline
@@ -45,7 +45,7 @@ class ServeDevice:
     """One accelerator instance in the fleet."""
 
     name: str  # e.g. "gp102#0"
-    platform: GpuConfig
+    platform: object  # GpuConfig or AcceleratorConfig
 
 
 def build_fleet(spec: str) -> list[ServeDevice]:
@@ -68,7 +68,7 @@ def build_fleet(spec: str) -> list[ServeDevice]:
             raise ValueError(f"bad device count in fleet entry {entry!r}") from None
         if count < 1:
             raise ValueError(f"device count must be >= 1 in {entry!r}")
-        platform = get_platform(name)
+        platform = make_config(name)
         for _ in range(count):
             index = counters.get(name, 0)
             counters[name] = index + 1

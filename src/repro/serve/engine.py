@@ -54,7 +54,7 @@ from random import Random
 from typing import Mapping, Sequence
 
 from repro.obs.tracer import SIM_MS, get_tracer
-from repro.platforms import get_platform
+from repro.platforms import make_config
 from repro.serve.admission import SHED_OVERFLOW
 from repro.serve.autoscale import AutoscaleSignals
 from repro.serve.batching import Request
@@ -145,7 +145,7 @@ class ServeSim:
             self._slices.append(slice_)
         scaler = self.pipeline.autoscaler
         if scaler is not None:
-            self._template_platform = get_platform(scaler.config.template)
+            self._template_platform = make_config(scaler.config.template)
             self._template_slice = profiles_for_platform(
                 profiles, self._template_platform.name
             )

@@ -128,10 +128,10 @@ def profile_from_result(result) -> LatencyProfile:
     energy plus the platform's static power, which the serving engine
     turns into per-tenant cost-per-request and fleet idle energy.
     """
-    from repro.power.gpuwattch import GpuWattchModel
+    from repro.power.accel import power_model_for
 
-    config: GpuConfig = result.config
-    model = GpuWattchModel(config)
+    config = result.config
+    model = power_model_for(config)
     merged: dict[str, list] = {}
     for kr in result.kernels:
         signature = kr.kernel.signature()

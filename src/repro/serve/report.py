@@ -97,17 +97,62 @@ def shed_table(stats: ServeStats) -> str:
     )
 
 
+def histograms_table(histograms: Mapping[str, Mapping[str, float]]) -> str:
+    """Distribution table of the engine's histogram metrics.
+
+    Covers the latency and batch-size histograms the serving engine
+    records per run (``serve.latency_ms``, per-tenant variants,
+    ``serve.batch_size``).
+    """
+    return markdown_table(
+        ["metric", "count", "mean", "p50", "p95", "p99", "max"],
+        [
+            [
+                name,
+                h["count"],
+                round(h["mean"], 3),
+                round(h["p50"], 3),
+                round(h["p95"], 3),
+                round(h["p99"], 3),
+                round(h["max"], 3),
+            ]
+            for name, h in sorted(histograms.items())
+            if h.get("count")
+        ],
+    )
+
+
+def gauges_table(gauges: Mapping[str, Mapping[str, float]]) -> str:
+    """Last/peak table of the engine's gauges (per-device queue depths,
+    fleet size)."""
+    return markdown_table(
+        ["gauge", "domain", "last", "max", "samples"],
+        [
+            [name, g["domain"], g["last"], g["max"], g["samples"]]
+            for name, g in sorted(gauges.items())
+        ],
+    )
+
+
 def serve_markdown(
     runs: Sequence[ServeStats],
     scenario: Mapping[str, object],
     title: str = "repro serve report",
+    metrics: Sequence[Mapping] | None = None,
 ) -> str:
-    """The full report: scenario, results, tenant and device breakdowns."""
+    """The full report: scenario, results, tenant and device breakdowns.
+
+    ``metrics`` optionally carries one observability snapshot per run
+    (a :meth:`~repro.obs.metrics.MetricsRegistry.to_dict` payload, as
+    captured by ``repro serve --report``); its histograms and gauges
+    render as extra per-run sections.
+    """
     sections: list[tuple[str, str]] = [
         ("Scenario", scenario_table(scenario)),
         ("Results", results_table(runs)),
     ]
-    for stats in runs:
+    snapshots = list(metrics) if metrics else []
+    for index, stats in enumerate(runs):
         if stats.per_tenant:
             sections.append(
                 (f"Tenants — {stats.scheduler}", tenants_table(stats))
@@ -117,6 +162,20 @@ def serve_markdown(
                 (f"Shed breakdown — {stats.scheduler}", shed_table(stats))
             )
         sections.append((f"Devices — {stats.scheduler}", devices_table(stats)))
+        if index < len(snapshots):
+            snapshot = snapshots[index]
+            histograms = snapshot.get("histograms") or {}
+            if any(h.get("count") for h in histograms.values()):
+                sections.append((
+                    f"Latency/batch histograms — {stats.scheduler}",
+                    histograms_table(histograms),
+                ))
+            gauges = snapshot.get("gauges") or {}
+            if gauges:
+                sections.append((
+                    f"Queue-depth gauges — {stats.scheduler}",
+                    gauges_table(gauges),
+                ))
     return markdown_report(title, sections)
 
 
@@ -125,8 +184,9 @@ def write_serve_report(
     runs: Sequence[ServeStats],
     scenario: Mapping[str, object],
     title: str = "repro serve report",
+    metrics: Sequence[Mapping] | None = None,
 ) -> Path:
     """Write the markdown report to *path* and return it."""
     path = Path(path)
-    path.write_text(serve_markdown(runs, scenario, title))
+    path.write_text(serve_markdown(runs, scenario, title, metrics=metrics))
     return path

@@ -57,7 +57,7 @@ def regen_campaigns() -> None:
 
 def regen_serve_scale() -> None:
     from repro.gpu.config import SimOptions
-    from repro.platforms import get_platform
+    from repro.platforms import make_config
     from repro.runs import ResultStore
     from repro.serve import build_profiles, load_scenario, run_serve
 
@@ -65,7 +65,7 @@ def regen_serve_scale() -> None:
     fleet = scenario.fleet()
     platforms = [device.platform for device in fleet]
     if scenario.autoscale is not None:
-        platforms.append(get_platform(scenario.autoscale.template))
+        platforms.append(make_config(scenario.autoscale.template))
     profiles = build_profiles(
         list(scenario.networks), platforms, SimOptions().light(), ResultStore(),
     )

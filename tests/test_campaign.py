@@ -262,9 +262,9 @@ class TestRunCampaign:
         assert b8["throughput_rps"] == pytest.approx(
             8.0 / (b8["latency_ms"] / 1e3), rel=1e-4
         )
-        from repro.platforms import resolve_platform
+        from repro.platforms import make_config
 
-        clock_ghz = resolve_platform("gp102").clock_ghz
+        clock_ghz = make_config("gp102").clock_ghz
         # latency_ms is rounded to 6 decimals in the row, so allow a
         # few cycles of slack
         assert b1["cycles"] == pytest.approx(

@@ -5,7 +5,7 @@ committed JSON.  The tier-1 fixture runs the whole registry over a
 restricted (cifarnet, gru) context with light sampling — seconds, no
 disk cache — and must stay **byte-stable**: both the simulator and the
 JSON float round-trip are deterministic, so any diff is a real
-behavioral change.  The slow full-suite golden pins all 20 experiments'
+behavioral change.  The slow full-suite golden pins all 21 experiments'
 paper-matrix series (pre-refactor values; regenerate with
 ``python tests/golden/regen.py`` only for an intentional engine change).
 """
@@ -44,7 +44,7 @@ class TestFixtureGolden:
 
     def test_fixture_covers_all_experiments(self):
         golden = json.loads((GOLDEN_DIR / "fixture_series.json").read_text())
-        assert len(golden) == 20
+        assert len(golden) == 21
 
 
 @pytest.mark.slow

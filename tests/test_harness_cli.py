@@ -12,7 +12,8 @@ class TestHarnessList:
         assert main(["harness", "list"]) == 0
         out = capsys.readouterr().out
         lines = [line for line in out.splitlines() if line.strip()]
-        assert len(lines) == 20
+        assert len(lines) == 21
+        assert any(line.startswith("hetero") and "6 runs" in line for line in lines)
         assert any(line.startswith("table1") and "analytic" in line for line in lines)
         assert any(line.startswith("fig02") and "28 runs" in line for line in lines)
 

@@ -1,0 +1,262 @@
+"""Tests for the tiling/partitioning mapper.
+
+The two construction invariants are property-tested with hypothesis
+over randomized layer geometries and budgets:
+
+* **budget feasibility** — no tile's footprint exceeds the device's
+  per-tile memory, on any ladder step;
+* **stitching** — per input-channel group, the tiles' output ranges
+  partition the layer's full output exactly (no gap, no overlap).
+
+Plus unit coverage of the fallback ladder's step selection, the
+execution model's contract with the serving latency profiles, and the
+executor integration (accelerator runs cache like GPU runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layers.defs import FC, Conv2D, DepthwiseConv2D, Pool2D
+from repro.core.suite import get_network
+from repro.gpu.config import SimOptions
+from repro.mapping import (
+    MappingError,
+    map_layer,
+    map_network,
+    run_mapped_network,
+)
+from repro.platforms import PYNQ_Z1_MAPPED, S2NPU, ZCU102
+from repro.platforms.accel import AcceleratorConfig
+
+DEVICES = (ZCU102, S2NPU, PYNQ_Z1_MAPPED)
+
+#: A deliberately tiny device that forces deep ladder fallbacks.
+TINY = dataclasses.replace(
+    S2NPU, name="Tiny", tiles=4, tile_memory_bytes=24 * 1024
+)
+
+
+def _assert_budget(plan, config: AcceleratorConfig) -> None:
+    assert plan.tiles, f"{plan.node_name}: no tiles emitted"
+    for tile in plan.tiles:
+        assert tile.footprint_bytes <= config.tile_memory_bytes, (
+            f"{plan.node_name} [{plan.strategy}] tile {tile.index}: "
+            f"{tile.footprint_bytes} > {config.tile_memory_bytes}"
+        )
+
+
+def _assert_stitches(plan) -> None:
+    """Tiles of each input group partition the coverage grid exactly."""
+    c_extent, r_extent = plan.coverage
+    groups: dict[int, list] = {}
+    for tile in plan.tiles:
+        groups.setdefault(tile.in_group, []).append(tile)
+    assert len(groups) == plan.tiles[0].n_in_groups
+    for tiles in groups.values():
+        covered = 0
+        seen = set()
+        for tile in tiles:
+            cells = tile.channels.size * tile.rows.size
+            rect = (
+                tile.channels.start, tile.channels.stop,
+                tile.rows.start, tile.rows.stop,
+            )
+            assert rect not in seen, f"duplicate tile rect {rect}"
+            seen.add(rect)
+            # no overlap: rectangles on a grid are disjoint iff they
+            # disagree on at least one axis interval
+            for other in seen - {rect}:
+                c_overlap = rect[0] < other[1] and other[0] < rect[1]
+                r_overlap = rect[2] < other[3] and other[2] < rect[3]
+                assert not (c_overlap and r_overlap), (
+                    f"{plan.node_name}: tiles overlap: {rect} vs {other}"
+                )
+            covered += cells
+        expected = max(c_extent, 1) * max(r_extent, 1)
+        assert covered == expected, (
+            f"{plan.node_name} [{plan.strategy}]: covered {covered} "
+            f"of {expected} output cells"
+        )
+
+
+# ----------------------------------------------------------------------
+# property tests
+# ----------------------------------------------------------------------
+class TestMapperProperties:
+    @given(
+        ci=st.integers(1, 64),
+        co=st.integers(1, 96),
+        hw=st.integers(3, 40),
+        k=st.sampled_from((1, 3, 5)),
+        stride=st.sampled_from((1, 2)),
+        device=st.sampled_from(DEVICES + (TINY,)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_conv_plans_respect_budget_and_stitch(
+        self, ci, co, hw, k, stride, device
+    ):
+        layer = Conv2D(out_channels=co, kernel=k, stride=stride, pad=k // 2)
+        plan = map_layer("conv", layer, [(ci, hw, hw)], device)
+        _assert_budget(plan, device)
+        _assert_stitches(plan)
+        assert plan.coverage == (
+            layer.out_shape([(ci, hw, hw)])[0],
+            layer.out_shape([(ci, hw, hw)])[1],
+        )
+
+    @given(
+        in_n=st.integers(1, 8192),
+        out_n=st.integers(1, 4096),
+        device=st.sampled_from(DEVICES + (TINY,)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_fc_plans_respect_budget_and_stitch(self, in_n, out_n, device):
+        layer = FC(out_features=out_n)
+        plan = map_layer("fc", layer, [(in_n,)], device)
+        _assert_budget(plan, device)
+        _assert_stitches(plan)
+        assert plan.coverage == (out_n, 1)
+
+    @given(
+        c=st.integers(1, 128),
+        hw=st.integers(2, 32),
+        device=st.sampled_from(DEVICES + (TINY,)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pool_plans_respect_budget_and_stitch(self, c, hw, device):
+        layer = Pool2D(kind="max")
+        plan = map_layer("pool", layer, [(c, hw, hw)], device)
+        _assert_budget(plan, device)
+        _assert_stitches(plan)
+
+    @given(device=st.sampled_from(DEVICES))
+    @settings(max_examples=3, deadline=None)
+    def test_whole_network_budget_feasible(self, device):
+        plan = map_network("cifarnet", device)
+        assert plan.max_footprint_bytes <= device.tile_memory_bytes
+        for layer_plan in plan.layers:
+            if layer_plan.tiles:
+                _assert_budget(layer_plan, device)
+                _assert_stitches(layer_plan)
+
+
+# ----------------------------------------------------------------------
+# ladder behaviour
+# ----------------------------------------------------------------------
+class TestFallbackLadder:
+    def test_step1_whole_layer(self):
+        layer = Conv2D(out_channels=8, kernel=3, pad=1)
+        plan = map_layer("c", layer, [(3, 8, 8)], ZCU102)
+        assert plan.strategy == "whole" and plan.step == 1
+        assert plan.n_tiles == 1
+
+    def test_step2_output_channel_split_prefers_mac_row_multiples(self):
+        # large channel count, small maps: channels split, rows whole
+        layer = Conv2D(out_channels=512, kernel=3, pad=1)
+        plan = map_layer("c", layer, [(64, 14, 14)], S2NPU)
+        assert plan.strategy == "split-out-channels" and plan.step == 2
+        chunk = plan.tiles[0].channels.size
+        assert chunk >= S2NPU.mac_rows
+        assert chunk % S2NPU.mac_rows == 0
+        assert plan.tiles[0].utilization == 1.0
+
+    def test_step3_row_split(self):
+        # big activation maps force row splitting on the NPU
+        layer = Conv2D(out_channels=64, kernel=3, pad=1)
+        plan = map_layer("c", layer, [(64, 112, 112)], S2NPU)
+        assert plan.strategy == "split-rows" and plan.step == 3
+        assert all(t.rows.size < 112 for t in plan.tiles)
+
+    def test_step4_input_channel_split_accumulates(self):
+        # VGG conv1_2-scale layer: even one output channel at one row
+        # exceeds 128 KB unless input channels split
+        layer = Conv2D(out_channels=64, kernel=3, pad=1)
+        plan = map_layer("c", layer, [(64, 224, 224)], S2NPU)
+        assert plan.strategy == "split-in-channels" and plan.step == 4
+        assert plan.accumulate
+        assert plan.tiles[0].n_in_groups > 1
+
+    def test_depthwise_maps_without_input_split(self):
+        layer = DepthwiseConv2D(kernel=3, pad=1)
+        plan = map_layer("dw", layer, [(256, 28, 28)], S2NPU)
+        assert not plan.accumulate
+        _assert_budget(plan, S2NPU)
+        _assert_stitches(plan)
+
+    def test_infeasible_budget_raises(self):
+        hopeless = dataclasses.replace(
+            S2NPU, name="Hopeless", tile_memory_bytes=64
+        )
+        layer = Conv2D(out_channels=8, kernel=3, pad=1)
+        with pytest.raises(MappingError):
+            map_layer("c", layer, [(3, 32, 32)], hopeless)
+
+    def test_mapping_is_deterministic(self):
+        first = map_network("squeezenet", S2NPU)
+        second = map_network("squeezenet", S2NPU)
+        assert first == second
+
+    def test_signature_merges_identical_layers(self):
+        plan = map_network("squeezenet", ZCU102)
+        signatures = [lp.signature() for lp in plan.layers if lp.tiles]
+        assert len(set(signatures)) < len(signatures)
+
+
+# ----------------------------------------------------------------------
+# execution model
+# ----------------------------------------------------------------------
+class TestMappedExecution:
+    def test_profile_reproduces_batch1_latency(self):
+        from repro.serve.profiles import profile_from_result
+
+        for device in DEVICES:
+            result = run_mapped_network("cifarnet", device)
+            profile = profile_from_result(result)
+            assert profile.latency_ms(1) == pytest.approx(
+                result.total_time_ms, rel=1e-12
+            )
+
+    def test_total_time_includes_launch_overhead(self):
+        result = run_mapped_network("cifarnet", S2NPU)
+        overhead = len(result.kernels) * S2NPU.launch_overhead_cycles
+        assert result.total_cycles > overhead
+
+    def test_graph_and_name_entry_points_agree(self):
+        by_name = run_mapped_network("gru", S2NPU)
+        by_graph = run_mapped_network(get_network("gru"), S2NPU)
+        assert by_name.total_cycles == by_graph.total_cycles
+
+    def test_executor_caches_accelerator_runs(self, tmp_path):
+        from repro.runs import Executor, ResultStore, RunSpec
+
+        spec = RunSpec("gru", S2NPU, SimOptions().light())
+        cold = Executor(ResultStore(tmp_path))
+        first = cold.run(spec)
+        assert cold.fresh == 1
+        warm = Executor(ResultStore(tmp_path))
+        second = warm.run(spec)
+        assert warm.fresh == 0 and warm.hits == 1
+        assert second.total_cycles == first.total_cycles
+
+    def test_mapper_version_folds_into_run_key(self):
+        from repro.runs import RunSpec
+
+        bumped = dataclasses.replace(S2NPU, mapper_version="tile-test")
+        options = SimOptions().light()
+        assert (
+            RunSpec("gru", S2NPU, options).key()
+            != RunSpec("gru", bumped, options).key()
+        )
+
+    def test_wattsup_meters_accelerators(self):
+        from repro.power import WattsupMeter
+
+        result = run_mapped_network("cifarnet", S2NPU)
+        measurement = WattsupMeter(S2NPU).measure(result)
+        assert 0 < measurement.peak_watts <= S2NPU.tdp_watts
+        assert measurement.energy_j > 0

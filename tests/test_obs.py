@@ -89,10 +89,10 @@ class TestNullTracer:
 
     def test_disabled_simulation_retains_no_events(self, light_options):
         from repro.gpu.simulator import simulate_network
-        from repro.platforms import get_platform
+        from repro.platforms import make_config
 
         assert get_tracer() is NULL_TRACER
-        simulate_network("gru", get_platform("gp102"), light_options)
+        simulate_network("gru", make_config("gp102"), light_options)
         assert not hasattr(NULL_TRACER, "spans")
         assert all(not v for v in NULL_TRACER.metrics.to_dict().values())
 
@@ -174,10 +174,10 @@ class TestChromeExport:
 class TestGpuSpans:
     def test_kernel_spans_tile_the_network_timeline(self, light_options):
         from repro.gpu.simulator import simulate_network
-        from repro.platforms import get_platform
+        from repro.platforms import make_config
 
         with capture_trace(warps=False) as tracer:
-            result = simulate_network("gru", get_platform("gp102"), light_options)
+            result = simulate_network("gru", make_config("gp102"), light_options)
         kernels = [s for s in tracer.spans if s.cat == "kernel"]
         assert len(kernels) == len(result.kernels)
         # Back-to-back: each span starts where the previous one ended.
@@ -190,10 +190,10 @@ class TestGpuSpans:
 
     def test_warp_phases_nest_inside_warp_life(self, light_options):
         from repro.gpu.simulator import simulate_network
-        from repro.platforms import get_platform
+        from repro.platforms import make_config
 
         with capture_trace(warps=True) as tracer:
-            simulate_network("gru", get_platform("gp102"), light_options)
+            simulate_network("gru", make_config("gp102"), light_options)
         lives = {s.thread: s for s in tracer.spans if s.cat == "warp"}
         stalls = [s for s in tracer.spans if s.cat == "stall"]
         assert lives and stalls

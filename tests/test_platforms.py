@@ -5,15 +5,26 @@ from __future__ import annotations
 import pytest
 
 from repro.core.suite import get_network
-from repro.platforms import GK210, GP102, PYNQ_Z1, TX1, PynqZ1Model, get_platform, list_platforms
+from repro.platforms import (
+    GK210,
+    GP102,
+    PYNQ_Z1,
+    TX1,
+    PynqZ1Model,
+    list_platforms,
+    make_config,
+)
 
 
 class TestGpuConfigs:
     def test_registry(self):
-        assert set(list_platforms()) == {"gk210", "tx1", "gp102"}
-        assert get_platform("GK210") is GK210
+        assert set(list_platforms()) == {
+            "gk210", "tx1", "gp102", "zcu102", "s2npu", "pynqz1",
+        }
+        assert set(list_platforms(kind="gpu")) == {"gk210", "tx1", "gp102"}
+        assert make_config("GK210") is GK210
         with pytest.raises(KeyError, match="unknown platform"):
-            get_platform("h100")
+            make_config("h100")
 
     def test_table2_core_counts(self):
         assert GK210.total_cuda_cores == 2880 - 384  # 13 of 15 SMX enabled

@@ -1,6 +1,6 @@
 """The run pipeline: planner dedup, executor read-through, unified store.
 
-The planner must collapse the 20 registered experiments' requested runs
+The planner must collapse the 21 registered experiments' requested runs
 into the minimal unique matrix; the executor must simulate each unique
 spec at most once (memory -> store -> simulate); the store must round-
 trip whole-network results byte-identically and invalidate on any key
@@ -32,9 +32,9 @@ LIGHT = SimOptions(max_trips=4, max_outer_trips=1, max_sim_blocks=1)
 
 
 class TestPlanner:
-    def test_full_suite_dedupes_to_55_unique_runs(self):
+    def test_full_suite_dedupes_to_59_unique_runs(self):
         plan = build_plan(all_experiments().values())
-        assert len(plan.specs) == 55
+        assert len(plan.specs) == 59
         assert plan.total_requested > len(plan.specs)
         # Dedup really is by content: no two specs share a key.
         keys = [spec.key() for spec in plan.specs]
@@ -59,14 +59,14 @@ class TestPlanner:
     def test_restricted_context_shrinks_matrix(self):
         ctx = PlanContext(networks=("cifarnet", "gru"), options=LIGHT)
         plan = build_plan(all_experiments().values(), ctx)
-        assert 0 < len(plan.specs) < 55
+        assert 0 < len(plan.specs) < 59
         assert {spec.network for spec in plan.specs} == {"cifarnet", "gru"}
 
     def test_describe_lists_each_unique_run_once(self):
         plan = build_plan(all_experiments().values())
         lines = plan.describe().splitlines()
-        assert "-> 55 unique" in lines[0]
-        assert len(lines) == 1 + 55
+        assert "-> 59 unique" in lines[0]
+        assert len(lines) == 1 + 59
 
 
 class TestRunKey:

@@ -11,7 +11,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.platforms import get_platform, register_platform, unregister_platform
+from repro.platforms import make_config, register_platform, unregister_platform
 from repro.serve import (
     ClosedLoopWorkload,
     PoissonWorkload,
@@ -175,7 +175,7 @@ class TestFleetConstruction:
     def test_build_fleet_counts_and_names(self):
         fleet = build_fleet("gp102:2,tx1")
         assert [d.name for d in fleet] == ["gp102#0", "gp102#1", "tx1#0"]
-        assert fleet[0].platform is get_platform("gp102")
+        assert fleet[0].platform is make_config("gp102")
 
     def test_build_fleet_rejects_bad_specs(self):
         with pytest.raises(ValueError):
